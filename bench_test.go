@@ -1,0 +1,471 @@
+// Benchmark harness: one benchmark per table and figure of the paper plus
+// the ablations DESIGN.md calls out. Simulated inference times are reported
+// as "sim-ms" metrics (the figures' y-axis); wall-clock numbers measure this
+// host running the stack, which is not the experiment platform.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/bench"
+	"repro/internal/models"
+	"repro/internal/neuron"
+	"repro/internal/nir"
+	"repro/internal/parallel"
+	"repro/internal/passes"
+	"repro/internal/pipeline"
+	"repro/internal/relay"
+	"repro/internal/runtime"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+	"repro/internal/video"
+)
+
+// --------------------------------------------------------------- Figure 4
+
+// builtModels caches full-scale model builds across benchmarks.
+var (
+	buildOnce sync.Once
+	built     map[string]*relay.Module
+	buildErr  error
+	benchSoC  = soc.NewDimensity800()
+)
+
+func fullModels(b *testing.B) map[string]*relay.Module {
+	b.Helper()
+	buildOnce.Do(func() {
+		built = map[string]*relay.Module{}
+		specs := append(models.Showcase(), models.Figure6()...)
+		seen := map[string]bool{}
+		for _, s := range specs {
+			if seen[s.Name] {
+				continue
+			}
+			seen[s.Name] = true
+			m, err := s.Build(models.SizeFull)
+			if err != nil {
+				buildErr = fmt.Errorf("building %s: %w", s.Name, err)
+				return
+			}
+			built[s.Name] = m
+		}
+	})
+	if buildErr != nil {
+		b.Fatal(buildErr)
+	}
+	return built
+}
+
+// benchPermutations measures model × permutation cells; each iteration is
+// one compile+estimate, and the simulated inference time is the metric.
+func benchPermutations(b *testing.B, specs []models.Spec) {
+	mods := fullModels(b)
+	for _, spec := range specs {
+		for _, p := range bench.AllPermutations {
+			name := fmt.Sprintf("%s/%s", spec.Name, p)
+			b.Run(name, func(b *testing.B) {
+				m := mods[spec.Name]
+				var cell bench.Cell
+				var err error
+				for i := 0; i < b.N; i++ {
+					cell, err = bench.MeasureModule(m, p, benchSoC)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if cell.OK {
+					b.ReportMetric(cell.Time.Ms(), "sim-ms")
+				} else {
+					b.ReportMetric(0, "no-statistics")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: the three showcase models across
+// the seven target permutations.
+func BenchmarkFigure4(b *testing.B) {
+	benchPermutations(b, models.Showcase())
+}
+
+// BenchmarkFigure6 regenerates Figure 6: the extended classifier sweep.
+func BenchmarkFigure6(b *testing.B) {
+	benchPermutations(b, models.Figure6())
+}
+
+// --------------------------------------------------------------- Figure 5
+
+// BenchmarkFigure5Pipeline regenerates the pipeline-scheduling comparison:
+// the metric is the pipelined-over-sequential speedup at 12 frames.
+func BenchmarkFigure5Pipeline(b *testing.B) {
+	var res *bench.Figure5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.RunFigure5(benchSoC, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Paper.Speedup, "speedup")
+	b.ReportMetric(res.Paper.Pipelined.Ms(), "sim-ms")
+	b.ReportMetric(res.Paper.Sequential.Ms(), "sequential-sim-ms")
+}
+
+// ------------------------------------------------- Figure 1 / Listing 5
+
+// BenchmarkFigure1Showcase runs the three-model application on synthetic
+// video, one frame per iteration (real numerics, simulated device time).
+func BenchmarkFigure1Showcase(b *testing.B) {
+	sc, err := app.New(app.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := video.NewSource(160, 120, 2, 2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := src.Frames(8)
+	b.ResetTimer()
+	var total soc.Seconds
+	for i := 0; i < b.N; i++ {
+		res, err := sc.ProcessFrame(frames[i%len(frames)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Timing.Total()
+	}
+	b.ReportMetric(total.Ms()/float64(b.N), "sim-ms/frame")
+}
+
+// ----------------------------------------------------------- Tables 1 & 2
+
+// BenchmarkTable1 renders the model inventory (sanity: build metadata only).
+func BenchmarkTable1(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = bench.Table1String()
+	}
+	if len(s) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// BenchmarkTable2 renders the platform specification.
+func BenchmarkTable2(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = bench.Table2String(benchSoC)
+	}
+	if len(s) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// --------------------------------------------------------------- Ablations
+
+// BenchmarkAblationRegionMerge quantifies MergeCompilerRegions on the
+// anti-spoofing model (the many-subgraphs pathology): metric = simulated
+// time without merging over with merging.
+func BenchmarkAblationRegionMerge(b *testing.B) {
+	m := fullModels(b)["anti-spoofing"]
+	measure := func(merge bool) soc.Seconds {
+		lib, err := runtime.Build(m, runtime.BuildOptions{
+			OptLevel: 3, UseNIR: true, SoC: benchSoC,
+			Partition: passes.PartitionOptions{MergeRegions: merge, MinRegionSize: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err := lib.Estimate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prof.Total()
+	}
+	var merged, unmerged soc.Seconds
+	for i := 0; i < b.N; i++ {
+		merged = measure(true)
+		unmerged = measure(false)
+	}
+	b.ReportMetric(merged.Ms(), "merged-sim-ms")
+	b.ReportMetric(unmerged.Ms(), "unmerged-sim-ms")
+	b.ReportMetric(float64(unmerged)/float64(merged), "slowdown-x")
+}
+
+// BenchmarkAblationFusion quantifies FuseOps on the TVM-only path.
+func BenchmarkAblationFusion(b *testing.B) {
+	m := fullModels(b)["emotion"]
+	measure := func(opt int) soc.Seconds {
+		lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: opt, SoC: benchSoC})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err := lib.Estimate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prof.Total()
+	}
+	var fused, unfused soc.Seconds
+	for i := 0; i < b.N; i++ {
+		fused = measure(3)
+		unfused = measure(0)
+	}
+	b.ReportMetric(fused.Ms(), "fused-sim-ms")
+	b.ReportMetric(unfused.Ms(), "unfused-sim-ms")
+	b.ReportMetric(float64(unfused)/float64(fused), "slowdown-x")
+}
+
+// BenchmarkAblationQNN compares the quantized and float MobileNet v1 twins
+// through the BYOC flow (the §3.3/§4.2 QNN payoff).
+func BenchmarkAblationQNN(b *testing.B) {
+	mods := fullModels(b)
+	measure := func(name string) soc.Seconds {
+		cell, err := bench.MeasureModule(mods[name], bench.BYOCCPUAPU, benchSoC)
+		if err != nil || !cell.OK {
+			b.Fatalf("%s: %v", name, err)
+		}
+		return cell.Time
+	}
+	var q, f soc.Seconds
+	for i := 0; i < b.N; i++ {
+		q = measure("mobilenet v1 (quant)")
+		f = measure("mobilenet v1")
+	}
+	b.ReportMetric(q.Ms(), "int8-sim-ms")
+	b.ReportMetric(f.Ms(), "float32-sim-ms")
+	b.ReportMetric(float64(f)/float64(q), "speedup-x")
+}
+
+// BenchmarkAblationPipelineAssign compares the Figure 5 assignment against
+// keeping the object detector on CPU+APU.
+func BenchmarkAblationPipelineAssign(b *testing.B) {
+	res, err := bench.RunFigure5(benchSoC, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var paper, contended pipeline.Result
+	for i := 0; i < b.N; i++ {
+		paper = res.Paper
+		contended = res.Contention
+	}
+	b.ReportMetric(paper.Pipelined.Ms(), "paper-sim-ms")
+	b.ReportMetric(contended.Pipelined.Ms(), "contended-sim-ms")
+	b.ReportMetric(float64(contended.Pipelined)/float64(paper.Pipelined), "win-x")
+}
+
+// ------------------------------------------------ real-kernel wall clock
+
+// BenchmarkKernelConv2D measures the actual float32 convolution kernel
+// (wall clock, this host).
+func BenchmarkKernelConv2D(b *testing.B) {
+	data := tensor.New(tensor.Float32, tensor.Shape{1, 56, 56, 64})
+	data.FillUniform(tensor.NewRNG(1), -1, 1)
+	weight := tensor.New(tensor.Float32, tensor.Shape{64, 3, 3, 64})
+	weight.FillUniform(tensor.NewRNG(2), -1, 1)
+	attrs := relay.Attrs{"strides": []int{1, 1}, "padding": []int{1, 1}}
+	outTy := relay.TType(tensor.Float32, 1, 56, 56, 64)
+	b.SetBytes(int64(data.Bytes() + weight.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topi.Run("nn.conv2d", []*tensor.Tensor{data, weight}, attrs, outTy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelQnnConv2D measures the quantized convolution kernel.
+func BenchmarkKernelQnnConv2D(b *testing.B) {
+	q := tensor.QuantParams{Scale: 0.02, ZeroPoint: 128}
+	wq := tensor.QuantParams{Scale: 0.01, ZeroPoint: 128}
+	data := tensor.New(tensor.UInt8, tensor.Shape{1, 56, 56, 64})
+	data.Quant = &q
+	weightF := tensor.New(tensor.Float32, tensor.Shape{64, 3, 3, 64})
+	weightF.FillUniform(tensor.NewRNG(2), -0.5, 0.5)
+	weight := weightF.QuantizeTo(tensor.UInt8, wq)
+	attrs := relay.Attrs{
+		"strides": []int{1, 1}, "padding": []int{1, 1},
+		"input_scale": q.Scale, "input_zero_point": 128,
+		"kernel_scale": wq.Scale, "kernel_zero_point": 128,
+	}
+	outTy := &relay.TensorType{Shape: tensor.Shape{1, 56, 56, 64}, DType: tensor.Int32,
+		Quant: &tensor.QuantParams{Scale: q.Scale * wq.Scale}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topi.Run("qnn.conv2d", []*tensor.Tensor{data, weight}, attrs, outTy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationParallelKernels measures goroutine tile parallelism in
+// the convolution kernel (serial vs all cores), wall clock.
+func BenchmarkAblationParallelKernels(b *testing.B) {
+	data := tensor.New(tensor.Float32, tensor.Shape{1, 64, 64, 32})
+	data.FillUniform(tensor.NewRNG(1), -1, 1)
+	weight := tensor.New(tensor.Float32, tensor.Shape{32, 3, 3, 32})
+	weight.FillUniform(tensor.NewRNG(2), -1, 1)
+	attrs := relay.Attrs{"strides": []int{1, 1}, "padding": []int{1, 1}}
+	outTy := relay.TType(tensor.Float32, 1, 64, 64, 32)
+	for _, workers := range []int{1, 0} {
+		name := "parallel"
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			if workers == 1 {
+				old := parallel.SetMaxWorkers(1)
+				defer parallel.SetMaxWorkers(old)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := topi.Run("nn.conv2d", []*tensor.Tensor{data, weight}, attrs, outTy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphExecutor measures one end-to-end BYOC inference of the lite
+// emotion model (real numerics + simulated accounting), wall clock.
+func BenchmarkGraphExecutor(b *testing.B) {
+	m, err := models.BuildEmotion(models.SizeLite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3, UseNIR: true, SoC: benchSoC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	in := models.RandomInput(m, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gm.SetInput(gm.InputNames()[0], in)
+		if err := gm.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoPipeline runs the automatic pipeline-scheduling search (the
+// paper's announced future work) and reports the discovered makespan.
+func BenchmarkAutoPipeline(b *testing.B) {
+	var res *pipeline.AutoResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.RunAutoPipeline(benchSoC, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Result.Pipelined.Ms(), "sim-ms")
+	b.ReportMetric(float64(res.Evaluated), "assignments")
+}
+
+// BenchmarkExtensionGPU measures the GPU-enabled BYOC permutation across
+// the Table 1 models (extension experiment).
+func BenchmarkExtensionGPU(b *testing.B) {
+	var rows []bench.GPUExtensionRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.RunGPUExtension(benchSoC)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var base, gpu float64
+	for _, r := range rows {
+		base += r.CPUAPU.Time.Ms()
+		gpu += r.CPUGPUAPU.Time.Ms()
+	}
+	b.ReportMetric(base, "cpu-apu-total-sim-ms")
+	b.ReportMetric(gpu, "cpu-gpu-apu-total-sim-ms")
+}
+
+// BenchmarkAblationOpFusion quantifies the Neuron compiler's NNAPI-style
+// operation fusion (conv+bias+requantize+activation as one launch) on the
+// quantized MobileNet-SSD.
+func BenchmarkAblationOpFusion(b *testing.B) {
+	m := fullModels(b)["mobilenet ssd (quant)"]
+	measure := func(disable bool) (soc.Seconds, int) {
+		lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3, UseNIR: true, SoC: benchSoC})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Rebuild the external models with/without fusion via the neuron
+		// compiler options.
+		totalOps := 0
+		prof := soc.NewProfile()
+		for _, name := range lib.Module.ExternalFuncs("nir") {
+			fn, _ := lib.Module.Get(name)
+			model, err := nir.ConvertFunction(name, fn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cm, err := neuron.CompileWith(model, benchSoC,
+				[]soc.DeviceKind{soc.KindCPU, soc.KindAPU},
+				neuron.CompileOptions{DisableOperationFusion: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalOps += len(cm.Model.Operations)
+			cm.Estimate(prof)
+		}
+		return prof.Total(), totalOps
+	}
+	var fusedT, unfusedT soc.Seconds
+	var fusedOps, unfusedOps int
+	for i := 0; i < b.N; i++ {
+		fusedT, fusedOps = measure(false)
+		unfusedT, unfusedOps = measure(true)
+	}
+	b.ReportMetric(fusedT.Ms(), "fused-sim-ms")
+	b.ReportMetric(unfusedT.Ms(), "unfused-sim-ms")
+	b.ReportMetric(float64(fusedOps), "fused-ops")
+	b.ReportMetric(float64(unfusedOps), "unfused-ops")
+}
+
+// BenchmarkExtensionAutoQuant measures the automatic-quantization extension.
+func BenchmarkExtensionAutoQuant(b *testing.B) {
+	var res *bench.AutoQuantResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.RunAutoQuantExtension(benchSoC)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Float.Time.Ms(), "float32-sim-ms")
+	b.ReportMetric(res.Quantized.Time.Ms(), "int8-sim-ms")
+	b.ReportMetric(res.MaxAbsDiff, "max-output-diff")
+}
+
+// BenchmarkLivePipeline runs the real three-model application through the
+// goroutine pipeline (Figure 5 assignment), reporting simulated speedup.
+func BenchmarkLivePipeline(b *testing.B) {
+	sc, err := app.New(app.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := video.NewSource(160, 120, 2, 2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := src.Frames(6)
+	b.ResetTimer()
+	var res *app.LiveResult
+	for i := 0; i < b.N; i++ {
+		res, err = sc.RunLive(frames, app.Figure5Devices())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Makespan.Ms(), "sim-ms")
+	b.ReportMetric(res.Speedup(), "speedup")
+}

@@ -1,0 +1,164 @@
+// Command npc is the compiler driver: it imports a serialized model from
+// any supported framework, optimizes it, partitions it for NeuroPilot, and
+// writes a deployable library artifact — the offline half of the paper's
+// §4.5 cross-compile-and-deploy flow.
+//
+// Usage:
+//
+//	npc -model model.tflite -o model.nplib
+//	npc -model emotion.json -weights emotion.bin -framework keras -o emotion.nplib
+//	npc -model yolov3.cfg -weights yolov3.weights -framework darknet -targets cpu,apu -o yolo.nplib
+//	npc -model model.tflite -dump            # print the partitioned relay module
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relay"
+	"repro/internal/runtime"
+	"repro/internal/soc"
+)
+
+func main() {
+	var (
+		modelPath   = flag.String("model", "", "serialized model file (required)")
+		weightsPath = flag.String("weights", "", "separate weight blob (keras/pytorch/darknet)")
+		framework   = flag.String("framework", "", "source framework: keras|pytorch|tflite|darknet|onnx (default: auto-detect)")
+		outPath     = flag.String("o", "", "output artifact path")
+		targets     = flag.String("targets", "cpu,apu", "NeuroPilot devices for partitioned regions")
+		optLevel    = flag.Int("opt", 3, "optimization level (0-3)")
+		noNIR       = flag.Bool("no-nir", false, "disable the NeuroPilot BYOC partitioning (TVM-only build)")
+		dump        = flag.Bool("dump", false, "print the optimized/partitioned module instead of writing an artifact")
+		dot         = flag.Bool("dot", false, "print the partitioned module as Graphviz DOT")
+		stats       = flag.Bool("stats", false, "print per-op statistics of the partitioned module")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "npc: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	model, err := os.ReadFile(*modelPath)
+	fatal(err)
+	var weights []byte
+	if *weightsPath != "" {
+		weights, err = os.ReadFile(*weightsPath)
+		fatal(err)
+	}
+
+	fw := core.Framework(*framework)
+	if fw == "" {
+		fw, err = core.DetectFramework(model)
+		fatal(err)
+	}
+	mod, err := core.Import(fw, model, weights)
+	fatal(err)
+	fmt.Printf("npc: imported %s model: %d ops\n", fw, relay.CountOps(mod.Main()))
+
+	devices, err := parseTargets(*targets)
+	fatal(err)
+	opts := runtime.BuildOptions{
+		OptLevel:   *optLevel,
+		UseNIR:     !*noNIR,
+		NIRDevices: devices,
+	}
+	lib, err := core.Compile(mod, opts)
+	fatal(err)
+	ext := lib.Module.ExternalFuncs("nir")
+	fmt.Printf("npc: compiled: %d NeuroPilot regions, targets %v\n", len(ext), devices)
+
+	if *dump {
+		fmt.Print(relay.PrintModule(lib.Module))
+		return
+	}
+	if *dot {
+		fmt.Print(relay.ToDOT(lib.Module))
+		return
+	}
+	if *stats {
+		printStats(lib)
+		return
+	}
+	if *outPath == "" {
+		fmt.Fprintln(os.Stderr, "npc: -o is required unless -dump/-dot is given")
+		os.Exit(2)
+	}
+	f, err := os.Create(*outPath)
+	fatal(err)
+	defer f.Close()
+	fatal(core.Export(lib, f))
+	info, err := f.Stat()
+	fatal(err)
+	fmt.Printf("npc: wrote %s (%d bytes)\n", *outPath, info.Size())
+}
+
+// printStats summarizes the compiled module: per-op counts, parameter
+// bytes, MAC volume, and the per-region Execution Planner reports.
+func printStats(lib *runtime.Lib) {
+	counts := map[string]int{}
+	var paramBytes int64
+	// Partitioned region functions appear both inline in main and as module
+	// definitions (same objects); dedupe across the walk.
+	seen := map[relay.Expr]bool{}
+	lib.Module.Functions(func(name string, fn *relay.Function) {
+		relay.PostOrderVisit(fn, func(e relay.Expr) {
+			if seen[e] {
+				return
+			}
+			seen[e] = true
+			switch n := e.(type) {
+			case *relay.Call:
+				if n.Op != nil {
+					counts[n.Op.Name]++
+				}
+			case *relay.Constant:
+				paramBytes += int64(n.Value.Bytes())
+			}
+		})
+	})
+	w := soc.FunctionWork(lib.Module.Main())
+	fmt.Printf("npc: %d distinct ops, %.2f MB parameters, %.1f MMACs per inference"+"\n",
+		len(counts), float64(paramBytes)/(1<<20), float64(w.MACs)/1e6)
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-24s %d"+"\n", n, counts[n])
+	}
+	for _, name := range lib.Module.ExternalFuncs("nir") {
+		if cm, ok := lib.External[name]; ok {
+			fmt.Printf("\nregion %s plan:\n%s", name, cm.PlanReport())
+		}
+	}
+}
+
+func parseTargets(s string) ([]soc.DeviceKind, error) {
+	var out []soc.DeviceKind
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "cpu":
+			out = append(out, soc.KindCPU)
+		case "apu":
+			out = append(out, soc.KindAPU)
+		case "":
+		default:
+			return nil, fmt.Errorf("npc: unknown target %q (want cpu, apu)", part)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Application Showcases
+// for TVM with NeuroPilot on Mobile Devices" (ICPP Workshops '22): a
+// mini-TVM graph compiler stack, a simulated MediaTek NeuroPilot stack
+// (Neuron IR, Execution Planner, runtime) on a simulated Dimensity 800 SoC,
+// the BYOC bridge between them, five model frontends, the three-model
+// application showcase, and the computation/pipeline scheduling experiments.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem .
+package repro

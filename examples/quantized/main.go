@@ -1,0 +1,111 @@
+// Quantized: the paper's §3.3 QNN flow end-to-end — a pre-quantized TFLite
+// MobileNet runs through the BYOC bridge, which must carry quantization
+// parameters from relay's operator-oriented QNN attributes onto every
+// tensor-oriented Neuron operand. The example shows the converted operand
+// table, verifies quantized-vs-float agreement, and compares their costs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/models"
+	"repro/internal/nir"
+	"repro/internal/passes"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// Build the quantized and float twins of MobileNet v1 (lite preset).
+	qmod, err := models.Get("mobilenet v1 (quant)")
+	fail(err)
+	fmod, err := models.Get("mobilenet v1")
+	fail(err)
+	qm, err := qmod.Build(models.SizeLite)
+	fail(err)
+	fm, err := fmod.Build(models.SizeLite)
+	fail(err)
+
+	// Inspect the Neuron conversion: every quantized operand must carry its
+	// own scale/zero-point (the tensor-oriented requirement of §3.3).
+	part, err := nir.PartitionForNIR(qm, passes.DefaultPartitionOptions())
+	fail(err)
+	regions := part.ExternalFuncs("nir")
+	fmt.Printf("quantized mobilenet partitioned into %d NeuroPilot region(s)\n", len(regions))
+	fn, _ := part.Get(regions[0])
+	model, err := nir.ConvertFunction(regions[0], fn)
+	fail(err)
+	quantOperands := 0
+	for _, od := range model.Operands {
+		if od.Type.Quant != nil {
+			quantOperands++
+		}
+	}
+	fmt.Printf("region %s: %d operands, %d carry quantization parameters\n",
+		regions[0], len(model.Operands), quantOperands)
+	for _, od := range model.Operands[:4] {
+		fmt.Printf("  operand %-12s %s\n", od.Name, od.Type)
+	}
+
+	// Run both twins through the BYOC flow and compare.
+	qlib, err := runtime.Build(qm, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	fail(err)
+	flib, err := runtime.Build(fm, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	fail(err)
+
+	fIn := tensor.New(tensor.Float32, models.InputShape(fm))
+	fIn.FillUniform(tensor.NewRNG(3), 0, 1)
+	qIn := fIn.QuantizeTo(tensor.UInt8, *models.InputQuant(qm))
+
+	qgm := runtime.NewGraphModule(qlib)
+	qgm.SetInput(qgm.InputNames()[0], qIn)
+	fail(qgm.Run())
+	fgm := runtime.NewGraphModule(flib)
+	fgm.SetInput(fgm.InputNames()[0], fIn)
+	fail(fgm.Run())
+
+	qt, ft := qgm.LastProfile().Total(), fgm.LastProfile().Total()
+	fmt.Printf("\nsimulated inference: float32 %s, int8 %s (%.2fx)\n", ft, qt, float64(ft)/float64(qt))
+	fmt.Printf("top-1 (same seed, different weights due to quantization): float=%d quant=%d\n",
+		fgm.GetOutput(0).ArgMax(), qgm.GetOutput(0).ArgMax())
+	fmt.Println("\nthe quantized model also compiles NeuroPilot-only (whole-model Neuron conversion):")
+	cm, err := runtime.BuildNeuroPilotOnly(qm, nil, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  %d operations after NNAPI-style fusion, planned across %v\n",
+		len(cm.Model.Operations), cm.PlanCounts())
+	fmt.Println("\nExecution Planner report (first 8 operations):")
+	report := cm.PlanReport()
+	lines := 0
+	for _, line := range splitLines(report) {
+		fmt.Println("  " + line)
+		lines++
+		if lines > 8 {
+			break
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quantized:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+package app
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/soc"
+	"repro/internal/video"
+)
+
+// The live pipelined executor: the §5.2 prototype applied to the *actual*
+// application rather than to averaged stage times. Three goroutine stages
+// (detect → anti-spoof → emotion) process different frames concurrently;
+// per-device mutexes enforce the exclusive-resource rule in wall-clock time
+// while the shared virtual timeline accounts the simulated schedule with
+// the same atomic multi-device reservation the static scheduler uses.
+
+// DeviceLocks serializes wall-clock access to the simulated devices. Locks
+// are always taken in DeviceKind order, so multi-device stages cannot
+// deadlock.
+type DeviceLocks struct {
+	mu [3]sync.Mutex
+}
+
+// Lock acquires the devices in canonical order.
+func (l *DeviceLocks) Lock(devs []soc.DeviceKind) {
+	for k := soc.DeviceKind(0); k < 3; k++ {
+		for _, d := range devs {
+			if d == k {
+				l.mu[k].Lock()
+				break
+			}
+		}
+	}
+}
+
+// Unlock releases in reverse order.
+func (l *DeviceLocks) Unlock(devs []soc.DeviceKind) {
+	for k := soc.DeviceKind(2); k >= 0; k-- {
+		for _, d := range devs {
+			if d == k {
+				l.mu[k].Unlock()
+				break
+			}
+		}
+	}
+}
+
+// StageDevices assigns the exclusive device set of each pipeline stage —
+// the Figure 5 assignment by default.
+type StageDevices struct {
+	Detect, Spoof, Emotion []soc.DeviceKind
+}
+
+// Figure5Devices is the paper's assignment: detection CPU-only,
+// anti-spoofing CPU+APU, emotion APU-only.
+func Figure5Devices() StageDevices {
+	return StageDevices{
+		Detect:  []soc.DeviceKind{soc.KindCPU},
+		Spoof:   []soc.DeviceKind{soc.KindCPU, soc.KindAPU},
+		Emotion: []soc.DeviceKind{soc.KindAPU},
+	}
+}
+
+// LiveResult is the outcome of a pipelined run.
+type LiveResult struct {
+	Results []*FrameResult
+	// Makespan is the simulated completion time of the last frame.
+	Makespan soc.Seconds
+	// SequentialTime is Σ of all stage costs (what unpipelined execution
+	// would take).
+	SequentialTime soc.Seconds
+	Timeline       *soc.Timeline
+}
+
+// Speedup is the pipelining gain.
+func (r *LiveResult) Speedup() float64 {
+	if r.Makespan <= 0 {
+		return 1
+	}
+	return float64(r.SequentialTime) / float64(r.Makespan)
+}
+
+// liveItem carries one frame through the stage channels.
+type liveItem struct {
+	idx        int
+	frame      *video.Frame
+	res        *FrameResult
+	candidates []video.Rect
+	ready      soc.Seconds // simulated completion of the previous stage
+	err        error
+}
+
+// RunLive processes the frames through the three-stage pipeline. Frame
+// results are identical to sequential ProcessFrame calls (same models, same
+// inputs); only the schedule differs.
+func (s *Showcase) RunLive(frames []*video.Frame, devs StageDevices) (*LiveResult, error) {
+	tl := soc.NewTimeline()
+	locks := &DeviceLocks{}
+	c1 := make(chan *liveItem, len(frames))
+	c2 := make(chan *liveItem, len(frames))
+	done := make(chan *liveItem, len(frames))
+
+	// Stage 1: detection.
+	go func() {
+		defer close(c2)
+		for it := range c1 {
+			if it.err == nil {
+				locks.Lock(devs.Detect)
+				res, cands, err := s.DetectStage(it.frame)
+				if err == nil {
+					it.res, it.candidates = res, cands
+					it.ready = tl.ScheduleMulti(devs.Detect, fmt.Sprintf("d%d", it.idx),
+						it.ready, res.Timing.Detect)
+				}
+				it.err = err
+				locks.Unlock(devs.Detect)
+			}
+			c2 <- it
+		}
+	}()
+	// Stage 2: anti-spoofing.
+	go func() {
+		defer close(done)
+		for it := range c2 {
+			if it.err == nil {
+				locks.Lock(devs.Spoof)
+				err := s.SpoofStage(it.frame, it.res, it.candidates)
+				if err == nil {
+					it.ready = tl.ScheduleMulti(devs.Spoof, fmt.Sprintf("s%d", it.idx),
+						it.ready, it.res.Timing.AntiSpoof)
+				}
+				it.err = err
+				locks.Unlock(devs.Spoof)
+			}
+			done <- it
+		}
+	}()
+
+	for i, f := range frames {
+		c1 <- &liveItem{idx: i, frame: f}
+	}
+	close(c1)
+
+	// Stage 3 runs on the collector goroutine (emotion), preserving FIFO.
+	out := &LiveResult{Timeline: tl}
+	for it := range done {
+		if it.err != nil {
+			return nil, it.err
+		}
+		locks.Lock(devs.Emotion)
+		err := s.EmotionStage(it.frame, it.res)
+		if err == nil {
+			it.ready = tl.ScheduleMulti(devs.Emotion, fmt.Sprintf("e%d", it.idx),
+				it.ready, it.res.Timing.Emotion)
+		}
+		locks.Unlock(devs.Emotion)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, it.res)
+		out.SequentialTime += it.res.Timing.Total()
+	}
+	out.Makespan = tl.Now()
+	return out, nil
+}

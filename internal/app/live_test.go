@@ -1,0 +1,92 @@
+package app
+
+import (
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/video"
+)
+
+func TestRunLiveMatchesSequential(t *testing.T) {
+	sc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := video.NewSource(160, 120, 2, 2, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := src.Frames(5)
+
+	// Sequential reference (separate Showcase instance so module state does
+	// not interleave).
+	ref, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*FrameResult
+	for _, f := range frames {
+		r, err := ref.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+
+	live, err := sc.RunLive(frames, Figure5Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Results) != len(want) {
+		t.Fatalf("live produced %d results, want %d", len(live.Results), len(want))
+	}
+	for i, got := range live.Results {
+		w := want[i]
+		if got.Frame != w.Frame || len(got.Faces) != len(w.Faces) || len(got.Objects) != len(w.Objects) {
+			t.Fatalf("frame %d diverged: %d faces vs %d", i, len(got.Faces), len(w.Faces))
+		}
+		for j := range got.Faces {
+			if got.Faces[j].Real != w.Faces[j].Real || got.Faces[j].Emotion != w.Faces[j].Emotion {
+				t.Errorf("frame %d face %d verdict differs: %+v vs %+v",
+					i, j, got.Faces[j], w.Faces[j])
+			}
+		}
+	}
+}
+
+func TestRunLivePipelines(t *testing.T) {
+	sc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := video.NewSource(160, 120, 2, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := sc.RunLive(src.Frames(8), Figure5Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Makespan <= 0 || live.SequentialTime <= 0 {
+		t.Fatal("no simulated time recorded")
+	}
+	if live.Makespan > live.SequentialTime {
+		t.Errorf("pipelined makespan (%s) exceeds sequential total (%s)",
+			live.Makespan, live.SequentialTime)
+	}
+	if live.Speedup() < 1 {
+		t.Errorf("speedup %.3f < 1", live.Speedup())
+	}
+	// Exclusive-resource invariant on the recorded timeline.
+	perDev := map[soc.DeviceKind][]soc.Interval{}
+	for _, e := range live.Timeline.Events() {
+		perDev[e.Device] = append(perDev[e.Device], e)
+	}
+	for dev, evs := range perDev {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].End-1e-15 {
+				t.Fatalf("device %s double-booked: %+v then %+v", dev, evs[i-1], evs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package core is the top-level facade over the stack — the programmatic
+// equivalent of the paper's end-to-end flow: import a model from any
+// supported framework, partition it for NeuroPilot, build an executable
+// library, and run or export it. The cmd/ tools and examples/ programs are
+// thin wrappers over this package.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/frontend/darknet"
+	"repro/internal/frontend/keras"
+	"repro/internal/frontend/onnx"
+	"repro/internal/frontend/tflite"
+	"repro/internal/frontend/torchscript"
+	"repro/internal/relay"
+	"repro/internal/runtime"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// Framework identifies a source model format.
+type Framework string
+
+// Supported frameworks (the paper's front-end breadth: TensorFlow via
+// Keras, PyTorch, TFLite, Darknet, and ONNX covering the MXNet path).
+const (
+	FrameworkKeras   Framework = "keras"
+	FrameworkPyTorch Framework = "pytorch"
+	FrameworkTFLite  Framework = "tflite"
+	FrameworkDarknet Framework = "darknet"
+	FrameworkONNX    Framework = "onnx"
+)
+
+// Import parses a serialized model into relay. The payload layout depends on
+// the framework:
+//
+//	keras:   model JSON + separate weight blob
+//	pytorch: trace JSON + separate state-dict blob
+//	tflite:  single binary model
+//	darknet: .cfg text + separate .weights binary
+//	onnx:    single JSON model (initializers embedded)
+func Import(fw Framework, model []byte, weights []byte) (*relay.Module, error) {
+	switch fw {
+	case FrameworkKeras:
+		ws, err := keras.LoadWeights(bytes.NewReader(weights))
+		if err != nil {
+			return nil, fmt.Errorf("core: keras weights: %w", err)
+		}
+		return keras.FromKeras(model, ws)
+	case FrameworkPyTorch:
+		g, err := torchscript.UnmarshalGraph(model)
+		if err != nil {
+			return nil, err
+		}
+		sd, err := torchscript.LoadStateDict(bytes.NewReader(weights))
+		if err != nil {
+			return nil, fmt.Errorf("core: torch state dict: %w", err)
+		}
+		return torchscript.FromTorch(g, sd)
+	case FrameworkTFLite:
+		return tflite.FromTFLite(model)
+	case FrameworkDarknet:
+		return darknet.FromDarknet(string(model), bytes.NewReader(weights))
+	case FrameworkONNX:
+		return onnx.FromONNX(model)
+	}
+	return nil, fmt.Errorf("core: unknown framework %q", fw)
+}
+
+// DetectFramework sniffs a model payload. Darknet and the two-file formats
+// cannot always be distinguished by content alone; callers with explicit
+// knowledge should pass the framework directly.
+func DetectFramework(model []byte) (Framework, error) {
+	if bytes.HasPrefix(model, []byte("TFLM1\x00")) {
+		return FrameworkTFLite, nil
+	}
+	trimmed := bytes.TrimLeft(model, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(model, &probe); err == nil {
+			if _, ok := probe["class_name"]; ok {
+				return FrameworkKeras, nil
+			}
+			if _, ok := probe["producer"]; ok {
+				return FrameworkPyTorch, nil
+			}
+			if _, ok := probe["graph"]; ok {
+				return FrameworkONNX, nil
+			}
+		}
+	}
+	if bytes.HasPrefix(trimmed, []byte("[net]")) || bytes.HasPrefix(trimmed, []byte("[network]")) {
+		return FrameworkDarknet, nil
+	}
+	return "", fmt.Errorf("core: cannot detect model format")
+}
+
+// Compile builds a relay module into an executable library (the paper's
+// relay.build + partition_for_nir + external codegen flow).
+func Compile(m *relay.Module, opts runtime.BuildOptions) (*runtime.Lib, error) {
+	return runtime.Build(m, opts)
+}
+
+// Export writes the compiled library as a deployable artifact (Listing 6's
+// lib.export_library).
+func Export(lib *runtime.Lib, w io.Writer) error { return lib.ExportLibrary(w) }
+
+// Load reads an artifact back on the "device side".
+func Load(r io.Reader, sc *soc.SoC) (*runtime.Lib, error) { return runtime.LoadLibrary(r, sc) }
+
+// RunOnce is a convenience: bind the single input, run, and return outputs
+// plus the simulated cost profile.
+func RunOnce(lib *runtime.Lib, input *tensor.Tensor) ([]*tensor.Tensor, *soc.Profile, error) {
+	gm := runtime.NewGraphModule(lib)
+	names := gm.InputNames()
+	if len(names) != 1 {
+		return nil, nil, fmt.Errorf("core: RunOnce requires a single-input model, have %d inputs", len(names))
+	}
+	gm.SetInput(names[0], input)
+	if err := gm.Run(); err != nil {
+		return nil, nil, err
+	}
+	outs := make([]*tensor.Tensor, gm.NumOutputs())
+	for i := range outs {
+		outs[i] = gm.GetOutput(i)
+	}
+	return outs, gm.LastProfile(), nil
+}

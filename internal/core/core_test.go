@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/frontend/darknet"
+	"repro/internal/frontend/keras"
+	"repro/internal/frontend/onnx"
+	"repro/internal/frontend/tflite"
+	"repro/internal/frontend/torchscript"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+func darknetSynth(cfg string, w io.Writer) error {
+	return darknet.SynthesizeWeights(cfg, 7, w)
+}
+
+func onnxMarshal(mp *onnx.ModelProto) ([]byte, error) { return onnx.Marshal(mp) }
+
+func onnxModel(t *testing.T) *onnx.ModelProto {
+	t.Helper()
+	wt := tensor.New(tensor.Float32, tensor.Shape{4, 3, 3, 3})
+	wt.FillUniform(tensor.NewRNG(1), -0.3, 0.3)
+	ip, err := onnx.EncodeInitializer("w", wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &onnx.ModelProto{
+		IRVersion: 7,
+		Graph: onnx.GraphProto{
+			Input: []onnx.ValueInfoProto{
+				{Name: "data", Shape: []int{1, 3, 8, 8}, DType: "float32"},
+				{Name: "w"},
+			},
+			Node: []onnx.NodeProto{
+				{OpType: "Conv", Input: []string{"data", "w"}, Output: []string{"c"},
+					Attribute: map[string]interface{}{"pads": []interface{}{1.0, 1.0, 1.0, 1.0}}},
+				{OpType: "Relu", Input: []string{"c"}, Output: []string{"y"}},
+			},
+			Output:      []string{"y"},
+			Initializer: []onnx.InitializerProto{ip},
+		},
+	}
+}
+
+func kerasArtifacts(t *testing.T) ([]byte, []byte) {
+	t.Helper()
+	s := keras.NewSequential("m", 1).
+		Input(16, 16, 3).
+		Conv2D(8, 3, 1, "same", "relu").
+		GlobalAveragePooling2D().
+		Dense(4, "softmax")
+	js, err := s.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := s.Weights()
+	var buf bytes.Buffer
+	if err := ws.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return js, buf.Bytes()
+}
+
+func TestImportKerasAndRun(t *testing.T) {
+	js, ws := kerasArtifacts(t)
+	m, err := Import(FrameworkKeras, js, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Compile(m, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.Float32, tensor.Shape{1, 16, 16, 3})
+	in.FillUniform(tensor.NewRNG(1), 0, 1)
+	outs, prof, err := RunOnce(lib, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || !outs[0].Shape.Equal(tensor.Shape{1, 4}) {
+		t.Fatalf("outputs %v", outs)
+	}
+	if prof.Total() <= 0 {
+		t.Error("no cost")
+	}
+}
+
+func TestDetectFramework(t *testing.T) {
+	js, _ := kerasArtifacts(t)
+	if fw, err := DetectFramework(js); err != nil || fw != FrameworkKeras {
+		t.Errorf("keras detection: %v %v", fw, err)
+	}
+	b := tflite.NewBuilder(1)
+	in := b.Input("x", []int{1, 8, 8, 3}, nil)
+	b.Output(b.Conv2D(in, 4, 3, 1, tflite.PaddingSame, tflite.ActNone))
+	blob, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw, err := DetectFramework(blob); err != nil || fw != FrameworkTFLite {
+		t.Errorf("tflite detection: %v %v", fw, err)
+	}
+	tr := torchscript.NewTracer(1)
+	x := tr.Input(1, 3, 8, 8)
+	tr.Output(tr.ReLU(x))
+	g, _, _ := tr.Trace()
+	tj, _ := torchscript.MarshalGraph(g)
+	if fw, err := DetectFramework(tj); err != nil || fw != FrameworkPyTorch {
+		t.Errorf("torch detection: %v %v", fw, err)
+	}
+	if fw, err := DetectFramework([]byte("[net]\nwidth=8\n")); err != nil || fw != FrameworkDarknet {
+		t.Errorf("darknet detection: %v %v", fw, err)
+	}
+	if _, err := DetectFramework([]byte("\x00\x01garbage")); err == nil {
+		t.Error("garbage detected as something")
+	}
+}
+
+func TestExportLoadThroughFacade(t *testing.T) {
+	js, ws := kerasArtifacts(t)
+	m, err := Import(FrameworkKeras, js, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Compile(m, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Export(lib, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.Float32, tensor.Shape{1, 16, 16, 3})
+	in.FillUniform(tensor.NewRNG(2), 0, 1)
+	a, _, err := RunOnce(lib, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunOnce(loaded, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(a[0], b[0], 1e-6, 1e-6) {
+		t.Error("export/load changed outputs")
+	}
+}
+
+func TestImportUnknownFramework(t *testing.T) {
+	if _, err := Import("caffe", nil, nil); err == nil {
+		t.Error("unknown framework accepted")
+	}
+}
+
+func TestImportAllFrameworks(t *testing.T) {
+	// PyTorch.
+	tr := torchscript.NewTracer(3)
+	x := tr.Input(1, 3, 8, 8)
+	tr.Output(tr.ReLU(tr.Conv2D(x, 4, 3, 1, 1, 1)))
+	g, sd, err := tr.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := torchscript.MarshalGraph(g)
+	var sdBuf bytes.Buffer
+	if err := sd.Save(&sdBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(FrameworkPyTorch, gj, sdBuf.Bytes()); err != nil {
+		t.Errorf("pytorch import: %v", err)
+	}
+
+	// TFLite.
+	b := tflite.NewBuilder(2)
+	in := b.Input("x", []int{1, 8, 8, 3}, nil)
+	b.Output(b.Conv2D(in, 4, 3, 1, tflite.PaddingSame, tflite.ActRelu))
+	blob, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(FrameworkTFLite, blob, nil); err != nil {
+		t.Errorf("tflite import: %v", err)
+	}
+
+	// Darknet.
+	cfg := "[net]\nwidth=16\nheight=16\nchannels=3\n\n[convolutional]\nfilters=4\nsize=3\nstride=1\npad=1\nactivation=leaky\n"
+	var wbuf bytes.Buffer
+	if err := darknetSynth(cfg, &wbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(FrameworkDarknet, []byte(cfg), wbuf.Bytes()); err != nil {
+		t.Errorf("darknet import: %v", err)
+	}
+
+	// ONNX.
+	mp := onnxModel(t)
+	oj, _ := onnxMarshal(mp)
+	if _, err := Import(FrameworkONNX, oj, nil); err != nil {
+		t.Errorf("onnx import: %v", err)
+	}
+}

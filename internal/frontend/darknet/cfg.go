@@ -1,0 +1,99 @@
+// Package darknet implements the Darknet frontend used for YOLOv3 (paper
+// §4.2, Listing 3): it parses the real .cfg INI-like network description and
+// the .weights binary layout (header + per-layer BN statistics + OIHW
+// weights), and lowers the network to relay in NHWC form.
+package darknet
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Section is one [name] block of a .cfg file.
+type Section struct {
+	Name    string
+	Options map[string]string
+}
+
+// Int reads an integer option with a default.
+func (s *Section) Int(key string, def int) int {
+	v, ok := s.Options[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Str reads a string option with a default.
+func (s *Section) Str(key, def string) string {
+	if v, ok := s.Options[key]; ok {
+		return strings.TrimSpace(v)
+	}
+	return def
+}
+
+// IntList reads a comma-separated integer list option.
+func (s *Section) IntList(key string) ([]int, error) {
+	v, ok := s.Options[key]
+	if !ok {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("darknet: bad int %q in option %s", p, key)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseCfg parses a darknet .cfg file into sections.
+func ParseCfg(text string) ([]*Section, error) {
+	var sections []*Section
+	var cur *Section
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("darknet: line %d: malformed section header %q", lineNo, line)
+			}
+			cur = &Section{Name: strings.Trim(line, "[]"), Options: map[string]string{}}
+			sections = append(sections, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("darknet: line %d: option outside any section", lineNo)
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("darknet: line %d: expected key=value, got %q", lineNo, line)
+		}
+		cur.Options[strings.TrimSpace(line[:eq])] = strings.TrimSpace(line[eq+1:])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sections) == 0 || sections[0].Name != "net" && sections[0].Name != "network" {
+		return nil, fmt.Errorf("darknet: cfg must start with a [net] section")
+	}
+	return sections, nil
+}

@@ -1,0 +1,236 @@
+package darknet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/relay"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// tinyYoloCfg is a miniature two-head YOLOv3-tiny-style network: conv/leaky
+// stacks, maxpool downsampling, a route+upsample second branch and two yolo
+// detection heads.
+const tinyYoloCfg = `
+[net]
+# Testing network
+width=32
+height=32
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=16
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=32
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[convolutional]
+filters=21
+size=1
+stride=1
+pad=1
+activation=linear
+
+[yolo]
+mask=0,1,2
+anchors=10,14, 23,27, 37,58, 81,82, 135,169, 344,319
+classes=2
+num=6
+
+[route]
+layers=-3
+
+[upsample]
+stride=2
+
+[convolutional]
+filters=21
+size=1
+stride=1
+pad=1
+activation=linear
+
+[yolo]
+mask=3,4,5
+anchors=10,14, 23,27, 37,58, 81,82, 135,169, 344,319
+classes=2
+num=6
+`
+
+func buildWeights(t *testing.T, cfg string) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SynthesizeWeights(cfg, 9, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestParseCfg(t *testing.T) {
+	sections, err := ParseCfg(tinyYoloCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sections[0].Name != "net" {
+		t.Errorf("first section %q", sections[0].Name)
+	}
+	nConv := 0
+	for _, s := range sections {
+		if s.Name == "convolutional" {
+			nConv++
+		}
+	}
+	if nConv != 5 {
+		t.Errorf("conv section count %d", nConv)
+	}
+	if sections[1].Int("filters", 0) != 8 || sections[1].Str("activation", "") != "leaky" {
+		t.Error("section options misparsed")
+	}
+}
+
+func TestParseCfgErrors(t *testing.T) {
+	if _, err := ParseCfg("filters=3\n"); err == nil {
+		t.Error("option outside section accepted")
+	}
+	if _, err := ParseCfg("[convolutional]\nfilters=3\n"); err == nil {
+		t.Error("cfg without [net] accepted")
+	}
+	if _, err := ParseCfg("[net]\nbroken line without equals\n"); err == nil {
+		t.Error("malformed option accepted")
+	}
+}
+
+func TestWeightsHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ww, err := NewWeightsWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tensor.New(tensor.Float32, tensor.Shape{4})
+	w.FillUniform(tensor.NewRNG(1), -1, 1)
+	if err := ww.WriteFloats(w); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewWeightsReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Minor != 2 {
+		t.Errorf("header minor %d", rd.Minor)
+	}
+	back, err := rd.ReadFloats(tensor.Shape{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(w, back, 0, 0) {
+		t.Error("weights changed in round trip")
+	}
+}
+
+func TestFromDarknetTinyYolo(t *testing.T) {
+	m, err := FromDarknet(tinyYoloCfg, buildWeights(t, tinyYoloCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := m.Main()
+	if n := relay.CountOps(main, "nn.conv2d"); n != 5 {
+		t.Errorf("conv count %d", n)
+	}
+	if n := relay.CountOps(main, "vision.yolo_output"); n != 2 {
+		t.Errorf("yolo head count %d", n)
+	}
+	if n := relay.CountOps(main, "nn.leaky_relu"); n != 3 {
+		t.Errorf("leaky count %d", n)
+	}
+	if n := relay.CountOps(main, "nn.upsampling"); n != 1 {
+		t.Errorf("upsample count %d", n)
+	}
+	// Two detection outputs.
+	if _, ok := main.Body.(*relay.Tuple); !ok {
+		t.Errorf("expected tuple of yolo outputs, got %T", main.Body)
+	}
+	// Input NHWC.
+	it := main.Params[0].TypeAnnotation.(*relay.TensorType)
+	if !it.Shape.Equal(tensor.Shape{1, 32, 32, 3}) {
+		t.Errorf("input shape %s", it.Shape)
+	}
+}
+
+func TestDarknetRunsEndToEnd(t *testing.T) {
+	m, err := FromDarknet(tinyYoloCfg, buildWeights(t, tinyYoloCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	in := tensor.New(tensor.Float32, tensor.Shape{1, 32, 32, 3})
+	in.FillUniform(tensor.NewRNG(3), 0, 1)
+	gm.SetInput(gm.InputNames()[0], in)
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gm.NumOutputs() != 2 {
+		t.Fatalf("outputs %d", gm.NumOutputs())
+	}
+	// First head: 8x8 cells, 3 anchors × (5+2).
+	if !gm.GetOutput(0).Shape.Equal(tensor.Shape{1, 8, 8, 21}) {
+		t.Errorf("head 0 shape %s", gm.GetOutput(0).Shape)
+	}
+	// Second head: upsampled back to 16x16.
+	if !gm.GetOutput(1).Shape.Equal(tensor.Shape{1, 16, 16, 21}) {
+		t.Errorf("head 1 shape %s", gm.GetOutput(1).Shape)
+	}
+	// yolo sigmoided channels are probabilities.
+	out := gm.GetOutput(0)
+	if v := out.GetF(4); v < 0 || v > 1 {
+		t.Errorf("objectness %g out of [0,1]", v)
+	}
+	// leaky_relu and yolo decode stay on the host: regions exist but the
+	// whole model cannot be NeuroPilot-only.
+	if len(lib.Module.ExternalFuncs("nir")) == 0 {
+		t.Error("no NIR regions created for yolo model")
+	}
+	if _, err := runtime.BuildNeuroPilotOnly(m, nil, nil); err == nil {
+		t.Error("yolo model must not compile NeuroPilot-only")
+	}
+}
+
+func TestTruncatedWeightsRejected(t *testing.T) {
+	buf := buildWeights(t, tinyYoloCfg)
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := FromDarknet(tinyYoloCfg, trunc); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated weights: %v", err)
+	}
+}

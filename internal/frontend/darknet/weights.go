@@ -1,0 +1,79 @@
+package darknet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// The .weights binary layout (matching real darknet):
+//
+//	i32 major, i32 minor, i32 revision, i64 seen
+//	for each [convolutional] layer, in network order:
+//	  if batch_normalize: biases[n] scales[n] rolling_mean[n] rolling_var[n]
+//	  else:               biases[n]
+//	  weights[n*c*size*size]  (OIHW, float32 little-endian)
+
+// WeightsReader streams floats out of a .weights payload.
+type WeightsReader struct {
+	r io.Reader
+	// Major/Minor/Revision/Seen are the header fields.
+	Major, Minor, Revision int32
+	Seen                   int64
+}
+
+// NewWeightsReader validates the header.
+func NewWeightsReader(r io.Reader) (*WeightsReader, error) {
+	wr := &WeightsReader{r: r}
+	for _, p := range []interface{}{&wr.Major, &wr.Minor, &wr.Revision, &wr.Seen} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("darknet: reading weights header: %w", err)
+		}
+	}
+	return wr, nil
+}
+
+// ReadFloats reads n float32 values into a fresh tensor of the given shape.
+func (wr *WeightsReader) ReadFloats(shape tensor.Shape) (*tensor.Tensor, error) {
+	t := tensor.New(tensor.Float32, shape)
+	buf := make([]byte, 4*t.Elems())
+	if _, err := io.ReadFull(wr.r, buf); err != nil {
+		return nil, fmt.Errorf("darknet: weights file truncated: %w", err)
+	}
+	dst := t.F32()
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return t, nil
+}
+
+// WeightsWriter emits the .weights layout (the authoring side used by the
+// model zoo to synthesize pretrained files).
+type WeightsWriter struct {
+	w io.Writer
+}
+
+// NewWeightsWriter writes the header.
+func NewWeightsWriter(w io.Writer) (*WeightsWriter, error) {
+	ww := &WeightsWriter{w: w}
+	for _, v := range []interface{}{int32(0), int32(2), int32(5), int64(32013312)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	return ww, nil
+}
+
+// WriteFloats appends a tensor's float payload.
+func (ww *WeightsWriter) WriteFloats(t *tensor.Tensor) error {
+	src := t.F32()
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := ww.w.Write(buf)
+	return err
+}

@@ -1,0 +1,435 @@
+// Package keras implements the Keras frontend: it parses the JSON
+// architecture produced by Keras' model.to_json() (Sequential models) plus a
+// binary weight blob, and emits a relay module — the relay.frontend.from_keras
+// path the paper's emotion-detection model takes (Listing 4).
+//
+// The weight blob is this stack's equivalent of an HDF5 weight file: a
+// sequence of (name, tensor) records in the shared binary tensor format.
+package keras
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// ModelConfig is the top-level structure of a serialized Keras model.
+type ModelConfig struct {
+	ClassName string `json:"class_name"` // "Sequential"
+	Config    struct {
+		Name   string        `json:"name"`
+		Layers []LayerConfig `json:"layers"`
+	} `json:"config"`
+}
+
+// LayerConfig is one layer entry.
+type LayerConfig struct {
+	ClassName string                 `json:"class_name"`
+	Config    map[string]interface{} `json:"config"`
+}
+
+func (l LayerConfig) name() string {
+	if n, ok := l.Config["name"].(string); ok {
+		return n
+	}
+	return ""
+}
+
+func (l LayerConfig) str(key, def string) string {
+	if v, ok := l.Config[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+func (l LayerConfig) number(key string, def float64) float64 {
+	if v, ok := l.Config[key].(float64); ok {
+		return v
+	}
+	return def
+}
+
+func (l LayerConfig) intPair(key string, def int) (int, int, error) {
+	v, ok := l.Config[key]
+	if !ok {
+		return def, def, nil
+	}
+	switch vv := v.(type) {
+	case float64:
+		return int(vv), int(vv), nil
+	case []interface{}:
+		if len(vv) == 2 {
+			a, ok1 := vv[0].(float64)
+			b, ok2 := vv[1].(float64)
+			if ok1 && ok2 {
+				return int(a), int(b), nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("keras: layer attr %q has bad value %v", key, v)
+}
+
+// WeightStore holds named weight tensors (the HDF5 stand-in).
+type WeightStore map[string]*tensor.Tensor
+
+// SaveWeights writes the store as a binary blob (sorted by name for
+// determinism).
+func (ws WeightStore) SaveWeights(w io.Writer) error {
+	names := make([]string, 0, len(ws))
+	for n := range ws {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	if err := writeU32(w, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := writeString(w, n); err != nil {
+			return err
+		}
+		if err := ws[n].Serialize(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadWeights reads a weight blob.
+func LoadWeights(r io.Reader) (WeightStore, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	ws := WeightStore{}
+	for i := uint32(0); i < n; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		t, err := tensor.ReadFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("keras: weight %q: %w", name, err)
+		}
+		ws[name] = t
+	}
+	return ws, nil
+}
+
+// FromKeras parses a model JSON + weights into a relay module, mirroring
+// relay.frontend.from_keras(model, shape_dict). Keras layers are NHWC
+// natively, so no layout conversion is needed.
+func FromKeras(configJSON []byte, weights WeightStore) (*relay.Module, error) {
+	var cfg ModelConfig
+	if err := json.Unmarshal(configJSON, &cfg); err != nil {
+		return nil, fmt.Errorf("keras: bad model json: %w", err)
+	}
+	if cfg.ClassName != "Sequential" {
+		return nil, fmt.Errorf("keras: only Sequential models are supported, got %q", cfg.ClassName)
+	}
+	b := &builder{weights: weights}
+	return b.build(cfg)
+}
+
+type builder struct {
+	weights WeightStore
+	cur     relay.Expr
+	curType *relay.TensorType
+}
+
+func (b *builder) weight(layer, suffix string, want tensor.Shape) (*relay.Constant, error) {
+	key := layer + "/" + suffix
+	t, ok := b.weights[key]
+	if !ok {
+		return nil, fmt.Errorf("keras: missing weight %q", key)
+	}
+	if want != nil && !t.Shape.Equal(want) {
+		return nil, fmt.Errorf("keras: weight %q has shape %s, want %s", key, t.Shape, want)
+	}
+	return relay.Const(t), nil
+}
+
+func (b *builder) infer() error {
+	ty, err := relay.InferTypes(b.cur)
+	if err != nil {
+		return err
+	}
+	tt, ok := ty.(*relay.TensorType)
+	if !ok {
+		return fmt.Errorf("keras: non-tensor intermediate %s", ty)
+	}
+	b.curType = tt
+	return nil
+}
+
+func (b *builder) applyActivation(act string) error {
+	switch act {
+	case "", "linear":
+		return nil
+	case "relu":
+		b.cur = relay.NewCall(relay.OpReLU, []relay.Expr{b.cur}, nil)
+	case "sigmoid":
+		b.cur = relay.NewCall(relay.OpSigmoid, []relay.Expr{b.cur}, nil)
+	case "tanh":
+		b.cur = relay.NewCall(relay.OpTanh, []relay.Expr{b.cur}, nil)
+	case "softmax":
+		b.cur = relay.NewCall(relay.OpSoftmax, []relay.Expr{b.cur}, nil)
+	default:
+		return fmt.Errorf("keras: unsupported activation %q", act)
+	}
+	return b.infer()
+}
+
+func (b *builder) build(cfg ModelConfig) (*relay.Module, error) {
+	if len(cfg.Config.Layers) == 0 {
+		return nil, fmt.Errorf("keras: model has no layers")
+	}
+	var input *relay.Var
+	for i, layer := range cfg.Config.Layers {
+		// The first layer may carry batch_input_shape.
+		if input == nil {
+			shape, err := layerInputShape(layer)
+			if err != nil {
+				return nil, err
+			}
+			if shape == nil {
+				return nil, fmt.Errorf("keras: first layer %q has no batch_input_shape", layer.ClassName)
+			}
+			input = relay.NewVar("input_1", relay.TType(tensor.Float32, shape...))
+			b.cur = input
+			if err := b.infer(); err != nil {
+				return nil, err
+			}
+		}
+		if err := b.addLayer(layer); err != nil {
+			return nil, fmt.Errorf("keras: layer %d (%s): %w", i, layer.ClassName, err)
+		}
+	}
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{input}, b.cur))
+	if err := relay.InferModule(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func layerInputShape(layer LayerConfig) ([]int, error) {
+	v, ok := layer.Config["batch_input_shape"]
+	if !ok {
+		return nil, nil
+	}
+	arr, ok := v.([]interface{})
+	if !ok {
+		return nil, fmt.Errorf("keras: bad batch_input_shape %v", v)
+	}
+	shape := make([]int, len(arr))
+	for i, d := range arr {
+		switch dv := d.(type) {
+		case nil:
+			shape[i] = 1 // batch dimension: fix to 1
+		case float64:
+			shape[i] = int(dv)
+		default:
+			return nil, fmt.Errorf("keras: bad batch_input_shape entry %v", d)
+		}
+	}
+	return shape, nil
+}
+
+func (b *builder) addLayer(layer LayerConfig) error {
+	switch layer.ClassName {
+	case "InputLayer":
+		return nil
+	case "Conv2D":
+		return b.addConv2D(layer)
+	case "DepthwiseConv2D":
+		return b.addDepthwiseConv2D(layer)
+	case "MaxPooling2D", "AveragePooling2D":
+		return b.addPool(layer)
+	case "GlobalAveragePooling2D":
+		b.cur = relay.NewCall(relay.OpGlobalAvgPool, []relay.Expr{b.cur}, nil)
+		if err := b.infer(); err != nil {
+			return err
+		}
+		// Keras returns (N, C), not (N,1,1,C).
+		b.cur = relay.NewCall(relay.OpBatchFlatten, []relay.Expr{b.cur}, nil)
+		return b.infer()
+	case "Flatten":
+		b.cur = relay.NewCall(relay.OpBatchFlatten, []relay.Expr{b.cur}, nil)
+		return b.infer()
+	case "Dense":
+		return b.addDense(layer)
+	case "Dropout":
+		b.cur = relay.NewCall(relay.OpDropout, []relay.Expr{b.cur},
+			relay.Attrs{"rate": layer.number("rate", 0.5)})
+		return b.infer()
+	case "Activation":
+		return b.applyActivation(layer.str("activation", "linear"))
+	case "BatchNormalization":
+		return b.addBatchNorm(layer)
+	case "ReLU":
+		b.cur = relay.NewCall(relay.OpReLU, []relay.Expr{b.cur}, nil)
+		return b.infer()
+	}
+	return fmt.Errorf("unsupported layer class %q", layer.ClassName)
+}
+
+func (b *builder) addConv2D(layer LayerConfig) error {
+	filters := int(layer.number("filters", 0))
+	kh, kw, err := layer.intPair("kernel_size", 3)
+	if err != nil {
+		return err
+	}
+	sh, sw, err := layer.intPair("strides", 1)
+	if err != nil {
+		return err
+	}
+	inC := b.curType.Shape[3]
+	w, err := b.weight(layer.name(), "kernel", tensor.Shape{filters, kh, kw, inC})
+	if err != nil {
+		return err
+	}
+	pad := []int{0, 0}
+	if layer.str("padding", "valid") == "same" {
+		pad = samePadding(kh, kw)
+	}
+	b.cur = relay.NewCall(relay.OpConv2D, []relay.Expr{b.cur, w},
+		relay.Attrs{"strides": []int{sh, sw}, "padding": pad})
+	if err := b.infer(); err != nil {
+		return err
+	}
+	if useBias(layer) {
+		bias, err := b.weight(layer.name(), "bias", tensor.Shape{filters})
+		if err != nil {
+			return err
+		}
+		b.cur = relay.NewCall(relay.OpBiasAdd, []relay.Expr{b.cur, bias}, nil)
+		if err := b.infer(); err != nil {
+			return err
+		}
+	}
+	return b.applyActivation(layer.str("activation", "linear"))
+}
+
+func (b *builder) addDepthwiseConv2D(layer LayerConfig) error {
+	kh, kw, err := layer.intPair("kernel_size", 3)
+	if err != nil {
+		return err
+	}
+	sh, sw, err := layer.intPair("strides", 1)
+	if err != nil {
+		return err
+	}
+	c := b.curType.Shape[3]
+	w, err := b.weight(layer.name(), "depthwise_kernel", tensor.Shape{c, kh, kw, 1})
+	if err != nil {
+		return err
+	}
+	pad := []int{0, 0}
+	if layer.str("padding", "valid") == "same" {
+		pad = samePadding(kh, kw)
+	}
+	b.cur = relay.NewCall(relay.OpConv2D, []relay.Expr{b.cur, w},
+		relay.Attrs{"strides": []int{sh, sw}, "padding": pad, "groups": c})
+	if err := b.infer(); err != nil {
+		return err
+	}
+	if useBias(layer) {
+		bias, err := b.weight(layer.name(), "bias", tensor.Shape{c})
+		if err != nil {
+			return err
+		}
+		b.cur = relay.NewCall(relay.OpBiasAdd, []relay.Expr{b.cur, bias}, nil)
+		if err := b.infer(); err != nil {
+			return err
+		}
+	}
+	return b.applyActivation(layer.str("activation", "linear"))
+}
+
+func (b *builder) addPool(layer LayerConfig) error {
+	kh, kw, err := layer.intPair("pool_size", 2)
+	if err != nil {
+		return err
+	}
+	sh, sw, err := layer.intPair("strides", kh)
+	if err != nil {
+		return err
+	}
+	op := relay.OpMaxPool2D
+	if layer.ClassName == "AveragePooling2D" {
+		op = relay.OpAvgPool2D
+	}
+	pad := []int{0, 0}
+	if layer.str("padding", "valid") == "same" {
+		pad = samePadding(kh, kw)
+	}
+	b.cur = relay.NewCall(op, []relay.Expr{b.cur},
+		relay.Attrs{"pool_size": []int{kh, kw}, "strides": []int{sh, sw}, "padding": pad})
+	return b.infer()
+}
+
+func (b *builder) addDense(layer LayerConfig) error {
+	units := int(layer.number("units", 0))
+	if len(b.curType.Shape) != 2 {
+		return fmt.Errorf("Dense needs 2-D input, have %s (add Flatten)", b.curType.Shape)
+	}
+	k := b.curType.Shape[1]
+	w, err := b.weight(layer.name(), "kernel", tensor.Shape{units, k})
+	if err != nil {
+		return err
+	}
+	b.cur = relay.NewCall(relay.OpDense, []relay.Expr{b.cur, w}, nil)
+	if err := b.infer(); err != nil {
+		return err
+	}
+	if useBias(layer) {
+		bias, err := b.weight(layer.name(), "bias", tensor.Shape{units})
+		if err != nil {
+			return err
+		}
+		b.cur = relay.NewCall(relay.OpBiasAdd, []relay.Expr{b.cur, bias}, nil)
+		if err := b.infer(); err != nil {
+			return err
+		}
+	}
+	return b.applyActivation(layer.str("activation", "linear"))
+}
+
+func (b *builder) addBatchNorm(layer LayerConfig) error {
+	c := b.curType.Shape[len(b.curType.Shape)-1]
+	gamma, err := b.weight(layer.name(), "gamma", tensor.Shape{c})
+	if err != nil {
+		return err
+	}
+	beta, err := b.weight(layer.name(), "beta", tensor.Shape{c})
+	if err != nil {
+		return err
+	}
+	mean, err := b.weight(layer.name(), "moving_mean", tensor.Shape{c})
+	if err != nil {
+		return err
+	}
+	variance, err := b.weight(layer.name(), "moving_variance", tensor.Shape{c})
+	if err != nil {
+		return err
+	}
+	b.cur = relay.NewCall(relay.OpBatchNorm,
+		[]relay.Expr{b.cur, gamma, beta, mean, variance},
+		relay.Attrs{"epsilon": layer.number("epsilon", 1e-3)})
+	return b.infer()
+}
+
+func useBias(layer LayerConfig) bool {
+	if v, ok := layer.Config["use_bias"].(bool); ok {
+		return v
+	}
+	return true
+}
+
+// samePadding computes Keras "same" padding for stride-1-compatible output
+// (symmetric floor/ceil split: [top, left, bottom, right]).
+func samePadding(kh, kw int) []int {
+	return []int{(kh - 1) / 2, (kw - 1) / 2, kh / 2, kw / 2}
+}

@@ -1,0 +1,419 @@
+// Package onnx implements the ONNX frontend (and, through ONNX export, the
+// MXNet path the paper's abstract lists). The serialized form is a JSON
+// rendition of an ONNX ModelProto — graph nodes with op_type / inputs /
+// outputs / attributes, typed value_info inputs, and initializers embedded
+// as base64 tensors — see DESIGN.md §2 for the protobuf→JSON substitution.
+//
+// ONNX models are NCHW/OIHW; the importer emits an NHWC relay module,
+// permuting convolution weights and remapping channel-indexed attributes,
+// exactly like the TorchScript frontend.
+package onnx
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// ModelProto is the top-level serialized model.
+type ModelProto struct {
+	IRVersion    int        `json:"ir_version"`
+	ProducerName string     `json:"producer_name"`
+	Graph        GraphProto `json:"graph"`
+}
+
+// GraphProto is the graph body.
+type GraphProto struct {
+	Name        string             `json:"name"`
+	Node        []NodeProto        `json:"node"`
+	Input       []ValueInfoProto   `json:"input"`
+	Output      []string           `json:"output"`
+	Initializer []InitializerProto `json:"initializer"`
+}
+
+// NodeProto is one operator node.
+type NodeProto struct {
+	OpType    string                 `json:"op_type"`
+	Input     []string               `json:"input"`
+	Output    []string               `json:"output"`
+	Attribute map[string]interface{} `json:"attribute,omitempty"`
+}
+
+// ValueInfoProto declares a graph input.
+type ValueInfoProto struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+	DType string `json:"elem_type"`
+}
+
+// InitializerProto is an embedded weight tensor (base64 of the shared binary
+// tensor format).
+type InitializerProto struct {
+	Name string `json:"name"`
+	Raw  string `json:"raw_data"`
+}
+
+// Marshal serializes a model.
+func Marshal(m *ModelProto) ([]byte, error) { return json.Marshal(m) }
+
+// EncodeInitializer packs a tensor for embedding.
+func EncodeInitializer(name string, t *tensor.Tensor) (InitializerProto, error) {
+	var buf bytes.Buffer
+	if err := t.Serialize(&buf); err != nil {
+		return InitializerProto{}, err
+	}
+	return InitializerProto{Name: name, Raw: base64.StdEncoding.EncodeToString(buf.Bytes())}, nil
+}
+
+func decodeInitializer(ip InitializerProto) (*tensor.Tensor, error) {
+	raw, err := base64.StdEncoding.DecodeString(ip.Raw)
+	if err != nil {
+		return nil, fmt.Errorf("onnx: initializer %q: %w", ip.Name, err)
+	}
+	return tensor.ReadFrom(bytes.NewReader(raw))
+}
+
+func nodeAttrInt(n NodeProto, key string, def int) int {
+	if v, ok := n.Attribute[key].(float64); ok {
+		return int(v)
+	}
+	return def
+}
+
+func nodeAttrFloat(n NodeProto, key string, def float64) float64 {
+	if v, ok := n.Attribute[key].(float64); ok {
+		return v
+	}
+	return def
+}
+
+func nodeAttrInts(n NodeProto, key string, def []int) []int {
+	v, ok := n.Attribute[key].([]interface{})
+	if !ok {
+		return def
+	}
+	out := make([]int, len(v))
+	for i, x := range v {
+		f, ok := x.(float64)
+		if !ok {
+			return def
+		}
+		out[i] = int(f)
+	}
+	return out
+}
+
+// FromONNX parses and imports a serialized model.
+func FromONNX(data []byte) (*relay.Module, error) {
+	var mp ModelProto
+	if err := json.Unmarshal(data, &mp); err != nil {
+		return nil, fmt.Errorf("onnx: bad model json: %w", err)
+	}
+	return Import(&mp)
+}
+
+// Import lowers a parsed model to relay.
+func Import(mp *ModelProto) (*relay.Module, error) {
+	g := &mp.Graph
+	imp := &importer{values: map[string]relay.Expr{}, params: map[string]*tensor.Tensor{}}
+	for _, ip := range g.Initializer {
+		t, err := decodeInitializer(ip)
+		if err != nil {
+			return nil, err
+		}
+		imp.params[ip.Name] = t
+	}
+	var vars []*relay.Var
+	for _, in := range g.Input {
+		if _, isParam := imp.params[in.Name]; isParam {
+			continue // ONNX lists initializers among inputs too
+		}
+		shape, err := nchwToNHWC(in.Shape)
+		if err != nil {
+			return nil, fmt.Errorf("onnx: input %q: %v", in.Name, err)
+		}
+		v := relay.NewVar(in.Name, relay.TType(tensor.Float32, shape...))
+		imp.values[in.Name] = v
+		vars = append(vars, v)
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("onnx: graph has no runtime inputs")
+	}
+	for i, n := range g.Node {
+		if err := imp.convert(n); err != nil {
+			return nil, fmt.Errorf("onnx: node %d (%s): %w", i, n.OpType, err)
+		}
+	}
+	var body relay.Expr
+	switch len(g.Output) {
+	case 0:
+		return nil, fmt.Errorf("onnx: graph has no outputs")
+	case 1:
+		body = imp.values[g.Output[0]]
+	default:
+		fields := make([]relay.Expr, len(g.Output))
+		for i, o := range g.Output {
+			fields[i] = imp.values[o]
+			if fields[i] == nil {
+				return nil, fmt.Errorf("onnx: unknown output %q", o)
+			}
+		}
+		body = relay.NewTuple(fields)
+	}
+	if body == nil {
+		return nil, fmt.Errorf("onnx: unknown output %q", g.Output[0])
+	}
+	m := relay.NewModule(relay.NewFunc(vars, body))
+	if err := relay.InferModule(m); err != nil {
+		return nil, fmt.Errorf("onnx: imported module ill-typed: %w", err)
+	}
+	return m, nil
+}
+
+func nchwToNHWC(s []int) ([]int, error) {
+	switch len(s) {
+	case 4:
+		return []int{s[0], s[2], s[3], s[1]}, nil
+	case 2:
+		return append([]int(nil), s...), nil
+	}
+	return nil, fmt.Errorf("rank-%d shape %v unsupported", len(s), s)
+}
+
+type importer struct {
+	values map[string]relay.Expr
+	params map[string]*tensor.Tensor
+}
+
+func (imp *importer) value(name string) (relay.Expr, error) {
+	if e, ok := imp.values[name]; ok {
+		return e, nil
+	}
+	if p, ok := imp.params[name]; ok {
+		c := relay.Const(p)
+		imp.values[name] = c
+		return c, nil
+	}
+	return nil, fmt.Errorf("unknown value %q", name)
+}
+
+func (imp *importer) param(name string) (*tensor.Tensor, error) {
+	p, ok := imp.params[name]
+	if !ok {
+		return nil, fmt.Errorf("missing initializer %q", name)
+	}
+	return p, nil
+}
+
+func (imp *importer) set(name string, e relay.Expr) error {
+	if _, err := relay.InferTypes(e); err != nil {
+		return err
+	}
+	imp.values[name] = e
+	return nil
+}
+
+func permuteOIHWtoOHWI(w *tensor.Tensor) *tensor.Tensor {
+	o, i, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	out := tensor.New(tensor.Float32, tensor.Shape{o, kh, kw, i})
+	src, dst := w.F32(), out.F32()
+	for oo := 0; oo < o; oo++ {
+		for ii := 0; ii < i; ii++ {
+			for y := 0; y < kh; y++ {
+				for x := 0; x < kw; x++ {
+					dst[((oo*kh+y)*kw+x)*i+ii] = src[((oo*i+ii)*kh+y)*kw+x]
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (imp *importer) convert(n NodeProto) error {
+	switch n.OpType {
+	case "Conv":
+		return imp.convertConv(n)
+	case "Relu":
+		return imp.unary(n, relay.OpReLU, nil)
+	case "LeakyRelu":
+		return imp.unary(n, relay.OpLeakyReLU, relay.Attrs{"alpha": nodeAttrFloat(n, "alpha", 0.01)})
+	case "Sigmoid":
+		return imp.unary(n, relay.OpSigmoid, nil)
+	case "Tanh":
+		return imp.unary(n, relay.OpTanh, nil)
+	case "Clip":
+		return imp.unary(n, relay.OpClip, relay.Attrs{
+			"a_min": nodeAttrFloat(n, "min", 0), "a_max": nodeAttrFloat(n, "max", 6)})
+	case "Dropout":
+		return imp.unary(n, relay.OpDropout, nil)
+	case "MaxPool", "AveragePool":
+		k := nodeAttrInts(n, "kernel_shape", []int{2, 2})
+		s := nodeAttrInts(n, "strides", k)
+		pads := nodeAttrInts(n, "pads", []int{0, 0, 0, 0})
+		op := relay.OpMaxPool2D
+		if n.OpType == "AveragePool" {
+			op = relay.OpAvgPool2D
+		}
+		return imp.unary(n, op, relay.Attrs{
+			"pool_size": k, "strides": s,
+			"padding": []int{pads[0], pads[1], pads[2], pads[3]},
+		})
+	case "GlobalAveragePool":
+		return imp.unary(n, relay.OpGlobalAvgPool, nil)
+	case "Add":
+		return imp.binary(n, relay.OpAdd)
+	case "Mul":
+		return imp.binary(n, relay.OpMultiply)
+	case "Concat":
+		return imp.convertConcat(n)
+	case "Softmax":
+		return imp.unary(n, relay.OpSoftmax, nil)
+	case "Flatten":
+		return imp.convertFlatten(n)
+	case "Gemm":
+		return imp.convertGemm(n)
+	case "BatchNormalization":
+		return imp.convertBatchNorm(n)
+	case "Upsample":
+		return imp.unary(n, relay.OpUpsampling,
+			relay.Attrs{"scale": nodeAttrInt(n, "scale", 2), "method": "nearest"})
+	}
+	return fmt.Errorf("ONNX operator %q not supported by the importer", n.OpType)
+}
+
+func (imp *importer) unary(n NodeProto, op *relay.Op, attrs relay.Attrs) error {
+	x, err := imp.value(n.Input[0])
+	if err != nil {
+		return err
+	}
+	return imp.set(n.Output[0], relay.NewCall(op, []relay.Expr{x}, attrs))
+}
+
+func (imp *importer) binary(n NodeProto, op *relay.Op) error {
+	a, err := imp.value(n.Input[0])
+	if err != nil {
+		return err
+	}
+	b, err := imp.value(n.Input[1])
+	if err != nil {
+		return err
+	}
+	return imp.set(n.Output[0], relay.NewCall(op, []relay.Expr{a, b}, nil))
+}
+
+func (imp *importer) convertConv(n NodeProto) error {
+	x, err := imp.value(n.Input[0])
+	if err != nil {
+		return err
+	}
+	w, err := imp.param(n.Input[1])
+	if err != nil {
+		return err
+	}
+	strides := nodeAttrInts(n, "strides", []int{1, 1})
+	pads := nodeAttrInts(n, "pads", []int{0, 0, 0, 0})
+	groups := nodeAttrInt(n, "group", 1)
+	conv := relay.NewCall(relay.OpConv2D, []relay.Expr{x, relay.Const(permuteOIHWtoOHWI(w))},
+		relay.Attrs{"strides": strides,
+			"padding": []int{pads[0], pads[1], pads[2], pads[3]}, "groups": groups})
+	out := relay.Expr(conv)
+	if len(n.Input) >= 3 {
+		b, err := imp.param(n.Input[2])
+		if err != nil {
+			return err
+		}
+		out = relay.NewCall(relay.OpBiasAdd, []relay.Expr{conv, relay.Const(b)}, nil)
+	}
+	return imp.set(n.Output[0], out)
+}
+
+func (imp *importer) convertConcat(n NodeProto) error {
+	fields := make([]relay.Expr, len(n.Input))
+	rank := 0
+	for i, in := range n.Input {
+		e, err := imp.value(in)
+		if err != nil {
+			return err
+		}
+		fields[i] = e
+		if tt, ok := e.CheckedType().(*relay.TensorType); ok {
+			rank = len(tt.Shape)
+		}
+	}
+	axis := nodeAttrInt(n, "axis", 1)
+	if rank == 4 {
+		// NCHW channel axis 1 → NHWC axis 3 (spatial axes likewise remapped).
+		switch axis {
+		case 1:
+			axis = 3
+		case 2:
+			axis = 1
+		case 3:
+			axis = 2
+		}
+	}
+	return imp.set(n.Output[0], relay.NewCall(relay.OpConcatenate,
+		[]relay.Expr{relay.NewTuple(fields)}, relay.Attrs{"axis": axis}))
+}
+
+func (imp *importer) convertFlatten(n NodeProto) error {
+	x, err := imp.value(n.Input[0])
+	if err != nil {
+		return err
+	}
+	tt, ok := x.CheckedType().(*relay.TensorType)
+	if !ok {
+		return fmt.Errorf("flatten input is not a tensor")
+	}
+	if len(tt.Shape) == 4 && (tt.Shape[1] != 1 || tt.Shape[2] != 1) {
+		return fmt.Errorf("flatten of non-1x1 spatial tensor %s is layout-ambiguous", tt.Shape)
+	}
+	return imp.set(n.Output[0], relay.NewCall(relay.OpBatchFlatten, []relay.Expr{x}, nil))
+}
+
+func (imp *importer) convertGemm(n NodeProto) error {
+	x, err := imp.value(n.Input[0])
+	if err != nil {
+		return err
+	}
+	w, err := imp.param(n.Input[1])
+	if err != nil {
+		return err
+	}
+	if nodeAttrInt(n, "transB", 1) != 1 {
+		return fmt.Errorf("Gemm with transB=0 unsupported")
+	}
+	out := relay.Expr(relay.NewCall(relay.OpDense, []relay.Expr{x, relay.Const(w)}, nil))
+	if len(n.Input) >= 3 {
+		b, err := imp.param(n.Input[2])
+		if err != nil {
+			return err
+		}
+		out = relay.NewCall(relay.OpBiasAdd, []relay.Expr{out, relay.Const(b)}, nil)
+	}
+	return imp.set(n.Output[0], out)
+}
+
+func (imp *importer) convertBatchNorm(n NodeProto) error {
+	if len(n.Input) != 5 {
+		return fmt.Errorf("BatchNormalization expects 5 inputs")
+	}
+	x, err := imp.value(n.Input[0])
+	if err != nil {
+		return err
+	}
+	args := []relay.Expr{x}
+	for _, pn := range n.Input[1:] {
+		p, err := imp.param(pn)
+		if err != nil {
+			return err
+		}
+		args = append(args, relay.Const(p))
+	}
+	return imp.set(n.Output[0], relay.NewCall(relay.OpBatchNorm, args,
+		relay.Attrs{"epsilon": nodeAttrFloat(n, "epsilon", 1e-5)}))
+}

@@ -1,0 +1,142 @@
+package onnx
+
+import (
+	"testing"
+
+	"repro/internal/relay"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// buildModel assembles a small ONNX classifier by hand: conv/relu ×2,
+// global pool, flatten, gemm, softmax.
+func buildModel(t *testing.T) []byte {
+	t.Helper()
+	rng := tensor.NewRNG(17)
+	newT := func(shape ...int) *tensor.Tensor {
+		x := tensor.New(tensor.Float32, tensor.Shape(shape))
+		x.FillGlorot(rng, shape[len(shape)-1]*9, shape[0])
+		return x
+	}
+	inits := []InitializerProto{}
+	addInit := func(name string, x *tensor.Tensor) {
+		ip, err := EncodeInitializer(name, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inits = append(inits, ip)
+	}
+	addInit("w1", newT(8, 3, 3, 3)) // OIHW
+	addInit("b1", tensor.New(tensor.Float32, tensor.Shape{8}))
+	addInit("w2", newT(16, 8, 3, 3))
+	addInit("b2", tensor.New(tensor.Float32, tensor.Shape{16}))
+	addInit("fc_w", newT(5, 16))
+	addInit("fc_b", tensor.New(tensor.Float32, tensor.Shape{5}))
+
+	mp := &ModelProto{
+		IRVersion:    7,
+		ProducerName: "mxnet-onnx-export",
+		Graph: GraphProto{
+			Name: "classifier",
+			Input: []ValueInfoProto{
+				{Name: "data", Shape: []int{1, 3, 16, 16}, DType: "float32"},
+				{Name: "w1"}, {Name: "b1"}, {Name: "w2"}, {Name: "b2"},
+				{Name: "fc_w"}, {Name: "fc_b"},
+			},
+			Node: []NodeProto{
+				{OpType: "Conv", Input: []string{"data", "w1", "b1"}, Output: []string{"c1"},
+					Attribute: map[string]interface{}{
+						"strides": []interface{}{1.0, 1.0},
+						"pads":    []interface{}{1.0, 1.0, 1.0, 1.0}}},
+				{OpType: "Relu", Input: []string{"c1"}, Output: []string{"r1"}},
+				{OpType: "Conv", Input: []string{"r1", "w2", "b2"}, Output: []string{"c2"},
+					Attribute: map[string]interface{}{
+						"strides": []interface{}{2.0, 2.0},
+						"pads":    []interface{}{1.0, 1.0, 1.0, 1.0}}},
+				{OpType: "Relu", Input: []string{"c2"}, Output: []string{"r2"}},
+				{OpType: "GlobalAveragePool", Input: []string{"r2"}, Output: []string{"g"}},
+				{OpType: "Flatten", Input: []string{"g"}, Output: []string{"f"}},
+				{OpType: "Gemm", Input: []string{"f", "fc_w", "fc_b"}, Output: []string{"fc"}},
+				{OpType: "Softmax", Input: []string{"fc"}, Output: []string{"prob"}},
+			},
+			Output:      []string{"prob"},
+			Initializer: inits,
+		},
+	}
+	blob, err := Marshal(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestFromONNXImportsAndRuns(t *testing.T) {
+	mod, err := FromONNX(buildModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := mod.Main()
+	it := main.Params[0].TypeAnnotation.(*relay.TensorType)
+	if !it.Shape.Equal(tensor.Shape{1, 16, 16, 3}) {
+		t.Errorf("input should be NHWC, got %s", it.Shape)
+	}
+	ret := main.CheckedType().(*relay.FuncType).Ret
+	if !ret.Same(relay.TType(tensor.Float32, 1, 5)) {
+		t.Errorf("output %s", ret)
+	}
+	lib, err := runtime.Build(mod, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	in := tensor.New(tensor.Float32, tensor.Shape{1, 16, 16, 3})
+	in.FillUniform(tensor.NewRNG(2), 0, 1)
+	gm.SetInput("data", in)
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < 5; i++ {
+		sum += gm.GetOutput(0).GetF(i)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("softmax sums to %g", sum)
+	}
+}
+
+func TestFromONNXRejectsUnknownOp(t *testing.T) {
+	mp := &ModelProto{Graph: GraphProto{
+		Input:  []ValueInfoProto{{Name: "x", Shape: []int{1, 3, 8, 8}}},
+		Node:   []NodeProto{{OpType: "Einsum", Input: []string{"x"}, Output: []string{"y"}}},
+		Output: []string{"y"},
+	}}
+	blob, _ := Marshal(mp)
+	if _, err := FromONNX(blob); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestFromONNXBadJSON(t *testing.T) {
+	if _, err := FromONNX([]byte("{oops")); err == nil {
+		t.Error("bad json accepted")
+	}
+}
+
+func TestInitializerRoundTrip(t *testing.T) {
+	x := tensor.New(tensor.Float32, tensor.Shape{2, 3})
+	x.FillUniform(tensor.NewRNG(1), -1, 1)
+	ip, err := EncodeInitializer("w", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeInitializer(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(x, back, 0, 0) {
+		t.Error("initializer changed in round trip")
+	}
+	if _, err := decodeInitializer(InitializerProto{Name: "bad", Raw: "!!!"}); err == nil {
+		t.Error("bad base64 accepted")
+	}
+}

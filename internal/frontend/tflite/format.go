@@ -1,0 +1,422 @@
+// Package tflite implements the TFLite frontend: the paper's quantized
+// MobileNet-SSD object-detection model ships as a .tflite file, and this
+// package parses a binary model format with the same information content —
+// buffer table, tensor table with per-tensor quantization parameters, and an
+// operator list using TFLite's BuiltinOperator codes — then lowers it to
+// relay QNN form (qnn.conv2d → bias_add → qnn.requantize chains), exercising
+// the paper's §3.3 QNN flow.
+//
+// The container encoding is a custom little-endian layout rather than
+// FlatBuffers (see DESIGN.md §2); tensor layouts and operator semantics
+// follow TFLite: activations NHWC, conv weights OHWI, depthwise weights
+// 1HWC, uint8 asymmetric quantization with int32 biases.
+package tflite
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// BuiltinOperator codes (the subset used), numerically equal to TFLite's.
+const (
+	OpAdd             = 0
+	OpAveragePool2D   = 1
+	OpConcatenation   = 2
+	OpConv2D          = 3
+	OpDepthwiseConv2D = 4
+	OpDequantize      = 6
+	OpFullyConnected  = 9
+	OpLogistic        = 14
+	OpMaxPool2D       = 17
+	OpPad             = 34
+	OpMean            = 40
+	OpRelu            = 19
+	OpRelu6           = 21
+	OpReshape         = 22
+	OpSoftmax         = 25
+	OpQuantize        = 114
+	OpResizeNearest   = 97
+)
+
+// Padding schemes.
+const (
+	PaddingSame  = 0
+	PaddingValid = 1
+)
+
+// Fused activations.
+const (
+	ActNone  = 0
+	ActRelu  = 1
+	ActRelu6 = 3
+)
+
+// Tensor is one entry of the model's tensor table.
+type Tensor struct {
+	Name   string
+	DType  tensor.DType
+	Shape  []int
+	Quant  *tensor.QuantParams
+	Buffer int // index into Buffers, -1 for runtime tensors
+}
+
+// Operator applies one builtin op.
+type Operator struct {
+	Opcode  int
+	Inputs  []int
+	Outputs []int
+	// Options holds the builtin options as key → float64 (TFLite's typed
+	// option tables, flattened).
+	Options map[string]float64
+	// IntListOptions holds list-typed options (new_shape, axes, paddings).
+	IntListOptions map[string][]int
+}
+
+func (op Operator) opt(key string, def float64) float64 {
+	if v, ok := op.Options[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (op Operator) optInt(key string, def int) int { return int(op.opt(key, float64(def))) }
+
+// Model is the parsed .tflite stand-in.
+type Model struct {
+	Buffers   []*tensor.Tensor // weight/bias payloads
+	Tensors   []Tensor
+	Operators []Operator
+	Inputs    []int
+	Outputs   []int
+}
+
+var tflMagic = []byte("TFLM1\x00")
+
+// Serialize writes the model in the binary container format.
+func (m *Model) Serialize(w io.Writer) error {
+	if _, err := w.Write(tflMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	wu32 := func(v uint32) error { return binary.Write(w, le, v) }
+	wi32 := func(v int32) error { return binary.Write(w, le, v) }
+	wstr := func(s string) error {
+		if err := wu32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	if err := wu32(uint32(len(m.Buffers))); err != nil {
+		return err
+	}
+	for _, b := range m.Buffers {
+		if err := b.Serialize(w); err != nil {
+			return err
+		}
+	}
+	if err := wu32(uint32(len(m.Tensors))); err != nil {
+		return err
+	}
+	for _, t := range m.Tensors {
+		if err := wstr(t.Name); err != nil {
+			return err
+		}
+		flags := byte(0)
+		if t.Quant != nil {
+			flags = 1
+		}
+		if _, err := w.Write([]byte{byte(t.DType), flags}); err != nil {
+			return err
+		}
+		if t.Quant != nil {
+			if err := binary.Write(w, le, t.Quant.Scale); err != nil {
+				return err
+			}
+			if err := wi32(t.Quant.ZeroPoint); err != nil {
+				return err
+			}
+		}
+		if err := wu32(uint32(len(t.Shape))); err != nil {
+			return err
+		}
+		for _, d := range t.Shape {
+			if err := wi32(int32(d)); err != nil {
+				return err
+			}
+		}
+		if err := wi32(int32(t.Buffer)); err != nil {
+			return err
+		}
+	}
+	if err := wu32(uint32(len(m.Operators))); err != nil {
+		return err
+	}
+	for _, op := range m.Operators {
+		if err := wu32(uint32(op.Opcode)); err != nil {
+			return err
+		}
+		if err := writeIntList(w, op.Inputs); err != nil {
+			return err
+		}
+		if err := writeIntList(w, op.Outputs); err != nil {
+			return err
+		}
+		if err := wu32(uint32(len(op.Options))); err != nil {
+			return err
+		}
+		for _, k := range sortedOptionKeys(op.Options) {
+			if err := wstr(k); err != nil {
+				return err
+			}
+			if err := binary.Write(w, le, op.Options[k]); err != nil {
+				return err
+			}
+		}
+		if err := wu32(uint32(len(op.IntListOptions))); err != nil {
+			return err
+		}
+		for _, k := range sortedListKeys(op.IntListOptions) {
+			if err := wstr(k); err != nil {
+				return err
+			}
+			if err := writeIntList(w, op.IntListOptions[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeIntList(w, m.Inputs); err != nil {
+		return err
+	}
+	return writeIntList(w, m.Outputs)
+}
+
+// Parse reads a serialized model.
+func Parse(data []byte) (*Model, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(tflMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("tflite: truncated model: %w", err)
+	}
+	if !bytes.Equal(magic, tflMagic) {
+		return nil, fmt.Errorf("tflite: not a model file (bad magic)")
+	}
+	le := binary.LittleEndian
+	ru32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, le, &v)
+		return v, err
+	}
+	ri32 := func() (int32, error) {
+		var v int32
+		err := binary.Read(r, le, &v)
+		return v, err
+	}
+	rstr := func() (string, error) {
+		n, err := ru32()
+		if err != nil {
+			return "", err
+		}
+		if n > 4096 {
+			return "", fmt.Errorf("tflite: corrupt string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	m := &Model{}
+	nBuf, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	if nBuf > 1<<20 {
+		return nil, fmt.Errorf("tflite: corrupt buffer count %d", nBuf)
+	}
+	for i := uint32(0); i < nBuf; i++ {
+		t, err := tensor.ReadFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("tflite: buffer %d: %w", i, err)
+		}
+		m.Buffers = append(m.Buffers, t)
+	}
+	nT, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	if nT > 1<<20 {
+		return nil, fmt.Errorf("tflite: corrupt tensor count %d", nT)
+	}
+	for i := uint32(0); i < nT; i++ {
+		var t Tensor
+		if t.Name, err = rstr(); err != nil {
+			return nil, err
+		}
+		hdr := make([]byte, 2)
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil, err
+		}
+		t.DType = tensor.DType(hdr[0])
+		if hdr[1] == 1 {
+			var q tensor.QuantParams
+			if err := binary.Read(r, le, &q.Scale); err != nil {
+				return nil, err
+			}
+			zp, err := ri32()
+			if err != nil {
+				return nil, err
+			}
+			q.ZeroPoint = zp
+			t.Quant = &q
+		}
+		rank, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		if rank > 16 {
+			return nil, fmt.Errorf("tflite: corrupt rank %d", rank)
+		}
+		t.Shape = make([]int, rank)
+		for j := range t.Shape {
+			d, err := ri32()
+			if err != nil {
+				return nil, err
+			}
+			t.Shape[j] = int(d)
+		}
+		buf, err := ri32()
+		if err != nil {
+			return nil, err
+		}
+		t.Buffer = int(buf)
+		m.Tensors = append(m.Tensors, t)
+	}
+	nOps, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	if nOps > 1<<20 {
+		return nil, fmt.Errorf("tflite: corrupt op count %d", nOps)
+	}
+	for i := uint32(0); i < nOps; i++ {
+		var op Operator
+		code, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		op.Opcode = int(code)
+		if op.Inputs, err = readIntList(r); err != nil {
+			return nil, err
+		}
+		if op.Outputs, err = readIntList(r); err != nil {
+			return nil, err
+		}
+		nOpt, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		if nOpt > 0 {
+			op.Options = map[string]float64{}
+		}
+		for j := uint32(0); j < nOpt; j++ {
+			k, err := rstr()
+			if err != nil {
+				return nil, err
+			}
+			var v float64
+			if err := binary.Read(r, le, &v); err != nil {
+				return nil, err
+			}
+			op.Options[k] = v
+		}
+		nList, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		if nList > 0 {
+			op.IntListOptions = map[string][]int{}
+		}
+		for j := uint32(0); j < nList; j++ {
+			k, err := rstr()
+			if err != nil {
+				return nil, err
+			}
+			l, err := readIntList(r)
+			if err != nil {
+				return nil, err
+			}
+			op.IntListOptions[k] = l
+		}
+		m.Operators = append(m.Operators, op)
+	}
+	if m.Inputs, err = readIntList(r); err != nil {
+		return nil, err
+	}
+	if m.Outputs, err = readIntList(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func writeIntList(w io.Writer, l []int) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(l))); err != nil {
+		return err
+	}
+	for _, v := range l {
+		if err := binary.Write(w, binary.LittleEndian, int32(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readIntList(r io.Reader) ([]int, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("tflite: corrupt list length %d", n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		var v int32
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func sortedOptionKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	insertionSort(keys)
+	return keys
+}
+
+func sortedListKeys(m map[string][]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	insertionSort(keys)
+	return keys
+}
+
+func insertionSort(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

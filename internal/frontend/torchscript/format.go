@@ -1,0 +1,168 @@
+// Package torchscript implements the PyTorch frontend of the stack: the
+// paper's anti-spoofing model arrives as a TorchScript trace
+// (torch.jit.trace) and is imported with relay.frontend.from_pytorch
+// (Listing 2). The serialized form here is a JSON rendition of the traced
+// graph — aten:: operator nodes over named values — plus a state_dict blob
+// of named parameter tensors.
+//
+// PyTorch is NCHW/OIHW; the importer performs the layout conversion TVM's
+// from_pytorch + ConvertLayout would: activations become NHWC (the imported
+// module's input is NHWC), convolution weights are permuted to OHWI, and
+// channel-indexed attributes (cat dim, softmax dim, mean dims) are remapped.
+package torchscript
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Graph is the serialized traced graph.
+type Graph struct {
+	Producer string      `json:"producer"`
+	Inputs   []ValueInfo `json:"inputs"`
+	Nodes    []Node      `json:"nodes"`
+	Outputs  []string    `json:"outputs"`
+}
+
+// ValueInfo declares a graph input (NCHW shape, as PyTorch reports it).
+type ValueInfo struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+	DType string `json:"dtype"`
+}
+
+// Node is one traced aten:: operator application.
+type Node struct {
+	Op     string                 `json:"op"`
+	Inputs []string               `json:"inputs"`
+	Output string                 `json:"output"`
+	Attrs  map[string]interface{} `json:"attrs,omitempty"`
+}
+
+func (n Node) attrInt(key string, def int) int {
+	v, ok := n.Attrs[key]
+	if !ok {
+		return def
+	}
+	switch vv := v.(type) {
+	case float64:
+		return int(vv)
+	case int:
+		return vv
+	}
+	return def
+}
+
+func (n Node) attrFloat(key string, def float64) float64 {
+	v, ok := n.Attrs[key]
+	if !ok {
+		return def
+	}
+	switch vv := v.(type) {
+	case float64:
+		return vv
+	case int:
+		return float64(vv)
+	}
+	return def
+}
+
+func (n Node) attrInts(key string, def []int) []int {
+	v, ok := n.Attrs[key]
+	if !ok {
+		return def
+	}
+	switch vv := v.(type) {
+	case []interface{}:
+		out := make([]int, len(vv))
+		for i, x := range vv {
+			f, ok := x.(float64)
+			if !ok {
+				return def
+			}
+			out[i] = int(f)
+		}
+		return out
+	case []int:
+		return vv
+	}
+	return def
+}
+
+// StateDict is the named parameter store (torch state_dict stand-in).
+type StateDict map[string]*tensor.Tensor
+
+// Save writes the state dict as a deterministic binary blob.
+func (sd StateDict) Save(w io.Writer) error {
+	names := make([]string, 0, len(sd))
+	for n := range sd {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(n))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, n); err != nil {
+			return err
+		}
+		if err := sd[n].Serialize(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadStateDict reads a state-dict blob.
+func LoadStateDict(r io.Reader) (StateDict, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("torchscript: corrupt state dict (%d entries)", n)
+	}
+	sd := StateDict{}
+	for i := uint32(0); i < n; i++ {
+		var ln uint32
+		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+			return nil, err
+		}
+		if ln > 4096 {
+			return nil, fmt.Errorf("torchscript: corrupt state dict name length %d", ln)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		t, err := tensor.ReadFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("torchscript: param %q: %w", string(buf), err)
+		}
+		sd[string(buf)] = t
+	}
+	return sd, nil
+}
+
+// MarshalGraph serializes the graph JSON.
+func MarshalGraph(g *Graph) ([]byte, error) { return json.Marshal(g) }
+
+// UnmarshalGraph parses the graph JSON.
+func UnmarshalGraph(data []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("torchscript: bad trace json: %w", err)
+	}
+	if g.Producer == "" {
+		g.Producer = "torch.jit.trace"
+	}
+	return &g, nil
+}

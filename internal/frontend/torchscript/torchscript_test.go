@@ -1,0 +1,228 @@
+package torchscript
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/relay"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// traceMiniPixBiS builds a scaled-down DeePixBiS-style network: conv/bn/relu
+// stem, a dense-style concat block, a 1x1 conv to a pixel map with sigmoid,
+// and a mean-pooled binary score — two outputs like the real model.
+func traceMiniPixBiS(t *testing.T) (*Graph, StateDict) {
+	t.Helper()
+	tr := NewTracer(7)
+	x := tr.Input(1, 3, 32, 32)
+	c1 := tr.Conv2D(x, 8, 3, 1, 1, 1)
+	b1 := tr.BatchNorm(c1)
+	r1 := tr.ReLU(b1)
+	// dense-block flavored concat
+	c2 := tr.Conv2D(r1, 8, 3, 1, 1, 1)
+	r2 := tr.ReLU(c2)
+	cat := tr.Cat(1, r1, r2)
+	p := tr.MaxPool2D(cat, 2, 2)
+	// pixel-wise supervision head
+	pix := tr.Conv2D(p, 1, 1, 1, 0, 1)
+	pixmap := tr.Sigmoid(pix)
+	score := tr.MeanSpatial(pixmap)
+	tr.Output(pixmap, score)
+	g, sd, err := tr.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sd
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	g, sd := traceMiniPixBiS(t)
+	blob, err := MarshalGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := UnmarshalGraph(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Nodes) != len(g.Nodes) || len(g2.Outputs) != 2 {
+		t.Fatalf("graph changed: %d nodes, %d outputs", len(g2.Nodes), len(g2.Outputs))
+	}
+	var buf bytes.Buffer
+	if err := sd.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sd2, err := LoadStateDict(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sd2) != len(sd) {
+		t.Fatalf("state dict %d vs %d entries", len(sd2), len(sd))
+	}
+}
+
+func TestFromTorchImports(t *testing.T) {
+	g, sd := traceMiniPixBiS(t)
+	m, err := FromTorch(g, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := m.Main()
+	// Input must be NHWC.
+	it := main.Params[0].TypeAnnotation.(*relay.TensorType)
+	if !it.Shape.Equal(tensor.Shape{1, 32, 32, 3}) {
+		t.Errorf("imported input shape %s, want NHWC (1,32,32,3)", it.Shape)
+	}
+	if n := relay.CountOps(main, "nn.conv2d"); n != 3 {
+		t.Errorf("conv count %d", n)
+	}
+	if n := relay.CountOps(main, "concatenate"); n != 1 {
+		t.Errorf("concat count %d", n)
+	}
+	// Two outputs (pixel map + score).
+	if _, ok := main.Body.(*relay.Tuple); !ok {
+		t.Errorf("expected tuple output, got %T", main.Body)
+	}
+}
+
+// TestImportMatchesPyTorchReference reproduces the paper's §4.1 check: run
+// the original (reference NCHW) model and the TVM-imported model and compare.
+func TestImportMatchesPyTorchReference(t *testing.T) {
+	g, sd := traceMiniPixBiS(t)
+
+	// Reference (PyTorch-side) execution, NCHW.
+	inNCHW := tensor.New(tensor.Float32, tensor.Shape{1, 3, 32, 32})
+	inNCHW.FillUniform(tensor.NewRNG(99), 0, 1)
+	refOut, err := Reference(g, sd, map[string]*tensor.Tensor{g.Inputs[0].Name: inNCHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// TVM-side execution, NHWC.
+	m, err := FromTorch(g, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	gm.SetInput(gm.InputNames()[0], NCHWToNHWC(inNCHW))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gotPix := NHWCToNCHW(gm.GetOutput(0))
+	wantPix := refOut[g.Outputs[0]]
+	if !tensor.AllClose(gotPix, wantPix, 1e-3, 1e-3) {
+		t.Errorf("pixel map differs from PyTorch reference, max %g", tensor.MaxAbsDiff(gotPix, wantPix))
+	}
+	gotScore := gm.GetOutput(1)
+	wantScore := refOut[g.Outputs[1]]
+	if !tensor.AllClose(gotScore, wantScore, 1e-3, 1e-3) {
+		t.Errorf("score differs from PyTorch reference, max %g", tensor.MaxAbsDiff(gotScore, wantScore))
+	}
+}
+
+// And the same equivalence must hold through the BYOC path.
+func TestImportMatchesReferenceThroughBYOC(t *testing.T) {
+	g, sd := traceMiniPixBiS(t)
+	inNCHW := tensor.New(tensor.Float32, tensor.Shape{1, 3, 32, 32})
+	inNCHW.FillUniform(tensor.NewRNG(123), 0, 1)
+	refOut, err := Reference(g, sd, map[string]*tensor.Tensor{g.Inputs[0].Name: inNCHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromTorch(g, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	gm.SetInput(gm.InputNames()[0], NCHWToNHWC(inNCHW))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gotPix := NHWCToNCHW(gm.GetOutput(0))
+	if !tensor.AllClose(gotPix, refOut[g.Outputs[0]], 1e-3, 1e-3) {
+		t.Errorf("BYOC pixel map differs from reference, max %g",
+			tensor.MaxAbsDiff(gotPix, refOut[g.Outputs[0]]))
+	}
+}
+
+func TestLayoutConversions(t *testing.T) {
+	x := tensor.New(tensor.Float32, tensor.Shape{2, 3, 4, 5})
+	x.FillUniform(tensor.NewRNG(5), -1, 1)
+	back := NHWCToNCHW(NCHWToNHWC(x))
+	if !tensor.AllClose(x, back, 0, 0) {
+		t.Error("layout conversion not invertible")
+	}
+}
+
+func TestImportRejectsUnknownOp(t *testing.T) {
+	g := &Graph{
+		Inputs:  []ValueInfo{{Name: "x", Shape: []int{1, 3, 8, 8}, DType: "float32"}},
+		Nodes:   []Node{{Op: "aten::frobnicate", Inputs: []string{"x"}, Output: "y"}},
+		Outputs: []string{"y"},
+	}
+	if _, err := FromTorch(g, StateDict{}); err == nil {
+		t.Error("unknown aten op accepted")
+	}
+}
+
+func TestImportRejectsAmbiguousFlatten(t *testing.T) {
+	tr := NewTracer(1)
+	x := tr.Input(1, 3, 8, 8)
+	f := tr.Flatten(x) // spatial 8x8: layout-ambiguous
+	tr.Output(f)
+	g, sd, err := tr.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTorch(g, sd); err == nil {
+		t.Error("layout-ambiguous flatten accepted")
+	}
+}
+
+func TestLinearAfterGlobalPool(t *testing.T) {
+	tr := NewTracer(2)
+	x := tr.Input(1, 3, 8, 8)
+	c := tr.Conv2D(x, 8, 3, 1, 1, 1)
+	gp := tr.AdaptiveAvgPool2D1x1(c)
+	fl := tr.Flatten(gp)
+	fc := tr.Linear(fl, 5)
+	sm := tr.Softmax(fc, 1)
+	tr.Output(sm)
+	g, sd, err := tr.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromTorch(g, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against reference.
+	inNCHW := tensor.New(tensor.Float32, tensor.Shape{1, 3, 8, 8})
+	inNCHW.FillUniform(tensor.NewRNG(77), -1, 1)
+	refOut, err := Reference(g, sd, map[string]*tensor.Tensor{g.Inputs[0].Name: inNCHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	gm.SetInput(gm.InputNames()[0], NCHWToNHWC(inNCHW))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(gm.GetOutput(0), refOut[g.Outputs[0]], 1e-4, 1e-4) {
+		t.Errorf("linear head differs from reference, max %g",
+			tensor.MaxAbsDiff(gm.GetOutput(0), refOut[g.Outputs[0]]))
+	}
+}

@@ -1,0 +1,362 @@
+package models
+
+import (
+	"repro/internal/frontend/tflite"
+	"repro/internal/frontend/torchscript"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// The Figure 6 / Table 1 classifier sweep. Each architecture follows the
+// published network's block structure at a width multiplier recorded in its
+// Spec (the canonical widths would synthesize hundreds of MB of weights for
+// identical relative-cost behaviour). Input resolutions are canonical:
+// 224² for densenet/mobilenet/nasnet, 299² for the inception family.
+
+// ---------------------------------------------------------------- densenet
+
+// BuildDenseNet builds a DenseNet-121-structured classifier (torchscript,
+// width 0.5: growth 16, stem 32). Fully Neuron-supported, so it has
+// NeuroPilot-only statistics.
+func BuildDenseNet(size Size) (*relay.Module, error) {
+	input, stem, growth := 224, 32, 16
+	blocks := []int{6, 12, 24, 16}
+	if size == SizeLite {
+		input, stem, growth = 64, 16, 8
+		blocks = []int{2, 4, 4, 2}
+	}
+	tr := torchscript.NewTracer(0xD125)
+	x := tr.Input(1, 3, input, input)
+	c := tr.Conv2D(x, stem, 7, 2, 3, 1)
+	c = tr.BatchNorm(c)
+	c = tr.ReLU(c)
+	c = tr.MaxPool2D(c, 2, 2)
+	channels := stem
+	for bi, layers := range blocks {
+		for l := 0; l < layers; l++ {
+			f := tr.BatchNorm(c)
+			f = tr.ReLU(f)
+			f = tr.Conv2D(f, 4*growth, 1, 1, 0, 1) // bottleneck
+			f = tr.BatchNorm(f)
+			f = tr.ReLU(f)
+			f = tr.Conv2D(f, growth, 3, 1, 1, 1)
+			c = tr.Cat(1, c, f)
+			channels += growth
+		}
+		if bi != len(blocks)-1 {
+			c = tr.BatchNorm(c)
+			c = tr.ReLU(c)
+			channels /= 2
+			c = tr.Conv2D(c, channels, 1, 1, 0, 1)
+			c = tr.MaxPool2D(c, 2, 2)
+		}
+	}
+	c = tr.BatchNorm(c)
+	c = tr.ReLU(c)
+	c = tr.AdaptiveAvgPool2D1x1(c)
+	c = tr.Flatten(c)
+	c = tr.Linear(c, 1000)
+	c = tr.Softmax(c, 1)
+	tr.Output(c)
+	return traceToModule(tr)
+}
+
+// ------------------------------------------------------------------ nasnet
+
+// BuildNASNet builds a NASNet-A-flavored classifier (torchscript): stacked
+// normal cells (separable-conv branches + skip, concatenated) with
+// reduction cells between stages. Its head uses a spatial mean, which has no
+// Neuron mapping — one of the Figure 6 models with empty NeuroPilot-only
+// bars.
+func BuildNASNet(size Size) (*relay.Module, error) {
+	input, stem, cells := 224, 22, 4
+	if size == SizeLite {
+		input, stem, cells = 64, 8, 2
+	}
+	tr := torchscript.NewTracer(0x9A59)
+	x := tr.Input(1, 3, input, input)
+	c := tr.Conv2D(x, stem, 3, 2, 1, 1)
+	c = tr.BatchNorm(c)
+
+	sep := func(in string, ch, kernel, stride int) string {
+		shape := tr.Shape(in)
+		dw := tr.Conv2D(in, shape[1], kernel, stride, kernel/2, shape[1]) // depthwise
+		pw := tr.Conv2D(dw, ch, 1, 1, 0, 1)
+		b := tr.BatchNorm(pw)
+		return tr.ReLU(b)
+	}
+	normalCell := func(in string, ch int) string {
+		b1 := sep(in, ch, 3, 1)
+		b2 := sep(in, ch, 5, 1)
+		b3 := tr.Conv2D(in, ch, 1, 1, 0, 1)
+		return tr.Cat(1, b1, b2, b3)
+	}
+	reductionCell := func(in string, ch int) string {
+		b1 := sep(in, ch, 3, 2)
+		b2 := sep(in, ch, 5, 2)
+		b3 := tr.MaxPool2D(in, 2, 2)
+		return tr.Cat(1, b1, b2, b3)
+	}
+	ch := stem
+	for stage := 0; stage < 3; stage++ {
+		for i := 0; i < cells; i++ {
+			c = normalCell(c, ch)
+		}
+		if stage != 2 {
+			ch *= 2
+			c = reductionCell(c, ch)
+		}
+	}
+	c = tr.ReLU(c)
+	c = tr.MeanSpatial(c) // aten::mean → relay mean: outside the Neuron set
+	c = tr.Linear(c, 1000)
+	c = tr.Softmax(c, 1)
+	tr.Output(c)
+	return traceToModule(tr)
+}
+
+func traceToModule(tr *torchscript.Tracer) (*relay.Module, error) {
+	g, sd, err := tr.Trace()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := torchscript.MarshalGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	g2, err := torchscript.UnmarshalGraph(blob)
+	if err != nil {
+		return nil, err
+	}
+	return torchscript.FromTorch(g2, sd)
+}
+
+// ----------------------------------------------------------- mobilenet v1/v2
+
+// buildMobileNetV1 emits the 13-layer depthwise-separable ladder (tflite,
+// width 0.5), float or quantized.
+func buildMobileNetV1(size Size, quant bool) (*relay.Module, error) {
+	input := 224
+	ladder := []struct{ ch, stride int }{
+		{32, 1}, {64, 2}, {64, 1}, {128, 2}, {128, 1}, {256, 2},
+		{256, 1}, {256, 1}, {256, 1}, {256, 1}, {256, 1}, {512, 2}, {512, 1},
+	}
+	if size == SizeLite {
+		input = 96
+		ladder = ladder[:6]
+	}
+	seed := uint64(0x3B11)
+	if quant {
+		seed = 0x3B1C
+	}
+	b := tflite.NewBuilder(seed)
+	var inQ *tensor.QuantParams
+	if quant {
+		inQ = &tensor.QuantParams{Scale: 1.0 / 255, ZeroPoint: 0}
+	}
+	x := b.Input("input", []int{1, input, input, 3}, inQ)
+	x = b.Conv2D(x, 16, 3, 2, tflite.PaddingSame, tflite.ActRelu6)
+	for _, l := range ladder {
+		x = b.DepthwiseConv2D(x, 3, l.stride, tflite.PaddingSame, tflite.ActRelu6)
+		x = b.Conv2D(x, l.ch, 1, 1, tflite.PaddingSame, tflite.ActRelu6)
+	}
+	x = b.MeanSpatial(x)
+	x = b.FullyConnected(x, 1000, tflite.ActNone)
+	x = b.Softmax(x)
+	if quant {
+		x = b.Dequantize(x)
+	}
+	b.Output(x)
+	return builderToModule(b)
+}
+
+// buildMobileNetV2 emits inverted residual bottlenecks (tflite, width 0.5).
+func buildMobileNetV2(size Size, quant bool) (*relay.Module, error) {
+	input := 224
+	// (expansion t, channels c, repeats n, stride s) per the paper's table,
+	// at width 0.5.
+	stages := []struct{ t, c, n, s int }{
+		{1, 8, 1, 1}, {6, 12, 2, 2}, {6, 16, 3, 2}, {6, 32, 4, 2},
+		{6, 48, 3, 1}, {6, 80, 3, 2}, {6, 160, 1, 1},
+	}
+	if size == SizeLite {
+		input = 96
+		stages = stages[:4]
+	}
+	seed := uint64(0x3B21)
+	if quant {
+		seed = 0x3B2C
+	}
+	b := tflite.NewBuilder(seed)
+	var inQ *tensor.QuantParams
+	if quant {
+		inQ = &tensor.QuantParams{Scale: 1.0 / 255, ZeroPoint: 0}
+	}
+	x := b.Input("input", []int{1, input, input, 3}, inQ)
+	x = b.Conv2D(x, 16, 3, 2, tflite.PaddingSame, tflite.ActRelu6)
+	inC := 16
+	for _, st := range stages {
+		for i := 0; i < st.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = st.s
+			}
+			in := x
+			h := x
+			if st.t != 1 {
+				h = b.Conv2D(h, inC*st.t, 1, 1, tflite.PaddingSame, tflite.ActRelu6)
+			}
+			h = b.DepthwiseConv2D(h, 3, stride, tflite.PaddingSame, tflite.ActRelu6)
+			h = b.Conv2D(h, st.c, 1, 1, tflite.PaddingSame, tflite.ActNone) // linear bottleneck
+			if stride == 1 && inC == st.c {
+				h = b.Add(in, h)
+			}
+			x = h
+			inC = st.c
+		}
+	}
+	x = b.Conv2D(x, 320, 1, 1, tflite.PaddingSame, tflite.ActRelu6)
+	x = b.MeanSpatial(x)
+	x = b.FullyConnected(x, 1000, tflite.ActNone)
+	x = b.Softmax(x)
+	if quant {
+		x = b.Dequantize(x)
+	}
+	b.Output(x)
+	return builderToModule(b)
+}
+
+func builderToModule(b *tflite.Builder) (*relay.Module, error) {
+	blob, err := b.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return tflite.FromTFLite(blob)
+}
+
+// ------------------------------------------------------------ inception v3/v4
+
+// inceptionStem: conv/2, conv, conv SAME, pool/2, conv, conv/2.
+func inceptionStem(b *tflite.Builder, x int, w int) int {
+	x = b.Conv2D(x, w, 3, 2, tflite.PaddingValid, tflite.ActRelu)
+	x = b.Conv2D(x, w, 3, 1, tflite.PaddingValid, tflite.ActRelu)
+	x = b.Conv2D(x, 2*w, 3, 1, tflite.PaddingSame, tflite.ActRelu)
+	x = b.Pool(tflite.OpMaxPool2D, x, 3, 2)
+	x = b.Conv2D(x, 2*w, 1, 1, tflite.PaddingSame, tflite.ActRelu)
+	x = b.Conv2D(x, 4*w, 3, 2, tflite.PaddingValid, tflite.ActRelu)
+	return x
+}
+
+// inceptionA: the classic 4-branch mixed block (1x1 | 1x1-3x3 | 1x1-3x3-3x3
+// | avgpool-1x1), channels scaled by w.
+func inceptionA(b *tflite.Builder, x int, w int) int {
+	b1 := b.Conv2D(x, 2*w, 1, 1, tflite.PaddingSame, tflite.ActRelu)
+	b2 := b.Conv2D(x, w, 1, 1, tflite.PaddingSame, tflite.ActRelu)
+	b2 = b.Conv2D(b2, 2*w, 3, 1, tflite.PaddingSame, tflite.ActRelu)
+	b3 := b.Conv2D(x, w, 1, 1, tflite.PaddingSame, tflite.ActRelu)
+	b3 = b.Conv2D(b3, 2*w, 3, 1, tflite.PaddingSame, tflite.ActRelu)
+	b3 = b.Conv2D(b3, 2*w, 3, 1, tflite.PaddingSame, tflite.ActRelu)
+	b4 := b.PoolPadded(tflite.OpAveragePool2D, x, 3, 1, tflite.PaddingSame)
+	b4 = b.Conv2D(b4, w, 1, 1, tflite.PaddingSame, tflite.ActRelu)
+	return b.Concat(3, b1, b2, b3, b4)
+}
+
+// inceptionReduce: stride-2 branch pair + maxpool.
+func inceptionReduce(b *tflite.Builder, x int, w int) int {
+	b1 := b.Conv2D(x, 2*w, 3, 2, tflite.PaddingValid, tflite.ActRelu)
+	b2 := b.Conv2D(x, w, 1, 1, tflite.PaddingSame, tflite.ActRelu)
+	b2 = b.Conv2D(b2, 2*w, 3, 2, tflite.PaddingValid, tflite.ActRelu)
+	b3 := b.Pool(tflite.OpMaxPool2D, x, 3, 2)
+	return b.Concat(3, b1, b2, b3)
+}
+
+// buildInception emits an Inception-v3/v4-structured classifier. v4 differs
+// by deeper stacks of mixed blocks. The factorized 7×7 branches of the
+// original are represented by 3×3 pairs (same reduction structure).
+func buildInception(version int, size Size, quant bool) (*relay.Module, error) {
+	input, w := 299, 16
+	blocksA, blocksB, blocksC := 3, 4, 2
+	if version == 4 {
+		blocksA, blocksB, blocksC = 4, 7, 3
+	}
+	if size == SizeLite {
+		input, w = 96, 8
+		blocksA, blocksB, blocksC = 1, 1, 1
+	}
+	seed := uint64(0x14C0 + uint64(version))
+	if quant {
+		seed += 0xC
+	}
+	b := tflite.NewBuilder(seed)
+	var inQ *tensor.QuantParams
+	if quant {
+		inQ = &tensor.QuantParams{Scale: 1.0 / 255, ZeroPoint: 0}
+	}
+	x := b.Input("input", []int{1, input, input, 3}, inQ)
+	x = inceptionStem(b, x, w)
+	for i := 0; i < blocksA; i++ {
+		x = inceptionA(b, x, w)
+	}
+	x = inceptionReduce(b, x, 2*w)
+	for i := 0; i < blocksB; i++ {
+		x = inceptionA(b, x, 2*w)
+	}
+	x = inceptionReduce(b, x, 4*w)
+	for i := 0; i < blocksC; i++ {
+		x = inceptionA(b, x, 4*w)
+	}
+	x = b.MeanSpatial(x)
+	x = b.FullyConnected(x, 1000, tflite.ActNone)
+	x = b.Softmax(x)
+	if quant {
+		x = b.Dequantize(x)
+	}
+	b.Output(x)
+	return builderToModule(b)
+}
+
+func init() {
+	register(Spec{
+		Name: "densenet", Framework: "PyTorch", DataType: tensor.Float32,
+		WidthMult: 0.5, Build: BuildDenseNet,
+	})
+	register(Spec{
+		Name: "nasnet", Framework: "PyTorch", DataType: tensor.Float32,
+		WidthMult: 0.5, Build: BuildNASNet,
+	})
+	register(Spec{
+		Name: "mobilenet v1", Framework: "TFLite", DataType: tensor.Float32,
+		WidthMult: 0.5,
+		Build:     func(s Size) (*relay.Module, error) { return buildMobileNetV1(s, false) },
+	})
+	register(Spec{
+		Name: "mobilenet v2", Framework: "TFLite", DataType: tensor.Float32,
+		WidthMult: 0.5,
+		Build:     func(s Size) (*relay.Module, error) { return buildMobileNetV2(s, false) },
+	})
+	register(Spec{
+		Name: "mobilenet v1 (quant)", Framework: "TFLite", DataType: tensor.UInt8,
+		WidthMult: 0.5,
+		Build:     func(s Size) (*relay.Module, error) { return buildMobileNetV1(s, true) },
+	})
+	register(Spec{
+		Name: "mobilenet v2 (quant)", Framework: "TFLite", DataType: tensor.UInt8,
+		WidthMult: 0.5,
+		Build:     func(s Size) (*relay.Module, error) { return buildMobileNetV2(s, true) },
+	})
+	register(Spec{
+		Name: "inception v3", Framework: "TFLite", DataType: tensor.Float32,
+		WidthMult: 0.25,
+		Build:     func(s Size) (*relay.Module, error) { return buildInception(3, s, false) },
+	})
+	register(Spec{
+		Name: "inception v4", Framework: "TFLite", DataType: tensor.Float32,
+		WidthMult: 0.25,
+		Build:     func(s Size) (*relay.Module, error) { return buildInception(4, s, false) },
+	})
+	register(Spec{
+		Name: "inception v3 (quant)", Framework: "TFLite", DataType: tensor.UInt8,
+		WidthMult: 0.25,
+		Build:     func(s Size) (*relay.Module, error) { return buildInception(3, s, true) },
+	})
+}

@@ -1,0 +1,72 @@
+package models
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/frontend/keras"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// The emotion-detection model (paper §4.3, Listing 4): a Keras Sequential
+// CNN over 48×48 grayscale faces classifying the seven basic emotions. Every
+// layer of the paper's listing is reproduced; the model is fully inside the
+// Neuron op set (softmax included), so it is the one showcase model that
+// runs NeuroPilot-only — and, per §5.1, is most efficient on the APU alone.
+
+// EmotionLabels are the seven basic emotions, in output order.
+var EmotionLabels = []string{
+	"angry", "disgusted", "fearful", "happy", "neutral", "sad", "surprised",
+}
+
+// BuildEmotion constructs, serializes and reimports the Keras model.
+func BuildEmotion(size Size) (*relay.Module, error) {
+	denseUnits := 1024
+	if size == SizeLite {
+		denseUnits = 256
+	}
+	s := keras.NewSequential("emotion", 0xE307).
+		Input(48, 48, 1).
+		Conv2D(32, 3, 1, "valid", "relu").
+		Conv2D(64, 3, 1, "valid", "relu").
+		MaxPooling2D(2, 2).
+		Dropout(0.25).
+		Conv2D(128, 3, 1, "valid", "relu").
+		MaxPooling2D(2, 2).
+		Conv2D(128, 3, 1, "valid", "relu").
+		MaxPooling2D(2, 2).
+		Dropout(0.25).
+		Flatten().
+		Dense(denseUnits, "relu").
+		Dropout(0.5).
+		Dense(len(EmotionLabels), "softmax")
+	js, err := s.ToJSON()
+	if err != nil {
+		return nil, fmt.Errorf("models: building emotion model: %w", err)
+	}
+	ws, err := s.Weights()
+	if err != nil {
+		return nil, err
+	}
+	// Round-trip the weight blob, as load_weights(weight_path) would.
+	var buf bytes.Buffer
+	if err := ws.SaveWeights(&buf); err != nil {
+		return nil, err
+	}
+	loaded, err := keras.LoadWeights(&buf)
+	if err != nil {
+		return nil, err
+	}
+	return keras.FromKeras(js, loaded)
+}
+
+func init() {
+	register(Spec{
+		Name:      "emotion",
+		Framework: "Keras",
+		DataType:  tensor.Float32,
+		WidthMult: 1.0,
+		Build:     BuildEmotion,
+	})
+}

@@ -1,0 +1,99 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/frontend/tflite"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// The object-detection model (paper §4.2): a quantized MobileNet-SSD from
+// TFLite. The backbone is MobileNet v1's depthwise-separable ladder
+// (uint8, relu6), with SSD box/class heads on two feature-map scales whose
+// outputs are reshaped, concatenated across scales, passed through LOGISTIC
+// (class scores) and dequantized. LOGISTIC exists in the Neuron op set but
+// not on the APU, so NeuroPilot-only APU has no statistics while CPU+APU
+// runs — and the quantized convolutions exercise the §3.3 QNN flow
+// end-to-end.
+
+// SSDAnchors is the per-cell anchor count of the detection heads.
+const SSDAnchors = 3
+
+// SSDClasses is the class count (background + person).
+const SSDClasses = 2
+
+type ssdCfg struct {
+	input    int
+	channels []int // pointwise channel ladder; stride 2 every other block
+}
+
+func ssdConfig(size Size) ssdCfg {
+	if size == SizeLite {
+		return ssdCfg{input: 96, channels: []int{8, 16, 32, 64}}
+	}
+	return ssdCfg{input: 300, channels: []int{16, 32, 64, 128, 256, 512}}
+}
+
+// BuildMobileNetSSDQuant constructs the quantized model, serializes it into
+// the tflite container and reimports it.
+func BuildMobileNetSSDQuant(size Size) (*relay.Module, error) {
+	cfg := ssdConfig(size)
+	b := tflite.NewBuilder(0x55D0)
+	inQ := &tensor.QuantParams{Scale: 1.0 / 255, ZeroPoint: 0}
+	x := b.Input("normalized_input_image_tensor", []int{1, cfg.input, cfg.input, 3}, inQ)
+
+	// Stem.
+	x = b.Conv2D(x, cfg.channels[0], 3, 2, tflite.PaddingSame, tflite.ActRelu6)
+	// Depthwise-separable ladder; stride 2 on every channel increase.
+	var featA int = -1
+	for i := 1; i < len(cfg.channels); i++ {
+		x = b.DepthwiseConv2D(x, 3, 2, tflite.PaddingSame, tflite.ActRelu6)
+		x = b.Conv2D(x, cfg.channels[i], 1, 1, tflite.PaddingSame, tflite.ActRelu6)
+		x = b.DepthwiseConv2D(x, 3, 1, tflite.PaddingSame, tflite.ActRelu6)
+		x = b.Conv2D(x, cfg.channels[i], 1, 1, tflite.PaddingSame, tflite.ActRelu6)
+		if i == len(cfg.channels)-2 {
+			featA = x
+		}
+	}
+	featB := x
+	if featA < 0 {
+		featA = x
+	}
+
+	// SSD heads on both scales.
+	headBox := func(feat int) (int, int) {
+		shape := b.TensorShape(feat)
+		cells := shape[1] * shape[2]
+		box := b.Conv2D(feat, SSDAnchors*4, 1, 1, tflite.PaddingSame, tflite.ActNone)
+		box = b.Reshape(box, []int{1, cells * SSDAnchors, 4})
+		cls := b.Conv2D(feat, SSDAnchors*SSDClasses, 1, 1, tflite.PaddingSame, tflite.ActNone)
+		cls = b.Reshape(cls, []int{1, cells * SSDAnchors, SSDClasses})
+		return box, cls
+	}
+	boxA, clsA := headBox(featA)
+	boxB, clsB := headBox(featB)
+	boxes := b.Concat(1, boxA, boxB)
+	classes := b.Concat(1, clsA, clsB)
+	scores := b.Logistic(classes)
+
+	outBoxes := b.Dequantize(boxes)
+	outScores := b.Dequantize(scores)
+	b.Output(outBoxes, outScores)
+
+	blob, err := b.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("models: building mobilenet-ssd: %w", err)
+	}
+	return tflite.FromTFLite(blob)
+}
+
+func init() {
+	register(Spec{
+		Name:      "mobilenet ssd (quant)",
+		Framework: "TFLite",
+		DataType:  tensor.UInt8,
+		WidthMult: 0.5,
+		Build:     BuildMobileNetSSDQuant,
+	})
+}

@@ -1,0 +1,131 @@
+package models
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/frontend/darknet"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// YOLOv3 (paper §4.2, Listing 3): the Darknet object detector the showcase
+// uses on the server side before switching to the smaller MobileNet-SSD for
+// mobile deployment. The .cfg is generated programmatically with the
+// Darknet-53 residual backbone structure (width-scaled) and three detection
+// heads fed through route/upsample, then synthetic .weights are emitted in
+// the real darknet binary layout and both are parsed by the frontend.
+
+// yoloCfg generates a YOLOv3-style .cfg at the given base width.
+func yoloCfg(input, base int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[net]\nwidth=%d\nheight=%d\nchannels=3\n\n", input, input)
+	conv := func(filters, size, stride int, bn bool, act string) {
+		b.WriteString("[convolutional]\n")
+		if bn {
+			b.WriteString("batch_normalize=1\n")
+		}
+		fmt.Fprintf(&b, "filters=%d\nsize=%d\nstride=%d\npad=1\nactivation=%s\n\n",
+			filters, size, stride, act)
+	}
+	residual := func(filters int, repeats int) {
+		for i := 0; i < repeats; i++ {
+			conv(filters/2, 1, 1, true, "leaky")
+			conv(filters, 3, 1, true, "leaky")
+			b.WriteString("[shortcut]\nfrom=-3\nactivation=linear\n\n")
+		}
+	}
+	// Darknet-53 backbone (width-scaled).
+	conv(base, 3, 1, true, "leaky")
+	conv(base*2, 3, 2, true, "leaky")
+	residual(base*2, 1)
+	conv(base*4, 3, 2, true, "leaky")
+	residual(base*4, 2)
+	conv(base*8, 3, 2, true, "leaky")
+	residual(base*8, 4) // 8 in the full network
+	conv(base*16, 3, 2, true, "leaky")
+	residual(base*16, 4)
+	conv(base*32, 3, 2, true, "leaky")
+	residual(base*32, 2)
+	// Head 1 (stride 32).
+	conv(base*16, 1, 1, true, "leaky")
+	conv(base*32, 3, 1, true, "leaky")
+	conv(3*(5+80), 1, 1, false, "linear")
+	b.WriteString("[yolo]\nmask=6,7,8\nanchors=10,13, 16,30, 33,23, 30,61, 62,45, 59,119, 116,90, 156,198, 373,326\nclasses=80\nnum=9\n\n")
+	// Head 2 (stride 16): route back, upsample, merge.
+	b.WriteString("[route]\nlayers=-4\n\n")
+	conv(base*8, 1, 1, true, "leaky")
+	b.WriteString("[upsample]\nstride=2\n\n")
+	// Merge with the last stride-16 feature map (end of the base*16
+	// residual stage, 15 layers back from this route).
+	b.WriteString("[route]\nlayers=-1,-15\n\n")
+	conv(base*16, 3, 1, true, "leaky")
+	conv(3*(5+80), 1, 1, false, "linear")
+	b.WriteString("[yolo]\nmask=3,4,5\nanchors=10,13, 16,30, 33,23, 30,61, 62,45, 59,119, 116,90, 156,198, 373,326\nclasses=80\nnum=9\n")
+	return b.String()
+}
+
+// yoloTinyCfg generates a YOLOv3-tiny-style .cfg.
+func yoloTinyCfg(input, base int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[net]\nwidth=%d\nheight=%d\nchannels=3\n\n", input, input)
+	conv := func(filters, size, stride int, bn bool, act string) {
+		b.WriteString("[convolutional]\n")
+		if bn {
+			b.WriteString("batch_normalize=1\n")
+		}
+		fmt.Fprintf(&b, "filters=%d\nsize=%d\nstride=%d\npad=1\nactivation=%s\n\n",
+			filters, size, stride, act)
+	}
+	pool := func(size, stride int) {
+		fmt.Fprintf(&b, "[maxpool]\nsize=%d\nstride=%d\n\n", size, stride)
+	}
+	f := base
+	for i := 0; i < 5; i++ {
+		conv(f, 3, 1, true, "leaky")
+		pool(2, 2)
+		f *= 2
+	}
+	conv(f, 3, 1, true, "leaky")
+	conv(f/2, 1, 1, true, "leaky")
+	conv(f, 3, 1, true, "leaky")
+	conv(3*(5+80), 1, 1, false, "linear")
+	b.WriteString("[yolo]\nmask=3,4,5\nanchors=10,14, 23,27, 37,58, 81,82, 135,169, 344,319\nclasses=80\nnum=6\n\n")
+	b.WriteString("[route]\nlayers=-4\n\n")
+	conv(f/4, 1, 1, true, "leaky")
+	b.WriteString("[upsample]\nstride=2\n\n")
+	// Merge with the stride-16 backbone feature (absolute layer 8).
+	b.WriteString("[route]\nlayers=-1,8\n\n")
+	conv(f/2, 3, 1, true, "leaky")
+	conv(3*(5+80), 1, 1, false, "linear")
+	b.WriteString("[yolo]\nmask=0,1,2\nanchors=10,14, 23,27, 37,58, 81,82, 135,169, 344,319\nclasses=80\nnum=6\n")
+	return b.String()
+}
+
+// BuildYOLOv3 generates the cfg + weights pair and imports it through the
+// Darknet frontend. Full = width-scaled Darknet-53 YOLOv3 at 416²; Lite =
+// YOLOv3-tiny structure at 224².
+func BuildYOLOv3(size Size) (*relay.Module, error) {
+	var cfg string
+	if size == SizeLite {
+		cfg = yoloTinyCfg(224, 8)
+	} else {
+		cfg = yoloCfg(416, 8)
+	}
+	var weights bytes.Buffer
+	if err := darknet.SynthesizeWeights(cfg, 0x9010, &weights); err != nil {
+		return nil, fmt.Errorf("models: synthesizing yolo weights: %w", err)
+	}
+	return darknet.FromDarknet(cfg, &weights)
+}
+
+func init() {
+	register(Spec{
+		Name:      "yolov3",
+		Framework: "Darknet",
+		DataType:  tensor.Float32,
+		WidthMult: 0.25,
+		Build:     BuildYOLOv3,
+	})
+}

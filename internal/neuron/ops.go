@@ -1,0 +1,192 @@
+package neuron
+
+import (
+	"repro/internal/soc"
+)
+
+// OpCode enumerates the Neuron IR operations (an NNAPI-style catalogue).
+type OpCode int
+
+const (
+	Conv2D OpCode = iota
+	DepthwiseConv2D
+	FullyConnected
+	MaxPool2D
+	AveragePool2D
+	GlobalAveragePool2D
+	ReLU
+	Clamp // relu1/relu6 and general clip
+	Logistic
+	TanhOp
+	Softmax
+	Add
+	Sub
+	Mul
+	Max
+	Min
+	Concatenation
+	Reshape
+	Transpose
+	Squeeze
+	ExpandDims
+	Pad
+	ResizeNearest
+	Quantize
+	Dequantize
+	Requantize
+	BiasAdd
+	numOpCodes // sentinel
+)
+
+var opCodeNames = [...]string{
+	Conv2D:              "CONV_2D",
+	DepthwiseConv2D:     "DEPTHWISE_CONV_2D",
+	FullyConnected:      "FULLY_CONNECTED",
+	MaxPool2D:           "MAX_POOL_2D",
+	AveragePool2D:       "AVERAGE_POOL_2D",
+	GlobalAveragePool2D: "GLOBAL_AVERAGE_POOL_2D",
+	ReLU:                "RELU",
+	Clamp:               "CLAMP",
+	Logistic:            "LOGISTIC",
+	TanhOp:              "TANH",
+	Softmax:             "SOFTMAX",
+	Add:                 "ADD",
+	Sub:                 "SUB",
+	Mul:                 "MUL",
+	Max:                 "MAXIMUM",
+	Min:                 "MINIMUM",
+	Concatenation:       "CONCATENATION",
+	Reshape:             "RESHAPE",
+	Transpose:           "TRANSPOSE",
+	Squeeze:             "SQUEEZE",
+	ExpandDims:          "EXPAND_DIMS",
+	Pad:                 "PAD",
+	ResizeNearest:       "RESIZE_NEAREST_NEIGHBOR",
+	Quantize:            "QUANTIZE",
+	Dequantize:          "DEQUANTIZE",
+	Requantize:          "REQUANTIZE",
+	BiasAdd:             "BIAS_ADD",
+}
+
+func (c OpCode) String() string {
+	if c >= 0 && int(c) < len(opCodeNames) {
+		return opCodeNames[c]
+	}
+	return "OP_UNKNOWN"
+}
+
+// KnownOpCode reports whether c is a valid opcode.
+func KnownOpCode(c OpCode) bool { return c >= 0 && c < numOpCodes }
+
+// gpuUnsupported lists opcodes the GPU path cannot execute: the Mali GPU
+// delegate has no integer-quantization pipeline, so the quantized ops stay
+// off it (the planner additionally keeps quantized *work* off the GPU).
+var gpuUnsupported = map[OpCode]bool{
+	Quantize:   true,
+	Dequantize: true,
+	Requantize: true,
+}
+
+// apuUnsupported lists opcodes the AI accelerator cannot execute; the
+// Execution Planner must place these on the Neuron CPU backend. The set
+// mirrors the paper's observation that NeuroPilot's accelerator covers fewer
+// operations than its CPU path.
+var apuUnsupported = map[OpCode]bool{
+	Logistic:  true,
+	TanhOp:    true,
+	Transpose: true,
+}
+
+// SupportedOn reports whether the opcode can run on the given device under
+// the NeuroPilot runtime. The Neuron CPU backend implements the whole
+// catalogue; the APU and GPU implement the subsets above. The paper's
+// experiments use CPU and APU only; the GPU path is an extension
+// (NeuroPilot does list the mobile GPU among its backends, §5).
+func SupportedOn(c OpCode, dev soc.DeviceKind) bool {
+	if !KnownOpCode(c) {
+		return false
+	}
+	switch dev {
+	case soc.KindCPU:
+		return true
+	case soc.KindAPU:
+		return !apuUnsupported[c]
+	case soc.KindGPU:
+		return !gpuUnsupported[c]
+	default:
+		return false
+	}
+}
+
+// kernelFor maps an opcode to the reference kernel (relay op name in the
+// shared TOPI inventory) used to compute its numerics. The quantized flag
+// selects the integer path where the kernel differs.
+func kernelFor(c OpCode, quantized bool) string {
+	switch c {
+	case Conv2D, DepthwiseConv2D:
+		if quantized {
+			return "qnn.conv2d"
+		}
+		return "nn.conv2d"
+	case FullyConnected:
+		if quantized {
+			return "qnn.dense"
+		}
+		return "nn.dense"
+	case MaxPool2D:
+		return "nn.max_pool2d"
+	case AveragePool2D:
+		return "nn.avg_pool2d"
+	case GlobalAveragePool2D:
+		return "nn.global_avg_pool2d"
+	case ReLU:
+		return "nn.relu"
+	case Clamp:
+		return "clip"
+	case Logistic:
+		return "sigmoid"
+	case TanhOp:
+		return "tanh"
+	case Softmax:
+		return "nn.softmax"
+	case Add:
+		if quantized {
+			return "qnn.add"
+		}
+		return "add"
+	case Sub:
+		return "subtract"
+	case Mul:
+		return "multiply"
+	case Max:
+		return "maximum"
+	case Min:
+		return "minimum"
+	case Concatenation:
+		if quantized {
+			return "qnn.concatenate"
+		}
+		return "concatenate"
+	case Reshape:
+		return "reshape"
+	case Transpose:
+		return "transpose"
+	case Squeeze:
+		return "squeeze"
+	case ExpandDims:
+		return "expand_dims"
+	case Pad:
+		return "nn.pad"
+	case ResizeNearest:
+		return "nn.upsampling"
+	case Quantize:
+		return "qnn.quantize"
+	case Dequantize:
+		return "qnn.dequantize"
+	case Requantize:
+		return "qnn.requantize"
+	case BiasAdd:
+		return "nn.bias_add"
+	}
+	return ""
+}

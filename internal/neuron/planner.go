@@ -1,0 +1,260 @@
+package neuron
+
+import (
+	"fmt"
+
+	"repro/internal/soc"
+)
+
+// The Execution Planner: NeuroPilot's compiler stage that assigns each
+// operation to a backend device (paper §2.1). The planner greedily places
+// every operation on the enabled device with the lowest estimated cost,
+// charging DMA when a value crosses the CPU↔APU boundary.
+
+// UnsupportedError reports a model that cannot compile for the enabled
+// device set — the situation behind the missing NeuroPilot-only bars in the
+// paper's Figures 4 and 6.
+type UnsupportedError struct {
+	Model   string
+	Op      OpCode
+	Devices []soc.DeviceKind
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("neuron: model %q contains %s, unsupported on enabled devices %v",
+		e.Model, e.Op, e.Devices)
+}
+
+// CompiledModel is the output of the Neuron compiler: the model, the SoC it
+// was compiled for, and the per-operation device plan.
+type CompiledModel struct {
+	Model   *Model
+	SoC     *soc.SoC
+	Devices []soc.DeviceKind
+	// Plan[i] is the device executing Model.Operations[i].
+	Plan []soc.DeviceKind
+	// producerDev[operand] is the device whose memory holds the operand
+	// after it is produced (model inputs and constants live in host memory).
+	producerDev []soc.DeviceKind
+}
+
+// efficiency returns the NeuroPilot engine efficiency on a device.
+func efficiency(dev soc.DeviceKind) float64 {
+	switch dev {
+	case soc.KindAPU:
+		return soc.EffNeuroPilotAPU
+	case soc.KindGPU:
+		return soc.EffNeuroPilotGPU
+	default:
+		return soc.EffNeuroPilotCPU
+	}
+}
+
+// operandBytes returns the in-memory size of an operand.
+func operandBytes(m *Model, idx int) int64 {
+	t := m.Operands[idx].Type
+	return int64(t.Shape.Elems()) * int64(t.DType.Size())
+}
+
+// workOf summarizes one operation for the cost model.
+func workOf(m *Model, op Operation) soc.Work {
+	out := m.Operands[op.Outputs[0]]
+	outElems := int64(out.Type.Shape.Elems())
+	w := soc.Work{OpName: op.Code.String()}
+	w.Bytes = operandBytes(m, op.Outputs[0])
+	for _, in := range op.Inputs {
+		w.Bytes += operandBytes(m, in)
+		if m.Operands[in].Type.DType.IsQuantized() {
+			w.Quantized = true
+		}
+	}
+	switch op.Code {
+	case Conv2D, DepthwiseConv2D:
+		wt := m.Operands[op.Inputs[1]].Type
+		w.MACs = outElems * int64(wt.Shape[1]*wt.Shape[2]*wt.Shape[3])
+	case FullyConnected:
+		wt := m.Operands[op.Inputs[1]].Type
+		w.MACs = outElems * int64(wt.Shape[1])
+	case MaxPool2D, AveragePool2D:
+		kh, kw := op.Attrs.IntPair("pool_size", 1)
+		w.MACs = outElems * int64(kh*kw)
+	case GlobalAveragePool2D:
+		in := m.Operands[op.Inputs[0]].Type
+		w.MACs = int64(in.Shape.Elems())
+	case Softmax, Logistic, TanhOp:
+		w.MACs = outElems * 8
+	default:
+		w.MACs = outElems
+	}
+	return w
+}
+
+// CompileOptions tunes the Neuron compiler.
+type CompileOptions struct {
+	// DisableOperationFusion keeps the converter's unfused op chains
+	// (ablation hook; fusion is on by default, matching NNAPI semantics).
+	DisableOperationFusion bool
+}
+
+// Compile validates the model and runs the Execution Planner for the enabled
+// devices. It fails with *UnsupportedError when some operation has no home.
+func Compile(m *Model, sc *soc.SoC, devices []soc.DeviceKind) (*CompiledModel, error) {
+	return CompileWith(m, sc, devices, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(m *Model, sc *soc.SoC, devices []soc.DeviceKind, opts CompileOptions) (*CompiledModel, error) {
+	if !opts.DisableOperationFusion {
+		FuseOperations(m)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("neuron: no devices enabled for model %q", m.Name)
+	}
+	cm := &CompiledModel{
+		Model:       m,
+		SoC:         sc,
+		Devices:     devices,
+		Plan:        make([]soc.DeviceKind, len(m.Operations)),
+		producerDev: make([]soc.DeviceKind, len(m.Operands)),
+	}
+	// Inputs and constants start in host (CPU) memory.
+	for i := range cm.producerDev {
+		cm.producerDev[i] = soc.KindCPU
+	}
+	for oi, op := range m.Operations {
+		w := fusedWork(m, op)
+		best := soc.DeviceKind(-1)
+		var bestCost soc.Seconds
+		for _, dev := range devices {
+			if !SupportedOn(op.Code, dev) {
+				continue
+			}
+			if dev == soc.KindGPU && w.Quantized {
+				continue // no integer pipeline on the GPU delegate
+			}
+			d := sc.Device(dev)
+			cost := d.OpTime(w, efficiency(dev))
+			// Charge moving any input that currently lives on the other side
+			// of the APU link.
+			for _, in := range op.Inputs {
+				if m.Operands[in].IsConst() {
+					continue // weights are preloaded at compile time
+				}
+				if crossesLink(cm.producerDev[in], dev) {
+					cost += sc.APULink.TransferTime(operandBytes(m, in))
+				}
+			}
+			if best < 0 || cost < bestCost {
+				best, bestCost = dev, cost
+			}
+		}
+		if best < 0 {
+			return nil, &UnsupportedError{Model: m.Name, Op: op.Code, Devices: devices}
+		}
+		cm.Plan[oi] = best
+		for _, out := range op.Outputs {
+			cm.producerDev[out] = best
+		}
+	}
+	return cm, nil
+}
+
+// NewCompiledModel rehydrates a compiled model from a serialized artifact:
+// the plan was computed at export time, so only validation happens here.
+func NewCompiledModel(m *Model, sc *soc.SoC, devices []soc.DeviceKind, plan []soc.DeviceKind) (*CompiledModel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(plan) != len(m.Operations) {
+		return nil, fmt.Errorf("neuron: plan length %d != %d operations", len(plan), len(m.Operations))
+	}
+	for i, dev := range plan {
+		if !SupportedOn(m.Operations[i].Code, dev) {
+			return nil, fmt.Errorf("neuron: plan places %s on %s, which does not support it",
+				m.Operations[i].Code, dev)
+		}
+	}
+	return &CompiledModel{Model: m, SoC: sc, Devices: devices, Plan: plan}, nil
+}
+
+// crossesLink reports whether moving a value from dev a to dev b traverses
+// the CPU↔APU DMA link.
+func crossesLink(a, b soc.DeviceKind) bool {
+	if a == b {
+		return false
+	}
+	return a == soc.KindAPU || b == soc.KindAPU
+}
+
+// PlanCounts returns how many operations landed on each device.
+func (cm *CompiledModel) PlanCounts() map[soc.DeviceKind]int {
+	h := map[soc.DeviceKind]int{}
+	for _, d := range cm.Plan {
+		h[d]++
+	}
+	return h
+}
+
+// Estimate charges the whole compiled model to a profile without executing
+// numerics: per-op roofline time plus boundary DMA. The full-scale Figure 6
+// sweep uses this path; correctness of the numerics is covered separately by
+// the executing tests.
+func (cm *CompiledModel) Estimate(prof *soc.Profile) soc.Seconds {
+	if prof == nil {
+		prof = soc.NewProfile()
+	}
+	producer := make([]soc.DeviceKind, len(cm.Model.Operands))
+	for i := range producer {
+		producer[i] = soc.KindCPU
+	}
+	for oi, op := range cm.Model.Operations {
+		dev := cm.Plan[oi]
+		for _, in := range op.Inputs {
+			if cm.Model.Operands[in].IsConst() {
+				continue
+			}
+			if crossesLink(producer[in], dev) {
+				prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(cm.Model, in)))
+			}
+		}
+		d := cm.SoC.Device(dev)
+		prof.AddOp(dev, d.OpTime(fusedWork(cm.Model, op), efficiency(dev)))
+		for _, out := range op.Outputs {
+			producer[out] = dev
+		}
+	}
+	// Results must return to host memory.
+	for _, out := range cm.Model.Outputs {
+		if crossesLink(producer[out], soc.KindCPU) {
+			prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(cm.Model, out)))
+		}
+	}
+	return prof.Total()
+}
+
+// PlanReport renders the compiled plan as a table: one row per operation
+// with its device and estimated time — the Execution Planner's debug view.
+func (cm *CompiledModel) PlanReport() string {
+	var b []byte
+	appendf := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	appendf("%-4s %-24s %-6s %12s %10s\n", "#", "operation", "device", "MACs", "est")
+	for i, op := range cm.Model.Operations {
+		w := fusedWork(cm.Model, op)
+		dev := cm.Plan[i]
+		t := cm.SoC.Device(dev).OpTime(w, efficiency(dev))
+		name := op.Code.String()
+		if act := op.Attrs.Str(fusedActivationAttr, ""); act != "" {
+			name += "+" + act
+		}
+		if op.Attrs.Bool(fusedRequantAttr, false) {
+			name += "+requant"
+		}
+		appendf("%-4d %-24s %-6s %12d %10s\n", i, name, dev, w.MACs, t)
+	}
+	return string(b)
+}

@@ -1,0 +1,174 @@
+package neuron
+
+import (
+	"fmt"
+
+	"repro/internal/relay"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+// The Neuron runtime: executes a compiled model's plan, computing real
+// numerics through the shared kernel inventory while charging simulated
+// device time and boundary DMA to a profile.
+
+// Execute runs the compiled model on the given inputs (one tensor per
+// Model.Inputs entry, in order) and returns the output tensors. When prof is
+// non-nil, simulated costs are accumulated into it.
+func (cm *CompiledModel) Execute(inputs []*tensor.Tensor, prof *soc.Profile) ([]*tensor.Tensor, error) {
+	m := cm.Model
+	if len(inputs) != len(m.Inputs) {
+		return nil, fmt.Errorf("neuron: model %q expects %d inputs, got %d", m.Name, len(m.Inputs), len(inputs))
+	}
+	values := make([]*tensor.Tensor, len(m.Operands))
+	producer := make([]soc.DeviceKind, len(m.Operands))
+	for i := range producer {
+		producer[i] = soc.KindCPU
+	}
+	for i, od := range m.Operands {
+		if od.IsConst() {
+			values[i] = od.Const
+		}
+	}
+	for i, idx := range m.Inputs {
+		in := inputs[i]
+		want := m.Operands[idx].Type
+		if !in.Shape.Equal(want.Shape) || in.DType != want.DType {
+			return nil, fmt.Errorf("neuron: input %d is %s%s, model wants %s", i, in.DType, in.Shape, want)
+		}
+		values[idx] = in
+	}
+
+	for oi, op := range m.Operations {
+		dev := cm.Plan[oi]
+		args := make([]*tensor.Tensor, len(op.Inputs))
+		for ai, in := range op.Inputs {
+			if values[in] == nil {
+				return nil, fmt.Errorf("neuron: operation %d (%s) input operand %d undefined", oi, op.Code, in)
+			}
+			args[ai] = values[in]
+			if prof != nil && !m.Operands[in].IsConst() && crossesLink(producer[in], dev) {
+				prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(m, in)))
+			}
+		}
+		res, err := runOperation(m, op, args)
+		if err != nil {
+			return nil, fmt.Errorf("neuron: operation %d (%s): %w", oi, op.Code, err)
+		}
+		values[op.Outputs[0]] = res
+		if prof != nil {
+			d := cm.SoC.Device(dev)
+			prof.AddOp(dev, d.OpTime(fusedWork(m, op), efficiency(dev)))
+		}
+		for _, out := range op.Outputs {
+			producer[out] = dev
+		}
+	}
+
+	outs := make([]*tensor.Tensor, len(m.Outputs))
+	for i, idx := range m.Outputs {
+		if values[idx] == nil {
+			return nil, fmt.Errorf("neuron: model output operand %d undefined", idx)
+		}
+		outs[i] = values[idx]
+		if prof != nil && crossesLink(producer[idx], soc.KindCPU) {
+			prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(m, idx)))
+		}
+	}
+	return outs, nil
+}
+
+// runOperation executes one (possibly fused) Neuron operation: the anchor
+// kernel, then the absorbed bias / requantize / activation epilogue, all as
+// a single launch.
+func runOperation(m *Model, op Operation, args []*tensor.Tensor) (*tensor.Tensor, error) {
+	outOperand := m.Operands[op.Outputs[0]]
+	finalTy := operandRelayType(outOperand)
+	quantized := isQuantizedOp(m, op)
+	kernel := kernelFor(op.Code, quantized)
+	if kernel == "" {
+		return nil, fmt.Errorf("neuron: opcode %s has no kernel", op.Code)
+	}
+
+	mainArgs := args
+	var bias *tensor.Tensor
+	if isFusionAnchor(op.Code) && op.Code != Add && len(args) >= 3 {
+		bias = args[2]
+		mainArgs = args[:2]
+	}
+	hasRequant := op.Attrs.Bool(fusedRequantAttr, false)
+	activation := op.Attrs.Str(fusedActivationAttr, "")
+
+	// The anchor kernel's own output type: with a fused requantize, the
+	// anchor produces the int32 accumulator; otherwise the operand's type.
+	mainTy := finalTy
+	if hasRequant {
+		mainTy = &relay.TensorType{Shape: finalTy.Shape, DType: tensor.Int32}
+		if s := op.Attrs.Float("requant_input_scale", 0); s > 0 {
+			mainTy.Quant = &tensor.QuantParams{Scale: s}
+		}
+	}
+	res, err := runKernel(kernel, mainArgs, op.Attrs, mainTy)
+	if err != nil {
+		return nil, err
+	}
+	if bias != nil {
+		if res, err = runKernel("nn.bias_add", []*tensor.Tensor{res, bias}, relay.Attrs{}, mainTy); err != nil {
+			return nil, err
+		}
+	}
+	if hasRequant {
+		attrs := relay.Attrs{}
+		for _, k := range []string{"input_scale", "input_zero_point",
+			"output_scale", "output_zero_point", "out_dtype"} {
+			if v, ok := op.Attrs["requant_"+k]; ok {
+				attrs[k] = v
+			}
+		}
+		if res, err = runKernel("qnn.requantize", []*tensor.Tensor{res}, attrs, finalTy); err != nil {
+			return nil, err
+		}
+	}
+	switch activation {
+	case "":
+	case "relu":
+		if res, err = runKernel("nn.relu", []*tensor.Tensor{res}, relay.Attrs{}, finalTy); err != nil {
+			return nil, err
+		}
+	case "relu6":
+		if res, err = runKernel("clip", []*tensor.Tensor{res},
+			relay.Attrs{"a_min": 0.0, "a_max": 6.0}, finalTy); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("neuron: unknown fused activation %q", activation)
+	}
+	return res, nil
+}
+
+func operandRelayType(od Operand) *relay.TensorType {
+	ty := &relay.TensorType{Shape: od.Type.Shape, DType: od.Type.DType}
+	if od.Type.Quant != nil {
+		q := *od.Type.Quant
+		ty.Quant = &q
+	}
+	return ty
+}
+
+// runKernel dispatches into the shared reference-kernel inventory. In the
+// real stack Neuron ships its own tuned libraries; the simulation reuses the
+// reference numerics and models the performance difference purely through
+// the engine-efficiency factors of the cost model (see DESIGN.md §2).
+func runKernel(name string, args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	return topi.Run(name, args, attrs, out)
+}
+
+// isQuantizedOp decides whether the integer kernel path applies: any
+// quantized data input selects it.
+func isQuantizedOp(m *Model, op Operation) bool {
+	if len(op.Inputs) == 0 {
+		return false
+	}
+	return m.Operands[op.Inputs[0]].Type.DType.IsQuantized()
+}

@@ -1,0 +1,30 @@
+package nir
+
+import (
+	"fmt"
+
+	"repro/internal/neuron"
+	"repro/internal/relay"
+	"repro/internal/soc"
+)
+
+// Codegen converts every Compiler="nir" region of the module into a Neuron
+// model and compiles it with the Execution Planner for the enabled devices.
+// The result maps global symbol → compiled NeuroPilot artifact, which the
+// graph executor dispatches to at runtime.
+func Codegen(m *relay.Module, sc *soc.SoC, devices []soc.DeviceKind) (map[string]*neuron.CompiledModel, error) {
+	out := map[string]*neuron.CompiledModel{}
+	for _, name := range m.ExternalFuncs(CompilerName) {
+		fn, _ := m.Get(name)
+		model, err := ConvertFunction(name, fn)
+		if err != nil {
+			return nil, fmt.Errorf("nir codegen %s: %w", name, err)
+		}
+		cm, err := neuron.Compile(model, sc, devices)
+		if err != nil {
+			return nil, fmt.Errorf("nir codegen %s: %w", name, err)
+		}
+		out[name] = cm
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package nir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/neuron"
+	"repro/internal/passes"
+	"repro/internal/relay"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+func randConst(shape tensor.Shape, seed uint64) *relay.Constant {
+	t := tensor.New(tensor.Float32, shape)
+	t.FillUniform(tensor.NewRNG(seed), -0.5, 0.5)
+	return relay.Const(t)
+}
+
+func typed(t *testing.T, fn *relay.Function) *relay.Function {
+	t.Helper()
+	if _, err := relay.InferTypes(fn); err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func TestSupportedDictionary(t *testing.T) {
+	data := relay.NewVar("d", relay.TType(tensor.Float32, 1, 8, 8, 3))
+	conv := relay.NewCall(relay.OpConv2D, []relay.Expr{data, randConst(tensor.Shape{4, 3, 3, 3}, 1)},
+		relay.Attrs{"padding": []int{1, 1}})
+	typed(t, relay.NewFunc([]*relay.Var{data}, conv))
+	if !Supported(conv) {
+		t.Error("conv2d must be supported")
+	}
+	lk := relay.NewCall(relay.OpLeakyReLU, []relay.Expr{data}, relay.Attrs{"alpha": 0.1})
+	if Supported(lk) {
+		t.Error("leaky_relu must not be supported")
+	}
+	for _, name := range []string{"nn.lrn", "mean", "strided_slice", "exp", "sqrt", "divide", "vision.yolo_output"} {
+		if _, ok := opHandlerDict[name]; ok {
+			t.Errorf("%s should be outside the Neuron dictionary", name)
+		}
+	}
+}
+
+func TestGroupedConvUnsupportedDepthwiseSupported(t *testing.T) {
+	data := relay.NewVar("d", relay.TType(tensor.Float32, 1, 8, 8, 8))
+	dw := relay.NewCall(relay.OpConv2D, []relay.Expr{data, randConst(tensor.Shape{8, 3, 3, 1}, 1)},
+		relay.Attrs{"padding": []int{1, 1}, "groups": 8})
+	typed(t, relay.NewFunc([]*relay.Var{data}, dw))
+	if !Supported(dw) {
+		t.Error("depthwise conv must be supported")
+	}
+	grouped := relay.NewCall(relay.OpConv2D, []relay.Expr{data, randConst(tensor.Shape{8, 3, 3, 2}, 2)},
+		relay.Attrs{"padding": []int{1, 1}, "groups": 4})
+	typed(t, relay.NewFunc([]*relay.Var{data}, grouped))
+	if Supported(grouped) {
+		t.Error("grouped (non-depthwise) conv must not be supported")
+	}
+}
+
+func TestConvertFunctionListing1Shape(t *testing.T) {
+	// conv -> bias_add -> relu region; check the converted Neuron model.
+	data := relay.NewVar("nirp0", relay.TType(tensor.Float32, 1, 8, 8, 3))
+	conv := relay.NewCall(relay.OpConv2D, []relay.Expr{data, randConst(tensor.Shape{4, 3, 3, 3}, 1)},
+		relay.Attrs{"padding": []int{1, 1}})
+	ba := relay.NewCall(relay.OpBiasAdd, []relay.Expr{conv, randConst(tensor.Shape{4}, 2)}, nil)
+	act := relay.NewCall(relay.OpReLU, []relay.Expr{ba}, nil)
+	fn := typed(t, relay.NewFunc([]*relay.Var{data}, act))
+
+	model, err := ConvertFunction("nir_0", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Inputs) != 1 || len(model.Outputs) != 1 {
+		t.Fatalf("model io: %v / %v", model.Inputs, model.Outputs)
+	}
+	counts := model.OpCounts()
+	if counts[neuron.Conv2D] != 1 || counts[neuron.BiasAdd] != 1 || counts[neuron.ReLU] != 1 {
+		t.Errorf("op histogram wrong: %v", counts)
+	}
+	// Two constants (weight, bias) + input + three op outputs = 6 operands.
+	if len(model.Operands) != 6 {
+		t.Errorf("operand table has %d entries, want 6", len(model.Operands))
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertDepthwiseMapsToDepthwiseOpcode(t *testing.T) {
+	data := relay.NewVar("d", relay.TType(tensor.Float32, 1, 8, 8, 8))
+	dw := relay.NewCall(relay.OpConv2D, []relay.Expr{data, randConst(tensor.Shape{8, 3, 3, 1}, 1)},
+		relay.Attrs{"padding": []int{1, 1}, "groups": 8})
+	fn := typed(t, relay.NewFunc([]*relay.Var{data}, dw))
+	model, err := ConvertFunction("m", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.OpCounts()[neuron.DepthwiseConv2D] != 1 {
+		t.Errorf("depthwise not mapped: %v", model.OpCounts())
+	}
+}
+
+func TestConvertTupleConcat(t *testing.T) {
+	a := relay.NewVar("a", relay.TType(tensor.Float32, 1, 4, 4, 2))
+	b := relay.NewVar("b", relay.TType(tensor.Float32, 1, 4, 4, 3))
+	tup := relay.NewTuple([]relay.Expr{a, b})
+	cc := relay.NewCall(relay.OpConcatenate, []relay.Expr{tup}, relay.Attrs{"axis": 3})
+	fn := typed(t, relay.NewFunc([]*relay.Var{a, b}, cc))
+	model, err := ConvertFunction("m", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.OpCounts()[neuron.Concatenation] != 1 {
+		t.Fatal("concat not converted")
+	}
+	op := model.Operations[0]
+	if len(op.Inputs) != 2 {
+		t.Errorf("CONCATENATION should consume 2 operands (tuple flattened), got %d", len(op.Inputs))
+	}
+}
+
+func TestConvertQnnCarriesParamsOnEveryOperand(t *testing.T) {
+	// qnn.conv2d (operator-oriented params) must produce operands that all
+	// carry tensor-oriented params — the §3.3 augmentation.
+	q := tensor.QuantParams{Scale: 0.02, ZeroPoint: 128}
+	wq := tensor.QuantParams{Scale: 0.005, ZeroPoint: 0}
+	data := relay.NewVar("d", relay.QTType(tensor.UInt8, q, 1, 8, 8, 3))
+	w := tensor.New(tensor.Float32, tensor.Shape{4, 3, 3, 3})
+	w.FillUniform(tensor.NewRNG(1), -0.5, 0.5)
+	wc := relay.Const(w.QuantizeTo(tensor.UInt8, wq))
+	conv := relay.NewCall(relay.OpQnnConv2D, []relay.Expr{data, wc}, relay.Attrs{
+		"padding":     []int{1, 1},
+		"input_scale": q.Scale, "input_zero_point": int(q.ZeroPoint),
+		"kernel_scale": wq.Scale, "kernel_zero_point": int(wq.ZeroPoint),
+	})
+	rq := relay.NewCall(relay.OpQnnRequantize, []relay.Expr{conv}, relay.Attrs{
+		"input_scale": q.Scale * wq.Scale, "input_zero_point": 0,
+		"output_scale": 0.05, "output_zero_point": 100, "out_dtype": "uint8",
+	})
+	// Pass through a non-QNN op (max_pool): params must keep flowing.
+	pool := relay.NewCall(relay.OpMaxPool2D, []relay.Expr{rq},
+		relay.Attrs{"pool_size": []int{2, 2}, "strides": []int{2, 2}})
+	fn := typed(t, relay.NewFunc([]*relay.Var{data}, pool))
+	model, err := ConvertFunction("m", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, od := range model.Operands {
+		if od.Type.DType.IsQuantized() && od.Type.Quant == nil {
+			t.Errorf("operand %s (%s) lost its quant params", od.Name, od.Type)
+		}
+	}
+	// The pool output (model output) must carry the requantize's params.
+	outOp := model.Operands[model.Outputs[0]]
+	if outOp.Type.Quant == nil || outOp.Type.Quant.Scale != 0.05 || outOp.Type.Quant.ZeroPoint != 100 {
+		t.Errorf("output operand params %v, want scale=0.05 zp=100 (propagated through max_pool)", outOp.Type.Quant)
+	}
+}
+
+func TestConvertRejectsMissingQuantParams(t *testing.T) {
+	// A hand-built function whose quantized var type lacks params must be
+	// rejected with the tensor-oriented explanation.
+	badType := &relay.TensorType{Shape: tensor.Shape{1, 4}, DType: tensor.UInt8} // no Quant
+	data := relay.NewVar("d", badType)
+	rs := relay.NewCall(relay.OpReshape, []relay.Expr{data}, relay.Attrs{"newshape": []int{4}})
+	fn := typed(t, relay.NewFunc([]*relay.Var{data}, rs))
+	_, err := ConvertFunction("m", fn)
+	if err == nil {
+		t.Fatal("conversion must fail without quant params")
+	}
+	if !strings.Contains(err.Error(), "quantization parameters") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestConvertBatchFlattenBecomesReshape(t *testing.T) {
+	data := relay.NewVar("d", relay.TType(tensor.Float32, 2, 4, 4, 8))
+	fl := relay.NewCall(relay.OpBatchFlatten, []relay.Expr{data}, nil)
+	fn := typed(t, relay.NewFunc([]*relay.Var{data}, fl))
+	model, err := ConvertFunction("m", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.OpCounts()[neuron.Reshape] != 1 {
+		t.Fatal("batch_flatten must lower to RESHAPE")
+	}
+	ns := model.Operations[0].Attrs.Ints("newshape", nil)
+	if len(ns) != 2 || ns[0] != 2 || ns[1] != 128 {
+		t.Errorf("reshape newshape = %v, want [2 128]", ns)
+	}
+}
+
+func TestPartitionForNIREndToEnd(t *testing.T) {
+	data := relay.NewVar("data", relay.TType(tensor.Float32, 1, 8, 8, 3))
+	conv := relay.NewCall(relay.OpConv2D, []relay.Expr{data, randConst(tensor.Shape{4, 3, 3, 3}, 1)},
+		relay.Attrs{"padding": []int{1, 1}})
+	act := relay.NewCall(relay.OpReLU, []relay.Expr{conv}, nil)
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{data}, act))
+	out, err := PartitionForNIR(m, passes.DefaultPartitionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := out.ExternalFuncs(CompilerName)
+	if len(ext) != 1 {
+		t.Fatalf("regions: %v", ext)
+	}
+	mods, err := Codegen(out, soc.NewDimensity800(), []soc.DeviceKind{soc.KindCPU, soc.KindAPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 1 {
+		t.Fatalf("codegen produced %d modules", len(mods))
+	}
+	for name, cm := range mods {
+		if cm.Model.Name != name {
+			t.Errorf("model name %q vs symbol %q", cm.Model.Name, name)
+		}
+	}
+}
+
+func TestConverterEntriesRecordInputsOutputs(t *testing.T) {
+	// White-box Listing 1 check: NodeEntry of a call lists its argument
+	// operands as inputs and its own operand as output.
+	data := relay.NewVar("d", relay.TType(tensor.Float32, 1, 4))
+	act := relay.NewCall(relay.OpReLU, []relay.Expr{data}, nil)
+	fn := typed(t, relay.NewFunc([]*relay.Var{data}, act))
+	cv := &Converter{model: neuron.NewModel("m"), nodeEntryDict: map[relay.Expr]*NodeEntry{}}
+	entry, err := cv.visitVar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Outputs) != 1 || entry.Outputs[0] != entry.Inputs[0] {
+		t.Error("visit_var entry must alias the operand as input and output")
+	}
+	if err := cv.visitCall(act); err != nil {
+		t.Fatal(err)
+	}
+	ce := cv.nodeEntryDict[act]
+	if len(ce.Inputs) != 1 || ce.Inputs[0] != entry.Outputs[0] {
+		t.Error("visit_call must gather argument outputs as inputs")
+	}
+	if len(ce.Outputs) != 1 || ce.Outputs[0] == ce.Inputs[0] {
+		t.Error("visit_call must create a fresh output operand")
+	}
+	_ = fn
+}
+
+func TestConvertQnnAddAndConcat(t *testing.T) {
+	q := tensor.QuantParams{Scale: 0.1, ZeroPoint: 0}
+	q2 := tensor.QuantParams{Scale: 0.2, ZeroPoint: 10}
+	qo := tensor.QuantParams{Scale: 0.05, ZeroPoint: 0}
+	a := relay.NewVar("a", relay.QTType(tensor.UInt8, q, 1, 4, 4, 2))
+	b := relay.NewVar("b", relay.QTType(tensor.UInt8, q2, 1, 4, 4, 2))
+	sum := relay.NewCall(relay.OpQnnAdd, []relay.Expr{a, b}, relay.Attrs{
+		"lhs_scale": q.Scale, "lhs_zero_point": int(q.ZeroPoint),
+		"rhs_scale": q2.Scale, "rhs_zero_point": int(q2.ZeroPoint),
+		"output_scale": qo.Scale, "output_zero_point": int(qo.ZeroPoint),
+	})
+	cc := relay.NewCall(relay.OpQnnConcatenate,
+		[]relay.Expr{relay.NewTuple([]relay.Expr{sum, a})},
+		relay.Attrs{"axis": 3, "output_scale": qo.Scale, "output_zero_point": int(qo.ZeroPoint)})
+	fn := typed(t, relay.NewFunc([]*relay.Var{a, b}, cc))
+	model, err := ConvertFunction("m", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := model.OpCounts()
+	if h[neuron.Add] != 1 || h[neuron.Concatenation] != 1 {
+		t.Errorf("histogram %v", h)
+	}
+	// Output operand must carry the concatenate's params.
+	out := model.Operands[model.Outputs[0]]
+	if out.Type.Quant == nil || out.Type.Quant.Scale != qo.Scale {
+		t.Errorf("output quant %v", out.Type.Quant)
+	}
+}
+
+func TestConvertUpsamplingAndPad(t *testing.T) {
+	x := relay.NewVar("x", relay.TType(tensor.Float32, 1, 4, 4, 2))
+	up := relay.NewCall(relay.OpUpsampling, []relay.Expr{x}, relay.Attrs{"scale": 2})
+	pd := relay.NewCall(relay.OpPad, []relay.Expr{up}, relay.Attrs{"pad_width": []int{1, 1}})
+	fn := typed(t, relay.NewFunc([]*relay.Var{x}, pd))
+	model, err := ConvertFunction("m", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := model.OpCounts()
+	if h[neuron.ResizeNearest] != 1 || h[neuron.Pad] != 1 {
+		t.Errorf("histogram %v", h)
+	}
+	out := model.Operands[model.Outputs[0]]
+	if !out.Type.Shape.Equal(tensor.Shape{1, 10, 10, 2}) {
+		t.Errorf("output shape %s", out.Type.Shape)
+	}
+}
+
+func TestOpcodeOfCoverage(t *testing.T) {
+	// Every dictionary entry must map to a Neuron opcode.
+	for _, name := range SupportedOpNames() {
+		if _, ok := OpcodeOf(name); !ok {
+			t.Errorf("dictionary op %q has no opcode mapping", name)
+		}
+	}
+	if _, ok := OpcodeOf("nn.leaky_relu"); ok {
+		t.Error("leaky_relu must have no opcode")
+	}
+}

@@ -1,0 +1,196 @@
+// Package nir implements the paper's contribution: NeuroPilot support for
+// TVM through the BYOC flow. It provides
+//
+//   - the supported-operator dictionary that AnnotateTarget consults,
+//   - PartitionForNIR (the paper's partition_for_nir) that carves the relay
+//     graph into host and NeuroPilot regions,
+//   - the ExprVisitor-based converter of Listing 1 — post-order DFS with
+//     NodeEntry records and an op-handler dictionary — that lowers each
+//     external region into Neuron IR, carrying quantization parameters onto
+//     every operand (the §3.3 QNN augmentation), and
+//   - the codegen step that hands each Neuron model to the NeuroPilot
+//     compiler/Execution Planner for the enabled devices.
+package nir
+
+import (
+	"repro/internal/neuron"
+	"repro/internal/passes"
+	"repro/internal/relay"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// CompilerName is the Compiler attribute value marking NIR regions.
+const CompilerName = "nir"
+
+// Supported reports whether the NeuroPilot backend can take a relay call.
+// An op is supported when the converter dictionary has a handler for it and
+// the call satisfies that handler's structural constraints. Anything else —
+// leaky_relu, lrn, mean, strided_slice, exp, sqrt, divide, the YOLO decode —
+// stays on the TVM side, which is what produces both the partitioned
+// subgraphs and the missing NeuroPilot-only statistics of Figures 4/6.
+func Supported(call *relay.Call) bool {
+	if call.Op == nil {
+		return false
+	}
+	h, ok := opHandlerDict[call.Op.Name]
+	if !ok {
+		return false
+	}
+	if h.check != nil && !h.check(call) {
+		return false
+	}
+	return true
+}
+
+// SupportedOpNames returns the relay ops in the conversion dictionary;
+// exported for tests and docs.
+func SupportedOpNames() []string {
+	names := make([]string, 0, len(opHandlerDict))
+	for n := range opHandlerDict {
+		names = append(names, n)
+	}
+	return names
+}
+
+// conv2dSupported: Neuron implements standard and depthwise convolution but
+// not arbitrary grouped convolution.
+func conv2dSupported(call *relay.Call) bool {
+	groups := call.Attrs.Int("groups", 1)
+	if groups == 1 {
+		return true
+	}
+	data, ok := call.Args[0].CheckedType().(*relay.TensorType)
+	if !ok || len(data.Shape) != 4 {
+		return false
+	}
+	return groups == data.Shape[3] // depthwise
+}
+
+// float32Or8Bit restricts an op to the dtypes the Neuron backend implements.
+func float32Or8Bit(call *relay.Call) bool {
+	t, ok := call.CheckedType().(*relay.TensorType)
+	if !ok {
+		return true // checked post-inference; be permissive pre-inference
+	}
+	switch t.DType {
+	case tensor.Float32, tensor.Int8, tensor.UInt8, tensor.Int32:
+		return true
+	}
+	return false
+}
+
+// SupportedForDevices narrows Supported to the ops executable on at least
+// one of the enabled NeuroPilot devices — the nir_targets parameter of the
+// paper's Listing 6. Targeting the APU alone must not offload CPU-only
+// operations like LOGISTIC.
+func SupportedForDevices(devices []soc.DeviceKind) passes.Supported {
+	if len(devices) == 0 {
+		devices = []soc.DeviceKind{soc.KindCPU, soc.KindAPU}
+	}
+	return func(c *relay.Call) bool {
+		if !Supported(c) {
+			return false
+		}
+		code, ok := opcodeOf(c)
+		if !ok {
+			return false
+		}
+		for _, d := range devices {
+			if neuron.SupportedOn(code, d) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// opcodeOf maps a supported relay call to its Neuron opcode (for
+// device-coverage checks).
+func opcodeOf(c *relay.Call) (neuron.OpCode, bool) {
+	if c.Op.Name == "nn.conv2d" || c.Op.Name == "qnn.conv2d" {
+		if c.Attrs.Int("groups", 1) > 1 {
+			return neuron.DepthwiseConv2D, true
+		}
+		return neuron.Conv2D, true
+	}
+	return OpcodeOf(c.Op.Name)
+}
+
+// OpcodeOf maps a relay op name to its Neuron opcode (standard, non-grouped
+// form); exported for the support-matrix documentation tool.
+func OpcodeOf(name string) (neuron.OpCode, bool) {
+	switch name {
+	case "nn.conv2d", "qnn.conv2d":
+		return neuron.Conv2D, true
+	case "nn.dense", "qnn.dense":
+		return neuron.FullyConnected, true
+	case "nn.bias_add":
+		return neuron.BiasAdd, true
+	case "add", "qnn.add":
+		return neuron.Add, true
+	case "subtract":
+		return neuron.Sub, true
+	case "multiply":
+		return neuron.Mul, true
+	case "maximum":
+		return neuron.Max, true
+	case "minimum":
+		return neuron.Min, true
+	case "nn.relu":
+		return neuron.ReLU, true
+	case "clip":
+		return neuron.Clamp, true
+	case "sigmoid":
+		return neuron.Logistic, true
+	case "tanh":
+		return neuron.TanhOp, true
+	case "nn.softmax":
+		return neuron.Softmax, true
+	case "nn.max_pool2d":
+		return neuron.MaxPool2D, true
+	case "nn.avg_pool2d":
+		return neuron.AveragePool2D, true
+	case "nn.global_avg_pool2d":
+		return neuron.GlobalAveragePool2D, true
+	case "concatenate", "qnn.concatenate":
+		return neuron.Concatenation, true
+	case "reshape", "nn.batch_flatten":
+		return neuron.Reshape, true
+	case "squeeze":
+		return neuron.Squeeze, true
+	case "expand_dims":
+		return neuron.ExpandDims, true
+	case "transpose":
+		return neuron.Transpose, true
+	case "nn.pad":
+		return neuron.Pad, true
+	case "nn.upsampling":
+		return neuron.ResizeNearest, true
+	case "qnn.quantize":
+		return neuron.Quantize, true
+	case "qnn.dequantize":
+		return neuron.Dequantize, true
+	case "qnn.requantize":
+		return neuron.Requantize, true
+	}
+	return 0, false
+}
+
+// PartitionForNIR is the paper's nir.partition_for_nir: annotate supported
+// calls, merge compiler regions, and lift each region into a module-level
+// function tagged Compiler="nir". Like TVM's partition_for_* helpers it
+// first runs inference-mode simplification and constant folding so that
+// training-time constructs (dropout, batch-norm statistics) do not split
+// otherwise-contiguous regions. devices narrows the offloaded op set to the
+// enabled NeuroPilot targets (Listing 6's nir_targets); empty means CPU+APU.
+func PartitionForNIR(m *relay.Module, opts passes.PartitionOptions, devices ...soc.DeviceKind) (*relay.Module, error) {
+	m, err := passes.Sequential(m, passes.NewContext(3),
+		passes.SimplifyInference(),
+		passes.FoldConstant(),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return passes.PartitionForCompiler(m, CompilerName, SupportedForDevices(devices), opts)
+}

@@ -1,0 +1,70 @@
+// Package parallel provides the goroutine work-splitting helpers used by the
+// TOPI CPU kernels. Kernels parallelize over their outermost independent
+// dimension (batch×output-row tiles for convolution, rows for dense), which
+// keeps per-goroutine state disjoint so no locking is needed.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps kernel parallelism; GOMAXPROCS by default.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the worker cap (testing and the serial-kernel
+// ablation use 1). Returns the previous value. n < 1 is treated as 1.
+func SetMaxWorkers(n int) int {
+	old := maxWorkers
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers = n
+	return old
+}
+
+// MaxWorkers returns the current worker cap.
+func MaxWorkers() int { return maxWorkers }
+
+// For runs body(i) for every i in [0,n), splitting the range into contiguous
+// chunks across at most MaxWorkers goroutines. It runs serially when n is
+// small or only one worker is allowed, avoiding goroutine overhead on tiny
+// kernels.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked splits [0,n) into contiguous [lo,hi) chunks, one per worker.
+// Use this form when the body can amortize per-chunk setup (e.g. scratch
+// buffers for im2col).
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

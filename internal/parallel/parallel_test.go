@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	n := 1000
+	counts := make([]int32, n)
+	For(n, func(i int) {
+		atomic.AddInt32(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForChunkedCoversRange(t *testing.T) {
+	n := 777
+	var mu sync.Mutex
+	seen := make([]bool, n)
+	ForChunked(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Errorf("index %d in two chunks", i)
+			}
+			seen[i] = true
+		}
+		mu.Unlock()
+	})
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d never visited", i)
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-5, func(int) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	old := SetMaxWorkers(1)
+	defer SetMaxWorkers(old)
+	if MaxWorkers() != 1 {
+		t.Errorf("MaxWorkers = %d", MaxWorkers())
+	}
+	// Serial path must still cover the range.
+	sum := 0
+	For(10, func(i int) { sum += i }) // safe: single worker
+	if sum != 45 {
+		t.Errorf("serial sum = %d", sum)
+	}
+	if prev := SetMaxWorkers(0); prev != 1 {
+		t.Errorf("SetMaxWorkers returned %d, want 1", prev)
+	}
+	if MaxWorkers() != 1 {
+		t.Error("worker cap below 1 must clamp to 1")
+	}
+}
+
+// Property: the set of visited indices equals [0,n) for any n.
+func TestForCoverageProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		m := int(n % 500)
+		var visited int64
+		For(m, func(i int) { atomic.AddInt64(&visited, 1) })
+		return visited == int64(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

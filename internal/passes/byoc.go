@@ -1,0 +1,450 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/relay"
+)
+
+// The BYOC partitioner: AnnotateTarget marks the operator calls an external
+// compiler supports, MergeCompilerRegions grows maximal convex regions out of
+// the marks, and PartitionGraph lifts each region into a module-level
+// function tagged Compiler=<name> that the external codegen consumes. The
+// three stages are implemented together in PartitionForCompiler; the
+// PartitionOptions let ablations disable region merging (every supported op
+// becomes its own region — the paper's "too many subgraphs" pathology on the
+// anti-spoofing model).
+
+// PartitionOptions configures PartitionForCompiler.
+type PartitionOptions struct {
+	// MergeRegions enables MergeCompilerRegions; when false every supported
+	// call is lifted as its own single-op region.
+	MergeRegions bool
+	// MinRegionSize drops regions with fewer ops than this back to the host
+	// (0 or 1 keeps everything).
+	MinRegionSize int
+}
+
+// DefaultPartitionOptions mirrors TVM's defaults.
+func DefaultPartitionOptions() PartitionOptions {
+	return PartitionOptions{MergeRegions: true, MinRegionSize: 1}
+}
+
+// Supported decides whether the external compiler can execute a call.
+type Supported func(*relay.Call) bool
+
+// PartitionForCompiler runs annotate → merge → partition for one external
+// compiler over the module's main function. Returned module has rewritten
+// main plus one definition per region.
+func PartitionForCompiler(m *relay.Module, compiler string, sup Supported, opts PartitionOptions) (*relay.Module, error) {
+	if err := relay.InferModule(m); err != nil {
+		return nil, err
+	}
+	p := &partitioner{
+		compiler:  compiler,
+		supported: sup,
+		opts:      opts,
+	}
+	return p.run(m)
+}
+
+type partitioner struct {
+	compiler  string
+	supported Supported
+	opts      PartitionOptions
+
+	order     []*relay.Call // supported+unsupported calls, post-order
+	group     map[*relay.Call]*fuseGroup
+	isSup     map[*relay.Call]bool
+	succ      map[relay.Expr][]relay.Expr // consumer edges over the whole scope
+	effArgs   map[*relay.Call][]relay.Expr
+	regionSeq int
+}
+
+func (p *partitioner) run(m *relay.Module) (*relay.Module, error) {
+	main := m.Main()
+	p.analyze(main.Body)
+
+	// Stage 2: merge regions along supported producer→consumer edges, unless
+	// doing so would create a cycle through the host graph.
+	if p.opts.MergeRegions {
+		for _, c := range p.order {
+			if !p.isSup[c] {
+				continue
+			}
+			for _, arg := range p.effArgs[c] {
+				a, ok := arg.(*relay.Call)
+				if !ok || !p.isSup[a] {
+					continue
+				}
+				p.tryMerge(a, c)
+			}
+		}
+	}
+
+	// Stage 3: lift regions.
+	out := m.Clone()
+	newBody, err := p.partitionBody(main.Body, out)
+	if err != nil {
+		return nil, err
+	}
+	nf := relay.NewFunc(main.Params, newBody)
+	for k, v := range main.FnAttrs {
+		nf.FnAttrs[k] = v
+	}
+	out.SetMain(nf)
+	if err := relay.InferModule(out); err != nil {
+		return nil, fmt.Errorf("partition produced ill-typed module: %w", err)
+	}
+	return out, nil
+}
+
+// analyze builds post-order, supported marks, effective args (tuples
+// flattened) and the successor relation of the main scope.
+func (p *partitioner) analyze(body relay.Expr) {
+	p.group = map[*relay.Call]*fuseGroup{}
+	p.isSup = map[*relay.Call]bool{}
+	p.succ = map[relay.Expr][]relay.Expr{}
+	p.effArgs = map[*relay.Call][]relay.Expr{}
+
+	visited := map[relay.Expr]bool{}
+	var walk func(e relay.Expr)
+	walk = func(e relay.Expr) {
+		if e == nil || visited[e] {
+			return
+		}
+		visited[e] = true
+		switch n := e.(type) {
+		case *relay.Call:
+			var eff []relay.Expr
+			for _, a := range n.Args {
+				walk(a)
+				p.succ[a] = append(p.succ[a], n)
+				if tup, ok := a.(*relay.Tuple); ok {
+					eff = append(eff, tup.Fields...)
+				} else {
+					eff = append(eff, a)
+				}
+			}
+			if n.Fn != nil {
+				walk(n.Fn)
+				p.succ[n.Fn] = append(p.succ[n.Fn], n)
+			}
+			p.effArgs[n] = eff
+			if n.Op != nil {
+				p.order = append(p.order, n)
+				p.group[n] = &fuseGroup{}
+				p.isSup[n] = p.supported(n)
+			}
+		case *relay.Tuple:
+			for _, f := range n.Fields {
+				walk(f)
+				p.succ[f] = append(p.succ[f], n)
+			}
+		case *relay.TupleGetItem:
+			walk(n.Tuple)
+			p.succ[n.Tuple] = append(p.succ[n.Tuple], n)
+		case *relay.Function:
+			// Nested functions are opaque to partitioning.
+		}
+	}
+	walk(body)
+}
+
+// tryMerge unifies the regions of producer a and consumer c unless the
+// merged region would be non-convex: a path from region(a) through a host
+// node back into region(c) would force the host to both consume and feed the
+// lifted function, i.e. a cycle.
+func (p *partitioner) tryMerge(a, c *relay.Call) {
+	ga, gc := p.group[a].find(), p.group[c].find()
+	if ga == gc {
+		return
+	}
+	merged := map[*relay.Call]bool{}
+	for _, n := range p.order {
+		g := p.group[n].find()
+		if g == ga || g == gc {
+			merged[n] = true
+		}
+	}
+	if p.pathThroughOutside(merged) {
+		return
+	}
+	ga.parent = gc
+}
+
+// tupleTransparent reports whether a Tuple node merely routes values between
+// in-region members (a concatenate input tuple), in which case it counts as
+// inside the region for convexity and output analysis.
+func (p *partitioner) tupleTransparent(t *relay.Tuple, region map[*relay.Call]bool) bool {
+	succs := p.succ[t]
+	if len(succs) == 0 {
+		return false
+	}
+	for _, s := range succs {
+		c, ok := s.(*relay.Call)
+		if !ok || !region[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathThroughOutside reports whether some node outside the candidate region
+// lies on a path region → outside → region.
+func (p *partitioner) pathThroughOutside(region map[*relay.Call]bool) bool {
+	// BFS from every outside successor of the region; if we can re-enter the
+	// region, merging is illegal.
+	inRegion := func(e relay.Expr) bool {
+		if c, ok := e.(*relay.Call); ok {
+			return region[c]
+		}
+		if t, ok := e.(*relay.Tuple); ok {
+			return p.tupleTransparent(t, region)
+		}
+		return false
+	}
+	var frontier []relay.Expr
+	seen := map[relay.Expr]bool{}
+	for n := range region {
+		for _, s := range p.succ[n] {
+			if !inRegion(s) && !seen[s] {
+				seen[s] = true
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	for len(frontier) > 0 {
+		e := frontier[0]
+		frontier = frontier[1:]
+		for _, s := range p.succ[e] {
+			if inRegion(s) {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	return false
+}
+
+// regionInfo captures one liftable region.
+type regionInfo struct {
+	members []*relay.Call // topo order
+	outputs []*relay.Call // members with consumers outside the region
+}
+
+func (p *partitioner) collectRegions(bodyRoot relay.Expr) []*regionInfo {
+	byGroup := map[*fuseGroup]*regionInfo{}
+	var regions []*regionInfo
+	for _, c := range p.order {
+		if !p.isSup[c] {
+			continue
+		}
+		g := p.group[c].find()
+		r := byGroup[g]
+		if r == nil {
+			r = &regionInfo{}
+			byGroup[g] = r
+			regions = append(regions, r)
+		}
+		r.members = append(r.members, c)
+	}
+	for _, r := range regions {
+		in := map[*relay.Call]bool{}
+		for _, m := range r.members {
+			in[m] = true
+		}
+		for _, m := range r.members {
+			external := m == bodyRoot
+			for _, s := range p.succ[m] {
+				if c, ok := s.(*relay.Call); ok && in[c] {
+					continue
+				}
+				if t, ok := s.(*relay.Tuple); ok && p.tupleTransparent(t, in) {
+					continue
+				}
+				external = true
+			}
+			if external {
+				r.outputs = append(r.outputs, m)
+			}
+		}
+	}
+	// Filter small regions.
+	if p.opts.MinRegionSize > 1 {
+		var kept []*regionInfo
+		for _, r := range regions {
+			if len(r.members) >= p.opts.MinRegionSize {
+				kept = append(kept, r)
+			}
+		}
+		regions = kept
+	}
+	return regions
+}
+
+// partitionBody rewrites the body, lifting each region into an external
+// function registered in mod.
+func (p *partitioner) partitionBody(body relay.Expr, mod *relay.Module) (relay.Expr, error) {
+	regions := p.collectRegions(body)
+	// Map from output member -> (region, output index).
+	type outRef struct {
+		r   *regionInfo
+		idx int
+	}
+	outOf := map[*relay.Call]outRef{}
+	for _, r := range regions {
+		for i, o := range r.outputs {
+			outOf[o] = outRef{r, i}
+		}
+	}
+
+	memo := map[relay.Expr]relay.Expr{}
+	regionCall := map[*regionInfo]relay.Expr{}
+	var rerr error
+
+	var transform func(e relay.Expr) relay.Expr
+	buildRegion := func(r *regionInfo) relay.Expr {
+		if c, ok := regionCall[r]; ok {
+			return c
+		}
+		call, err := p.liftRegion(r, mod, transform)
+		if err != nil {
+			rerr = err
+			return nil
+		}
+		regionCall[r] = call
+		return call
+	}
+	transform = func(e relay.Expr) relay.Expr {
+		if e == nil || rerr != nil {
+			return e
+		}
+		if r, ok := memo[e]; ok {
+			return r
+		}
+		var out relay.Expr
+		switch n := e.(type) {
+		case *relay.Call:
+			if ref, isOut := outOf[n]; isOut {
+				rc := buildRegion(ref.r)
+				if rerr != nil {
+					return e
+				}
+				if len(ref.r.outputs) == 1 {
+					out = rc
+				} else {
+					out = relay.NewTupleGetItem(rc, ref.idx)
+				}
+				break
+			}
+			newArgs := make([]relay.Expr, len(n.Args))
+			for i, a := range n.Args {
+				newArgs[i] = transform(a)
+			}
+			newFn := n.Fn
+			if n.Fn != nil {
+				newFn = transform(n.Fn)
+			}
+			out = &relay.Call{Op: n.Op, Fn: newFn, Args: newArgs, Attrs: n.Attrs}
+		case *relay.Tuple:
+			fields := make([]relay.Expr, len(n.Fields))
+			for i, f := range n.Fields {
+				fields[i] = transform(f)
+			}
+			out = relay.NewTuple(fields)
+		case *relay.TupleGetItem:
+			out = relay.NewTupleGetItem(transform(n.Tuple), n.Index)
+		default:
+			out = e
+		}
+		memo[e] = out
+		return out
+	}
+	res := transform(body)
+	return res, rerr
+}
+
+// liftRegion clones a region into fn(params){...} with the Compiler and
+// global_symbol attributes, registers it in the module, and returns the call
+// expression feeding it the transformed external inputs.
+func (p *partitioner) liftRegion(r *regionInfo, mod *relay.Module, transform func(relay.Expr) relay.Expr) (relay.Expr, error) {
+	in := map[*relay.Call]bool{}
+	for _, m := range r.members {
+		in[m] = true
+	}
+	var params []*relay.Var
+	var outerArgs []relay.Expr
+	paramFor := map[relay.Expr]*relay.Var{}
+	cloneMemo := map[relay.Expr]relay.Expr{}
+
+	var cloneExpr func(e relay.Expr) relay.Expr
+	cloneExpr = func(e relay.Expr) relay.Expr {
+		if r, ok := cloneMemo[e]; ok {
+			return r
+		}
+		var out relay.Expr
+		switch n := e.(type) {
+		case *relay.Constant:
+			out = n // constants are baked into the external module
+		case *relay.Call:
+			if in[n] {
+				newArgs := make([]relay.Expr, len(n.Args))
+				for i, a := range n.Args {
+					newArgs[i] = cloneExpr(a)
+				}
+				out = &relay.Call{Op: n.Op, Args: newArgs, Attrs: n.Attrs}
+				break
+			}
+			out = cloneBoundary(n, &params, &outerArgs, paramFor, transform)
+		case *relay.Tuple:
+			// Tuples feeding concatenate-style members are cloned inline.
+			fields := make([]relay.Expr, len(n.Fields))
+			for i, f := range n.Fields {
+				fields[i] = cloneExpr(f)
+			}
+			out = relay.NewTuple(fields)
+		default:
+			out = cloneBoundary(e, &params, &outerArgs, paramFor, transform)
+		}
+		cloneMemo[e] = out
+		return out
+	}
+
+	var bodyExpr relay.Expr
+	if len(r.outputs) == 1 {
+		bodyExpr = cloneExpr(r.outputs[0])
+	} else {
+		fields := make([]relay.Expr, len(r.outputs))
+		for i, o := range r.outputs {
+			fields[i] = cloneExpr(o)
+		}
+		bodyExpr = relay.NewTuple(fields)
+	}
+	fn := relay.NewFunc(params, bodyExpr)
+	name := fmt.Sprintf("%s_%d", p.compiler, p.regionSeq)
+	p.regionSeq++
+	fn.FnAttrs[relay.FnAttrCompiler] = p.compiler
+	fn.FnAttrs[relay.FnAttrGlobalSymbol] = name
+	if err := mod.Add(name, fn); err != nil {
+		return nil, err
+	}
+	return relay.NewFnCall(fn, outerArgs), nil
+}
+
+// cloneBoundary turns an external input into a region parameter (one per
+// distinct source expression) and records the transformed outer argument.
+func cloneBoundary(e relay.Expr, params *[]*relay.Var, outerArgs *[]relay.Expr,
+	paramFor map[relay.Expr]*relay.Var, transform func(relay.Expr) relay.Expr) relay.Expr {
+	if v, ok := paramFor[e]; ok {
+		return v
+	}
+	v := relay.NewVar(fmt.Sprintf("nirp%d", len(*params)), e.CheckedType())
+	paramFor[e] = v
+	*params = append(*params, v)
+	*outerArgs = append(*outerArgs, transform(e))
+	return v
+}

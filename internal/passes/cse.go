@@ -1,0 +1,119 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relay"
+)
+
+// EliminateCommonSubexpr merges structurally identical operator calls — the
+// classic CSE pass TVM runs at opt level 2. Frontends that expand shared
+// framework subgraphs by value (the darknet route/shortcut paths, repeated
+// constant arithmetic after SimplifyInference) produce duplicate calls that
+// this pass collapses, so each unique computation is executed (and charged)
+// once.
+func EliminateCommonSubexpr() Pass {
+	return Pass{
+		Name:        "EliminateCommonSubexpr",
+		MinOptLevel: 2,
+		Run: func(m *relay.Module, ctx *Context) (*relay.Module, error) {
+			out := m.Clone()
+			main := m.Main()
+			nf := relay.NewFunc(main.Params, cseBody(main.Body))
+			for k, v := range main.FnAttrs {
+				nf.FnAttrs[k] = v
+			}
+			out.SetMain(nf)
+			return out, nil
+		},
+	}
+}
+
+// cseBody rewrites the body bottom-up, canonicalizing each node by a
+// structural key. Constants are keyed by identity (comparing tensor payloads
+// would be quadratic in weight bytes for no gain — frontends already share
+// constant objects they duplicate by reference).
+func cseBody(body relay.Expr) relay.Expr {
+	canon := map[string]relay.Expr{}
+	ids := map[relay.Expr]int{}
+	nextID := 0
+	idOf := func(e relay.Expr) int {
+		if id, ok := ids[e]; ok {
+			return id
+		}
+		nextID++
+		ids[e] = nextID - 1
+		return nextID - 1
+	}
+	return relay.Rewrite(body, func(e relay.Expr) relay.Expr {
+		key, ok := structuralKey(e, idOf)
+		if !ok {
+			idOf(e)
+			return e
+		}
+		if prev, seen := canon[key]; seen {
+			return prev
+		}
+		idOf(e)
+		canon[key] = e
+		return e
+	})
+}
+
+// structuralKey builds a canonical string for CSE-able nodes. Only pure
+// operator calls and tuple plumbing participate; function calls (external
+// regions, primitives) are left alone.
+func structuralKey(e relay.Expr, idOf func(relay.Expr) int) (string, bool) {
+	switch n := e.(type) {
+	case *relay.Call:
+		if n.Op == nil {
+			return "", false
+		}
+		var b strings.Builder
+		b.WriteString("call:")
+		b.WriteString(n.Op.Name)
+		b.WriteString("(")
+		for i, a := range n.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", idOf(a))
+		}
+		b.WriteString(")[")
+		b.WriteString(attrsKey(n.Attrs))
+		b.WriteString("]")
+		return b.String(), true
+	case *relay.Tuple:
+		var b strings.Builder
+		b.WriteString("tuple:(")
+		for i, f := range n.Fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", idOf(f))
+		}
+		b.WriteString(")")
+		return b.String(), true
+	case *relay.TupleGetItem:
+		return fmt.Sprintf("get:%d.%d", idOf(n.Tuple), n.Index), true
+	}
+	return "", false
+}
+
+func attrsKey(a relay.Attrs) string {
+	if len(a) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, a[k])
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,90 @@
+// Package passes implements the graph-level optimization and BYOC
+// partitioning passes of the mini-TVM stack: type inference, inference-mode
+// simplification, constant folding, operator fusion, and the
+// AnnotateTarget / MergeCompilerRegions / PartitionGraph sequence that powers
+// partition_for_nir.
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/relay"
+)
+
+// Context mirrors tvm.transform.PassContext: the opt level gates which passes
+// run, and individual passes can be disabled by name (used by the ablation
+// benchmarks).
+type Context struct {
+	OptLevel int
+	Disabled map[string]bool
+}
+
+// NewContext returns a context at the given opt level.
+func NewContext(optLevel int) *Context {
+	return &Context{OptLevel: optLevel, Disabled: map[string]bool{}}
+}
+
+// Enabled reports whether a pass should run under this context.
+func (c *Context) Enabled(p Pass) bool {
+	return c.OptLevel >= p.MinOptLevel && !c.Disabled[p.Name]
+}
+
+// Pass is a module-to-module transformation.
+type Pass struct {
+	Name        string
+	MinOptLevel int
+	Run         func(*relay.Module, *Context) (*relay.Module, error)
+}
+
+// Sequential applies the passes in order, skipping those the context
+// disables, and re-running type inference after each structural pass.
+func Sequential(m *relay.Module, ctx *Context, ps ...Pass) (*relay.Module, error) {
+	if ctx == nil {
+		ctx = NewContext(3)
+	}
+	if err := relay.InferModule(m); err != nil {
+		return nil, fmt.Errorf("passes: initial type inference: %w", err)
+	}
+	for _, p := range ps {
+		if !ctx.Enabled(p) {
+			continue
+		}
+		nm, err := p.Run(m, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("passes: %s: %w", p.Name, err)
+		}
+		if err := relay.InferModule(nm); err != nil {
+			return nil, fmt.Errorf("passes: type inference after %s: %w", p.Name, err)
+		}
+		m = nm
+	}
+	return m, nil
+}
+
+// DefaultPipeline returns the standard optimization pipeline run by
+// relay.build before code generation (the BYOC partitioning passes are
+// inserted separately by partition_for_nir, matching the paper's flow).
+func DefaultPipeline() []Pass {
+	return []Pass{
+		SimplifyInference(),
+		FoldConstant(),
+		FuseOps(),
+	}
+}
+
+// rewriteMainOnly applies an expression rewrite to the main function's body,
+// leaving partitioned external functions untouched (TVM never re-optimizes
+// regions already handed to an external codegen).
+func rewriteMainOnly(m *relay.Module, fn func(relay.Expr) relay.Expr) *relay.Module {
+	out := m.Clone()
+	main := m.Main()
+	newBody := relay.Rewrite(main.Body, fn)
+	if newBody != main.Body {
+		nf := relay.NewFunc(main.Params, newBody)
+		for k, v := range main.FnAttrs {
+			nf.FnAttrs[k] = v
+		}
+		out.SetMain(nf)
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+package passes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+// Automatic quantization — the relay.quantize flow of TVM, reproduced as an
+// extension (the paper's §3.3 consumes models that arrive pre-quantized from
+// TFLite; this pass manufactures such models from float32 ones):
+//
+//  1. *Calibrate*: run the float graph on sample inputs, recording each
+//     intermediate tensor's |max| (activation range).
+//  2. *Rewrite*: convolution/dense layers become qnn.conv2d / qnn.dense over
+//     uint8 data and weights with int32 biases, requantized to the
+//     calibrated output range; range-preserving ops (relu, clip, pools,
+//     reshape/flatten) stay in the quantized domain; anything else gets a
+//     dequantize boundary and the graph continues in float (a later conv
+//     re-quantizes).
+//
+// The result is a relay QNN module indistinguishable from a TFLite import,
+// so it flows through partition_for_nir and the Neuron converter unchanged.
+
+// CalibrationProfile maps expressions to observed activation ranges.
+type CalibrationProfile map[relay.Expr]float64
+
+// Calibrate runs the module's main function on each input and records the
+// max |value| of every intermediate tensor.
+func Calibrate(m *relay.Module, inputs []*tensor.Tensor) (CalibrationProfile, error) {
+	if err := relay.InferModule(m); err != nil {
+		return nil, err
+	}
+	main := m.Main()
+	if len(main.Params) != 1 {
+		return nil, fmt.Errorf("passes: Calibrate supports single-input models, have %d", len(main.Params))
+	}
+	prof := CalibrationProfile{}
+	for _, in := range inputs {
+		env := map[relay.Expr]*tensor.Tensor{main.Params[0]: in}
+		if _, err := calibEval(main.Body, env, prof); err != nil {
+			return nil, err
+		}
+	}
+	return prof, nil
+}
+
+// calibEval is a minimal float interpreter with range recording.
+func calibEval(e relay.Expr, env map[relay.Expr]*tensor.Tensor, prof CalibrationProfile) (*tensor.Tensor, error) {
+	if t, ok := env[e]; ok {
+		return t, nil
+	}
+	var out *tensor.Tensor
+	switch n := e.(type) {
+	case *relay.Constant:
+		out = n.Value
+	case *relay.Var:
+		return nil, fmt.Errorf("passes: unbound variable %q during calibration", n.Name)
+	case *relay.Call:
+		if n.Op == nil {
+			return nil, fmt.Errorf("passes: calibration over function calls unsupported (quantize before partitioning)")
+		}
+		var args []*tensor.Tensor
+		for _, a := range n.Args {
+			if tup, ok := a.(*relay.Tuple); ok {
+				for _, f := range tup.Fields {
+					t, err := calibEval(f, env, prof)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, t)
+				}
+				continue
+			}
+			t, err := calibEval(a, env, prof)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+		}
+		tt, ok := n.CheckedType().(*relay.TensorType)
+		if !ok {
+			return nil, fmt.Errorf("passes: tuple-valued op %s in calibration", n.Op.Name)
+		}
+		res, err := topi.Run(n.Op.Name, args, n.Attrs, tt)
+		if err != nil {
+			return nil, err
+		}
+		out = res
+	case *relay.TupleGetItem:
+		return nil, fmt.Errorf("passes: tuple projection unsupported in calibration")
+	case *relay.Tuple:
+		return nil, fmt.Errorf("passes: bare tuple unsupported in calibration")
+	default:
+		return nil, fmt.Errorf("passes: cannot calibrate %T", e)
+	}
+	env[e] = out
+	if m := topi.AbsMax(out); m > prof[e] {
+		prof[e] = m
+	}
+	return out, nil
+}
+
+// actParams derives uint8 activation parameters covering [-absMax, absMax].
+func actParams(absMax float64) tensor.QuantParams {
+	if absMax <= 0 || math.IsNaN(absMax) {
+		absMax = 1
+	}
+	return tensor.QuantParams{Scale: 2 * absMax / 255, ZeroPoint: 128}
+}
+
+// QuantizeModule rewrites a calibrated float module into QNN form.
+func QuantizeModule(m *relay.Module, prof CalibrationProfile) (*relay.Module, error) {
+	if err := relay.InferModule(m); err != nil {
+		return nil, err
+	}
+	q := &quantizer{prof: prof, qval: map[relay.Expr]relay.Expr{}, fval: map[relay.Expr]relay.Expr{}}
+	main := m.Main()
+	if len(main.Params) != 1 {
+		return nil, fmt.Errorf("passes: QuantizeModule supports single-input models")
+	}
+	// Uses analysis: biases may only fold into single-consumer accumulators.
+	q.uses = countUses(main.Body)
+	body, err := q.float(main.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := relay.NewModule(relay.NewFunc(main.Params, body))
+	if err := relay.InferModule(out); err != nil {
+		return nil, fmt.Errorf("passes: quantized module ill-typed: %w", err)
+	}
+	return out, nil
+}
+
+func countUses(body relay.Expr) map[relay.Expr]int {
+	uses := map[relay.Expr]int{}
+	relay.PostOrderVisit(body, func(e relay.Expr) {
+		switch n := e.(type) {
+		case *relay.Call:
+			for _, a := range n.Args {
+				uses[a]++
+			}
+		case *relay.Tuple:
+			for _, f := range n.Fields {
+				uses[f]++
+			}
+		case *relay.TupleGetItem:
+			uses[n.Tuple]++
+		}
+	})
+	return uses
+}
+
+// quantizer carries the rewrite state: for every original expr it can
+// produce a float version (fval) and/or a quantized version (qval).
+type quantizer struct {
+	prof CalibrationProfile
+	uses map[relay.Expr]int
+	qval map[relay.Expr]relay.Expr // quantized uint8 form
+	fval map[relay.Expr]relay.Expr // float form
+}
+
+// paramsOf returns the calibrated activation params of an original expr.
+func (q *quantizer) paramsOf(e relay.Expr) tensor.QuantParams {
+	return actParams(q.prof[e])
+}
+
+// quantized returns e in uint8 form, inserting qnn.quantize from the float
+// form where no native quantized version exists.
+func (q *quantizer) quantized(e relay.Expr) (relay.Expr, tensor.QuantParams, error) {
+	if err := q.rewrite(e); err != nil {
+		return nil, tensor.QuantParams{}, err
+	}
+	if v, ok := q.qval[e]; ok {
+		tt := v.CheckedType().(*relay.TensorType)
+		return v, *tt.Quant, nil
+	}
+	f, err := q.float(e)
+	if err != nil {
+		return nil, tensor.QuantParams{}, err
+	}
+	p := q.paramsOf(e)
+	qe := relay.NewCall(relay.OpQnnQuantize, []relay.Expr{f}, relay.Attrs{
+		"output_scale": p.Scale, "output_zero_point": int(p.ZeroPoint), "out_dtype": "uint8"})
+	if _, err := relay.InferTypes(qe); err != nil {
+		return nil, p, err
+	}
+	q.qval[e] = qe
+	return qe, p, nil
+}
+
+// float returns e in float32 form, inserting qnn.dequantize where the
+// rewrite produced a quantized version.
+func (q *quantizer) float(e relay.Expr) (relay.Expr, error) {
+	if v, ok := q.fval[e]; ok {
+		return v, nil
+	}
+	if err := q.rewrite(e); err != nil {
+		return nil, err
+	}
+	if v, ok := q.fval[e]; ok {
+		return v, nil
+	}
+	qe := q.qval[e]
+	tt := qe.CheckedType().(*relay.TensorType)
+	de := relay.NewCall(relay.OpQnnDequantize, []relay.Expr{qe}, relay.Attrs{
+		"input_scale": tt.Quant.Scale, "input_zero_point": int(tt.Quant.ZeroPoint)})
+	if _, err := relay.InferTypes(de); err != nil {
+		return nil, err
+	}
+	q.fval[e] = de
+	return de, nil
+}
+
+// rewrite populates qval and/or fval for e.
+func (q *quantizer) rewrite(e relay.Expr) error {
+	if _, ok := q.qval[e]; ok {
+		return nil
+	}
+	if _, ok := q.fval[e]; ok {
+		return nil
+	}
+	switch n := e.(type) {
+	case *relay.Var, *relay.Constant:
+		q.fval[e] = e
+		return nil
+	case *relay.Call:
+		return q.rewriteCall(n)
+	}
+	return fmt.Errorf("passes: quantizer cannot rewrite %T", e)
+}
+
+func (q *quantizer) rewriteCall(c *relay.Call) error {
+	switch c.Op.Name {
+	case "nn.conv2d", "nn.dense":
+		return q.rewriteMatmulLike(c, nil)
+	case "nn.bias_add":
+		// bias_add over a conv/dense: fold the bias into the quantized op.
+		if inner, ok := c.Args[0].(*relay.Call); ok && inner.Op != nil &&
+			(inner.Op.Name == "nn.conv2d" || inner.Op.Name == "nn.dense") &&
+			q.uses[inner] == 1 {
+			if bias, ok := c.Args[1].(*relay.Constant); ok {
+				return q.rewriteMatmulLike(inner, bias, c)
+			}
+		}
+		return q.fallbackFloat(c)
+	case "nn.relu", "clip", "nn.max_pool2d", "nn.avg_pool2d",
+		"nn.global_avg_pool2d", "reshape", "nn.batch_flatten", "squeeze":
+		// Range-preserving / passthrough ops: stay quantized when the input
+		// is quantized.
+		in, _, err := q.quantized(c.Args[0])
+		if err != nil {
+			return err
+		}
+		out := relay.NewCall(c.Op, []relay.Expr{in}, c.Attrs)
+		if _, err := relay.InferTypes(out); err != nil {
+			return err
+		}
+		q.qval[c] = out
+		return nil
+	default:
+		return q.fallbackFloat(c)
+	}
+}
+
+// rewriteMatmulLike quantizes a conv2d/dense (optionally with a folded
+// bias). outExpr is the expression whose calibrated range defines the
+// requantized output (the bias_add when folded, else the op itself).
+func (q *quantizer) rewriteMatmulLike(c *relay.Call, bias *relay.Constant, outExprOpt ...*relay.Call) error {
+	outExpr := relay.Expr(c)
+	if len(outExprOpt) > 0 {
+		outExpr = outExprOpt[0]
+	}
+	wConst, ok := c.Args[1].(*relay.Constant)
+	if !ok {
+		return q.fallbackFloat(c)
+	}
+	in, inP, err := q.quantized(c.Args[0])
+	if err != nil {
+		return err
+	}
+	// Symmetric uint8 weight quantization from the actual weight range.
+	wAbs := topi.AbsMax(wConst.Value)
+	wP := tensor.QuantParams{Scale: 2 * math.Max(wAbs, 1e-9) / 255, ZeroPoint: 128}
+	wq := wConst.Value.QuantizeTo(tensor.UInt8, wP)
+
+	attrs := c.Attrs.Clone()
+	attrs["input_scale"] = inP.Scale
+	attrs["input_zero_point"] = int(inP.ZeroPoint)
+	attrs["kernel_scale"] = wP.Scale
+	attrs["kernel_zero_point"] = int(wP.ZeroPoint)
+	opName := "qnn.conv2d"
+	if c.Op.Name == "nn.dense" {
+		opName = "qnn.dense"
+	}
+	acc := relay.Expr(relay.NewCall(relay.GetOp(opName), []relay.Expr{in, relay.Const(wq)}, attrs))
+
+	if bias != nil {
+		accScale := inP.Scale * wP.Scale
+		bi := tensor.New(tensor.Int32, bias.Value.Shape)
+		for i := 0; i < bias.Value.Elems(); i++ {
+			bi.I32()[i] = int32(math.Round(bias.Value.GetF(i) / accScale))
+		}
+		acc = relay.NewCall(relay.OpBiasAdd, []relay.Expr{acc, relay.Const(bi)}, nil)
+	}
+
+	outP := actParams(q.prof[outExpr])
+	rq := relay.NewCall(relay.OpQnnRequantize, []relay.Expr{acc}, relay.Attrs{
+		"input_scale": inP.Scale * wP.Scale, "input_zero_point": 0,
+		"output_scale": outP.Scale, "output_zero_point": int(outP.ZeroPoint),
+		"out_dtype": "uint8"})
+	if _, err := relay.InferTypes(rq); err != nil {
+		return err
+	}
+	q.qval[outExpr] = rq
+	return nil
+}
+
+// fallbackFloat keeps the op in float32, dequantizing inputs as needed.
+func (q *quantizer) fallbackFloat(c *relay.Call) error {
+	newArgs := make([]relay.Expr, len(c.Args))
+	for i, a := range c.Args {
+		if tup, ok := a.(*relay.Tuple); ok {
+			fields := make([]relay.Expr, len(tup.Fields))
+			for j, f := range tup.Fields {
+				ff, err := q.float(f)
+				if err != nil {
+					return err
+				}
+				fields[j] = ff
+			}
+			newArgs[i] = relay.NewTuple(fields)
+			continue
+		}
+		f, err := q.float(a)
+		if err != nil {
+			return err
+		}
+		newArgs[i] = f
+	}
+	out := relay.NewCall(c.Op, newArgs, c.Attrs)
+	if _, err := relay.InferTypes(out); err != nil {
+		return err
+	}
+	q.fval[c] = out
+	return nil
+}

@@ -1,0 +1,195 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// floatCNN builds a small sequential float network with conv+bias+relu,
+// pooling, flatten, dense+bias and softmax — the shape the auto-quantizer
+// targets.
+func floatCNN() *relay.Module {
+	data := relay.NewVar("data", relay.TType(tensor.Float32, 1, 16, 16, 3))
+	conv := relay.NewCall(relay.OpConv2D,
+		[]relay.Expr{data, randConst(tensor.Shape{8, 3, 3, 3}, 41)},
+		relay.Attrs{"padding": []int{1, 1}})
+	biased := relay.NewCall(relay.OpBiasAdd, []relay.Expr{conv, randConst(tensor.Shape{8}, 42)}, nil)
+	act := relay.NewCall(relay.OpReLU, []relay.Expr{biased}, nil)
+	pool := relay.NewCall(relay.OpMaxPool2D, []relay.Expr{act},
+		relay.Attrs{"pool_size": []int{2, 2}, "strides": []int{2, 2}})
+	flat := relay.NewCall(relay.OpBatchFlatten, []relay.Expr{pool}, nil)
+	fc := relay.NewCall(relay.OpDense, []relay.Expr{flat, randConst(tensor.Shape{5, 8 * 8 * 8}, 43)}, nil)
+	fcb := relay.NewCall(relay.OpBiasAdd, []relay.Expr{fc, randConst(tensor.Shape{5}, 44)}, nil)
+	sm := relay.NewCall(relay.OpSoftmax, []relay.Expr{fcb}, nil)
+	return relay.NewModule(relay.NewFunc([]*relay.Var{data}, sm))
+}
+
+func calibInputs(n int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		t := tensor.New(tensor.Float32, tensor.Shape{1, 16, 16, 3})
+		t.FillUniform(tensor.NewRNG(uint64(100+i)), 0, 1)
+		out[i] = t
+	}
+	return out
+}
+
+// evalFloat runs a module's main through the calibration interpreter.
+func evalFloat(t *testing.T, m *relay.Module, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	if err := relay.InferModule(m); err != nil {
+		t.Fatal(err)
+	}
+	main := m.Main()
+	env := map[relay.Expr]*tensor.Tensor{main.Params[0]: in}
+	out, err := calibEval(main.Body, env, CalibrationProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCalibrateRecordsRanges(t *testing.T) {
+	m := floatCNN()
+	prof, err := Calibrate(m, calibInputs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) < 7 {
+		t.Errorf("profile has %d entries, expected one per op", len(prof))
+	}
+	for e, v := range prof {
+		if v < 0 {
+			t.Errorf("negative range for %T", e)
+		}
+	}
+}
+
+func TestQuantizeModuleStructure(t *testing.T) {
+	m := floatCNN()
+	prof, err := Calibrate(m, calibInputs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := QuantizeModule(m, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := relay.CountOps(qm.Main(), "qnn.conv2d"); n != 1 {
+		t.Errorf("qnn.conv2d count %d", n)
+	}
+	if n := relay.CountOps(qm.Main(), "qnn.dense"); n != 1 {
+		t.Errorf("qnn.dense count %d", n)
+	}
+	if n := relay.CountOps(qm.Main(), "nn.conv2d"); n != 0 {
+		t.Errorf("float conv survived quantization: %d", n)
+	}
+	if n := relay.CountOps(qm.Main(), "qnn.requantize"); n != 2 {
+		t.Errorf("requantize count %d", n)
+	}
+	// Softmax stays float behind a dequantize.
+	if n := relay.CountOps(qm.Main(), "qnn.dequantize"); n < 1 {
+		t.Error("no dequantize boundary before softmax")
+	}
+	// Biases became int32 constants.
+	found := false
+	relay.PostOrderVisit(qm.Main().Body, func(e relay.Expr) {
+		if c, ok := e.(*relay.Constant); ok && c.Value.DType == tensor.Int32 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("no int32 bias constant in quantized module")
+	}
+}
+
+func TestQuantizeModuleAccuracy(t *testing.T) {
+	m := floatCNN()
+	prof, err := Calibrate(m, calibInputs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := QuantizeModule(m, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.Float32, tensor.Shape{1, 16, 16, 3})
+	in.FillUniform(tensor.NewRNG(777), 0, 1)
+	want := evalFloat(t, m, in)
+	got := evalFloat(t, qm, in)
+	// Softmax outputs: quantization error must stay small in probability
+	// space, and the argmax must survive.
+	if !tensor.AllClose(got, want, 0.08, 0.1) {
+		t.Errorf("quantized output diverges, max diff %g", tensor.MaxAbsDiff(got, want))
+	}
+	if got.ArgMax() != want.ArgMax() {
+		t.Errorf("quantization changed the prediction: %d vs %d", got.ArgMax(), want.ArgMax())
+	}
+}
+
+func TestQuantizeModuleNoProfileFallsBack(t *testing.T) {
+	// With an empty profile every activation range defaults to 1; the module
+	// must still be well-typed and runnable (degraded accuracy is fine).
+	m := floatCNN()
+	qm, err := QuantizeModule(m, CalibrationProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.Float32, tensor.Shape{1, 16, 16, 3})
+	in.FillUniform(tensor.NewRNG(5), 0, 1)
+	out := evalFloat(t, qm, in)
+	if out.Elems() != 5 {
+		t.Errorf("unexpected output size %d", out.Elems())
+	}
+}
+
+func TestCalibrateRejectsMultiInput(t *testing.T) {
+	a := relay.NewVar("a", relay.TType(tensor.Float32, 2))
+	b := relay.NewVar("b", relay.TType(tensor.Float32, 2))
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{a, b},
+		relay.NewCall(relay.OpAdd, []relay.Expr{a, b}, nil)))
+	if _, err := Calibrate(m, calibInputs(1)); err == nil {
+		t.Error("multi-input calibration accepted")
+	}
+}
+
+func TestQuantizeModuleWithConcatFallback(t *testing.T) {
+	// Branchy model: two conv branches concatenated. concatenate is not on
+	// the quantizer's passthrough list, so it must fall back to float with
+	// dequantize boundaries — and stay numerically faithful.
+	data := relay.NewVar("data", relay.TType(tensor.Float32, 1, 8, 8, 3))
+	mkBranch := func(seed uint64) relay.Expr {
+		conv := relay.NewCall(relay.OpConv2D,
+			[]relay.Expr{data, randConst(tensor.Shape{4, 3, 3, 3}, seed)},
+			relay.Attrs{"padding": []int{1, 1}})
+		return relay.NewCall(relay.OpReLU, []relay.Expr{conv}, nil)
+	}
+	cc := relay.NewCall(relay.OpConcatenate,
+		[]relay.Expr{relay.NewTuple([]relay.Expr{mkBranch(51), mkBranch(52)})},
+		relay.Attrs{"axis": 3})
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{data}, cc))
+
+	ins := []*tensor.Tensor{tensor.New(tensor.Float32, tensor.Shape{1, 8, 8, 3})}
+	ins[0].FillUniform(tensor.NewRNG(61), 0, 1)
+	prof, err := Calibrate(m, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := QuantizeModule(m, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := relay.CountOps(qm.Main(), "qnn.conv2d"); n != 2 {
+		t.Errorf("qnn.conv2d count %d", n)
+	}
+	if n := relay.CountOps(qm.Main(), "qnn.dequantize"); n < 2 {
+		t.Errorf("expected dequantize boundaries before concat, got %d", n)
+	}
+	want := evalFloat(t, m, ins[0])
+	got := evalFloat(t, qm, ins[0])
+	if !tensor.AllClose(got, want, 0.1, 0.1) {
+		t.Errorf("branchy quantization diverges, max %g", tensor.MaxAbsDiff(got, want))
+	}
+}

@@ -1,0 +1,59 @@
+package passes
+
+import (
+	"math"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// SimplifyInference rewrites training-time constructs into their inference
+// forms: nn.batch_norm with constant statistics becomes a per-channel
+// multiply+add (which FoldConstant and FuseOps then absorb into the
+// preceding convolution's epilogue), and nn.dropout becomes the identity.
+func SimplifyInference() Pass {
+	return Pass{
+		Name:        "SimplifyInference",
+		MinOptLevel: 0,
+		Run: func(m *relay.Module, ctx *Context) (*relay.Module, error) {
+			return rewriteMainOnly(m, simplifyOne), nil
+		},
+	}
+}
+
+func simplifyOne(e relay.Expr) relay.Expr {
+	call, ok := e.(*relay.Call)
+	if !ok || call.Op == nil {
+		return e
+	}
+	switch call.Op.Name {
+	case "nn.dropout":
+		return call.Args[0]
+	case "nn.batch_norm":
+		return simplifyBatchNorm(call)
+	}
+	return e
+}
+
+// simplifyBatchNorm folds bn(x, γ, β, μ, σ²) into x*scale + shift when the
+// statistics are constants: scale = γ/√(σ²+ε), shift = β − μ·scale.
+func simplifyBatchNorm(call *relay.Call) relay.Expr {
+	gamma, ok1 := call.Args[1].(*relay.Constant)
+	beta, ok2 := call.Args[2].(*relay.Constant)
+	mean, ok3 := call.Args[3].(*relay.Constant)
+	variance, ok4 := call.Args[4].(*relay.Constant)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return call // dynamic statistics: leave for the runtime kernel
+	}
+	eps := call.Attrs.Float("epsilon", 1e-5)
+	c := gamma.Value.Elems()
+	scale := tensor.New(tensor.Float32, tensor.Shape{c})
+	shift := tensor.New(tensor.Float32, tensor.Shape{c})
+	for i := 0; i < c; i++ {
+		s := gamma.Value.GetF(i) / math.Sqrt(variance.Value.GetF(i)+eps)
+		scale.SetF(i, s)
+		shift.SetF(i, beta.Value.GetF(i)-mean.Value.GetF(i)*s)
+	}
+	scaled := relay.NewCall(relay.OpMultiply, []relay.Expr{call.Args[0], relay.Const(scale)}, nil)
+	return relay.NewCall(relay.OpAdd, []relay.Expr{scaled, relay.Const(shift)}, nil)
+}

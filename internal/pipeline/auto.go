@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/soc"
+)
+
+// Automatic pipeline scheduling — the algorithm the paper's conclusion
+// announces as under development ("we are currently developing the
+// algorithm for automatically pipeline scheduling of different models").
+//
+// Each stage has a set of candidate targets (a device set plus the stage's
+// measured duration on that target, from §5.1 profiling). The scheduler
+// enumerates every assignment, simulates the pipelined execution under
+// exclusive resources, and returns the assignment with the smallest
+// makespan — automatically discovering trade-offs like the paper's manual
+// one (a stage accepting a slower solo target to unlock overlap).
+
+// TargetOption is one candidate execution target for a stage.
+type TargetOption struct {
+	// Name identifies the target ("BYOC cpu", "NP-only apu", ...).
+	Name string
+	// Devices the stage would occupy exclusively.
+	Devices []soc.DeviceKind
+	// Duration per frame on this target.
+	Duration soc.Seconds
+}
+
+// StageOptions lists the feasible targets of one stage (targets where the
+// model has no statistics are simply not listed).
+type StageOptions struct {
+	Stage   Stage
+	Options []TargetOption
+}
+
+// AutoResult is the outcome of the automatic search.
+type AutoResult struct {
+	// Chosen target name per stage.
+	Choice map[Stage]string
+	// Plan is the winning assignment.
+	Plan Plan
+	// Result is its sequential/pipelined comparison.
+	Result Result
+	// Evaluated is the number of assignments simulated.
+	Evaluated int
+}
+
+// AutoSchedule exhaustively searches stage-target assignments for the best
+// pipelined makespan over the given frame count. The search space is
+// |detect| × |spoof| × |emotion|, small by construction (≤ 7³).
+func AutoSchedule(detect, spoof, emotion StageOptions, frames int) (*AutoResult, error) {
+	if frames <= 0 {
+		return nil, fmt.Errorf("pipeline: AutoSchedule needs frames > 0")
+	}
+	for _, so := range []StageOptions{detect, spoof, emotion} {
+		if len(so.Options) == 0 {
+			return nil, fmt.Errorf("pipeline: stage %s has no feasible targets", so.Stage)
+		}
+	}
+	var best *AutoResult
+	evaluated := 0
+	for _, d := range detect.Options {
+		for _, s := range spoof.Options {
+			for _, e := range emotion.Options {
+				plan := Plan{
+					Detect:  StagePlan{Devices: d.Devices, Duration: d.Duration},
+					Spoof:   StagePlan{Devices: s.Devices, Duration: s.Duration},
+					Emotion: StagePlan{Devices: e.Devices, Duration: e.Duration},
+				}
+				res, err := Compare(plan, frames)
+				if err != nil {
+					return nil, err
+				}
+				evaluated++
+				cand := &AutoResult{
+					Choice: map[Stage]string{
+						StageDetect:  d.Name,
+						StageSpoof:   s.Name,
+						StageEmotion: e.Name,
+					},
+					Plan:   plan,
+					Result: res,
+				}
+				if best == nil || betterThan(cand, best) {
+					best = cand
+				}
+			}
+		}
+	}
+	best.Evaluated = evaluated
+	return best, nil
+}
+
+// betterThan prefers the smaller pipelined makespan, breaking ties by the
+// smaller sequential time (less total work) and then by name for
+// determinism.
+func betterThan(a, b *AutoResult) bool {
+	if a.Result.Pipelined != b.Result.Pipelined {
+		return a.Result.Pipelined < b.Result.Pipelined
+	}
+	if a.Result.Sequential != b.Result.Sequential {
+		return a.Result.Sequential < b.Result.Sequential
+	}
+	return choiceKey(a) < choiceKey(b)
+}
+
+func choiceKey(r *AutoResult) string {
+	keys := make([]string, 0, len(r.Choice))
+	for s, n := range r.Choice {
+		keys = append(keys, fmt.Sprintf("%d=%s", int(s), n))
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}

@@ -1,0 +1,167 @@
+// Package pipeline implements the paper's §5 scheduling work: model-level
+// computation scheduling (assign each showcase model to its most efficient
+// target) and the early pipeline-scheduling prototype of Figure 5, built on
+// the concatenation-style list scheduling of inter-frame stage overlap under
+// exclusive resource usage.
+//
+// The paper's final assignment: the anti-spoofing model keeps mobile
+// CPU+APU (too many subgraphs to live on one device), the emotion model runs
+// APU-only, and the object detector is *demoted* from CPU+APU to CPU-only so
+// that it can execute concurrently with the emotion model of the previous
+// frame — exclusive use of every resource is preserved while the two stages
+// overlap.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/soc"
+)
+
+// Stage identifies one showcase pipeline stage.
+type Stage int
+
+const (
+	StageDetect Stage = iota
+	StageSpoof
+	StageEmotion
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageDetect:
+		return "object-detection"
+	case StageSpoof:
+		return "anti-spoofing"
+	case StageEmotion:
+		return "emotion"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// StagePlan is one stage's device assignment and per-frame duration under
+// that assignment.
+type StagePlan struct {
+	// Devices the stage occupies exclusively while running.
+	Devices []soc.DeviceKind
+	// Duration per frame on that target.
+	Duration soc.Seconds
+}
+
+// Plan assigns all three stages.
+type Plan struct {
+	Detect, Spoof, Emotion StagePlan
+}
+
+func (p Plan) stage(s Stage) StagePlan {
+	switch s {
+	case StageDetect:
+		return p.Detect
+	case StageSpoof:
+		return p.Spoof
+	case StageEmotion:
+		return p.Emotion
+	}
+	panic("pipeline: bad stage")
+}
+
+// Validate rejects empty device sets and negative durations.
+func (p Plan) Validate() error {
+	for s := Stage(0); s < numStages; s++ {
+		sp := p.stage(s)
+		if len(sp.Devices) == 0 {
+			return fmt.Errorf("pipeline: %s has no devices", s)
+		}
+		if sp.Duration < 0 {
+			return fmt.Errorf("pipeline: %s has negative duration", s)
+		}
+	}
+	return nil
+}
+
+// PaperAssignment returns the Figure 5 device assignment given per-stage
+// durations: detection CPU-only (blue), anti-spoofing CPU+APU (yellow),
+// emotion APU-only (green).
+func PaperAssignment(detect, spoof, emotion soc.Seconds) Plan {
+	return Plan{
+		Detect:  StagePlan{Devices: []soc.DeviceKind{soc.KindCPU}, Duration: detect},
+		Spoof:   StagePlan{Devices: []soc.DeviceKind{soc.KindCPU, soc.KindAPU}, Duration: spoof},
+		Emotion: StagePlan{Devices: []soc.DeviceKind{soc.KindAPU}, Duration: emotion},
+	}
+}
+
+// ContentionAssignment is the pre-pipeline configuration (§5.1): every model
+// on its individually-fastest target, object detection on CPU+APU — which
+// blocks all overlap (every stage touches a shared resource).
+func ContentionAssignment(detect, spoof, emotion soc.Seconds) Plan {
+	return Plan{
+		Detect:  StagePlan{Devices: []soc.DeviceKind{soc.KindCPU, soc.KindAPU}, Duration: detect},
+		Spoof:   StagePlan{Devices: []soc.DeviceKind{soc.KindCPU, soc.KindAPU}, Duration: spoof},
+		Emotion: StagePlan{Devices: []soc.DeviceKind{soc.KindAPU}, Duration: emotion},
+	}
+}
+
+// Sequential simulates the unpipelined application: every stage of every
+// frame strictly in order. Returns the makespan.
+func Sequential(p Plan, frames int) soc.Seconds {
+	var t soc.Seconds
+	for i := 0; i < frames; i++ {
+		t += p.Detect.Duration + p.Spoof.Duration + p.Emotion.Duration
+	}
+	return t
+}
+
+// Schedule list-schedules the pipelined execution: within a frame the
+// stages are chained (detect → spoof → emotion); across frames a stage
+// waits for every device in its set (exclusive use); stages of the same
+// kind execute in frame order. Returns the timeline (for the Gantt chart)
+// and the makespan.
+func Schedule(p Plan, frames int) (*soc.Timeline, soc.Seconds, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	tl := soc.NewTimeline()
+	for i := 0; i < frames; i++ {
+		var ready soc.Seconds
+		for s := Stage(0); s < numStages; s++ {
+			sp := p.stage(s)
+			ready = tl.ScheduleMulti(sp.Devices, stageLabel(s, i), ready, sp.Duration)
+		}
+	}
+	return tl, tl.Now(), nil
+}
+
+func stageLabel(s Stage, frame int) string {
+	switch s {
+	case StageDetect:
+		return fmt.Sprintf("d%d", frame)
+	case StageSpoof:
+		return fmt.Sprintf("s%d", frame)
+	}
+	return fmt.Sprintf("e%d", frame)
+}
+
+// Result summarizes a sequential-vs-pipelined comparison (the Figure 5
+// experiment).
+type Result struct {
+	Frames     int
+	Sequential soc.Seconds
+	Pipelined  soc.Seconds
+	Speedup    float64
+	Timeline   *soc.Timeline
+}
+
+// Compare runs both simulations.
+func Compare(p Plan, frames int) (Result, error) {
+	tl, pipelined, err := Schedule(p, frames)
+	if err != nil {
+		return Result{}, err
+	}
+	seq := Sequential(p, frames)
+	r := Result{Frames: frames, Sequential: seq, Pipelined: pipelined, Timeline: tl}
+	if pipelined > 0 {
+		r.Speedup = float64(seq) / float64(pipelined)
+	}
+	return r, nil
+}

@@ -1,0 +1,160 @@
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attrs carries per-call operator attributes (strides, padding, axis, QNN
+// scales...). Values are restricted to a small set of JSON-friendly kinds:
+// int, float64, bool, string, []int, []float64.
+type Attrs map[string]interface{}
+
+// Clone shallow-copies the attribute map (slice values are copied too, since
+// passes may rewrite them).
+func (a Attrs) Clone() Attrs {
+	c := make(Attrs, len(a))
+	for k, v := range a {
+		switch vv := v.(type) {
+		case []int:
+			c[k] = append([]int(nil), vv...)
+		case []float64:
+			c[k] = append([]float64(nil), vv...)
+		default:
+			c[k] = v
+		}
+	}
+	return c
+}
+
+// Int returns an integer attribute, or def when absent.
+func (a Attrs) Int(key string, def int) int {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	switch vv := v.(type) {
+	case int:
+		return vv
+	case float64:
+		return int(vv)
+	}
+	panic(fmt.Sprintf("relay: attr %q is %T, want int", key, v))
+}
+
+// Float returns a float attribute, or def when absent.
+func (a Attrs) Float(key string, def float64) float64 {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	switch vv := v.(type) {
+	case float64:
+		return vv
+	case int:
+		return float64(vv)
+	}
+	panic(fmt.Sprintf("relay: attr %q is %T, want float", key, v))
+}
+
+// Bool returns a boolean attribute, or def when absent.
+func (a Attrs) Bool(key string, def bool) bool {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		panic(fmt.Sprintf("relay: attr %q is %T, want bool", key, v))
+	}
+	return b
+}
+
+// Str returns a string attribute, or def when absent.
+func (a Attrs) Str(key, def string) string {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		panic(fmt.Sprintf("relay: attr %q is %T, want string", key, v))
+	}
+	return s
+}
+
+// Ints returns an []int attribute, or def when absent.
+func (a Attrs) Ints(key string, def []int) []int {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	s, ok := v.([]int)
+	if !ok {
+		panic(fmt.Sprintf("relay: attr %q is %T, want []int", key, v))
+	}
+	return s
+}
+
+// IntPair returns a 2-element []int attribute (strides, pool sizes), or
+// (def, def) when absent. A scalar int is broadcast to both positions.
+func (a Attrs) IntPair(key string, def int) (int, int) {
+	v, ok := a[key]
+	if !ok {
+		return def, def
+	}
+	switch vv := v.(type) {
+	case int:
+		return vv, vv
+	case []int:
+		if len(vv) == 1 {
+			return vv[0], vv[0]
+		}
+		if len(vv) == 2 {
+			return vv[0], vv[1]
+		}
+	}
+	panic(fmt.Sprintf("relay: attr %q = %v, want int or 2-element []int", key, v))
+}
+
+// Pad4 returns a 4-element padding attribute (top, left, bottom, right).
+// Accepts scalar, [2] (symmetric h/w) or [4] forms, defaulting to zero.
+func (a Attrs) Pad4(key string) [4]int {
+	v, ok := a[key]
+	if !ok {
+		return [4]int{}
+	}
+	switch vv := v.(type) {
+	case int:
+		return [4]int{vv, vv, vv, vv}
+	case []int:
+		switch len(vv) {
+		case 1:
+			return [4]int{vv[0], vv[0], vv[0], vv[0]}
+		case 2:
+			return [4]int{vv[0], vv[1], vv[0], vv[1]}
+		case 4:
+			return [4]int{vv[0], vv[1], vv[2], vv[3]}
+		}
+	}
+	panic(fmt.Sprintf("relay: attr %q = %v, want int, [2]int or [4]int", key, v))
+}
+
+// String renders attributes deterministically (sorted by key), used by the
+// pretty printer and golden tests.
+func (a Attrs) String() string {
+	if len(a) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, a[k])
+	}
+	return strings.Join(parts, ", ")
+}

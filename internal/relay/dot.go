@@ -1,0 +1,106 @@
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the module as a Graphviz digraph — one subgraph cluster per
+// function, operator calls as boxes, variables as ellipses, constants
+// folded into small labels. `npc -dot` exposes it for visualizing how
+// partition_for_nir carved a model.
+func ToDOT(m *Module) string {
+	var b strings.Builder
+	b.WriteString("digraph module {\n  rankdir=TB;\n  node [fontsize=10];\n")
+	cluster := 0
+	m.Functions(func(name string, fn *Function) {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", cluster)
+		label := name
+		if c := fn.Attr(FnAttrCompiler); c != "" {
+			label += " [Compiler=" + c + "]"
+		}
+		fmt.Fprintf(&b, "    label=%q;\n", label)
+		if fn.Attr(FnAttrCompiler) != "" {
+			b.WriteString("    style=filled; color=lightgrey;\n")
+		}
+		writeDOTBody(&b, fn, fmt.Sprintf("f%d", cluster))
+		b.WriteString("  }\n")
+		cluster++
+	})
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeDOTBody(b *strings.Builder, fn *Function, prefix string) {
+	ids := map[Expr]string{}
+	next := 0
+	fresh := func() string {
+		next++
+		return fmt.Sprintf("%s_n%d", prefix, next-1)
+	}
+	var visit func(e Expr) string
+	visit = func(e Expr) string {
+		if id, ok := ids[e]; ok {
+			return id
+		}
+		id := fresh()
+		ids[e] = id
+		switch n := e.(type) {
+		case *Var:
+			fmt.Fprintf(b, "    %s [label=%q shape=ellipse];\n", id, "%"+n.Name)
+		case *Constant:
+			fmt.Fprintf(b, "    %s [label=%q shape=note fontsize=8];\n", id,
+				fmt.Sprintf("const %s%s", n.Value.DType, n.Value.Shape))
+		case *Call:
+			label := n.OpName()
+			if n.Fn != nil {
+				if f, ok := n.Fn.(*Function); ok {
+					if sym := f.Attr(FnAttrGlobalSymbol); sym != "" {
+						label = "call @" + sym
+					} else if f.Attr(FnAttrPrimitive) != "" {
+						label = "fused{" + primitiveOps(f) + "}"
+					} else {
+						label = "call fn"
+					}
+				}
+			}
+			fmt.Fprintf(b, "    %s [label=%q shape=box];\n", id, label)
+			for _, a := range n.Args {
+				fmt.Fprintf(b, "    %s -> %s;\n", visit(a), id)
+			}
+		case *Tuple:
+			fmt.Fprintf(b, "    %s [label=\"tuple\" shape=diamond];\n", id)
+			for _, f := range n.Fields {
+				fmt.Fprintf(b, "    %s -> %s;\n", visit(f), id)
+			}
+		case *TupleGetItem:
+			fmt.Fprintf(b, "    %s [label=%q shape=diamond];\n", id, fmt.Sprintf(".%d", n.Index))
+			fmt.Fprintf(b, "    %s -> %s;\n", visit(n.Tuple), id)
+		case *Function:
+			// Inline function value (already summarized by the caller).
+			fmt.Fprintf(b, "    %s [label=\"fn\" shape=box];\n", id)
+		}
+		return id
+	}
+	out := visit(fn.Body)
+	retID := fresh()
+	fmt.Fprintf(b, "    %s [label=\"output\" shape=ellipse style=dashed];\n", retID)
+	fmt.Fprintf(b, "    %s -> %s;\n", out, retID)
+}
+
+// primitiveOps summarizes the op names inside a fused primitive.
+func primitiveOps(f *Function) string {
+	set := map[string]bool{}
+	PostOrderVisit(f.Body, func(e Expr) {
+		if c, ok := e.(*Call); ok && c.Op != nil {
+			set[c.Op.Name] = true
+		}
+	})
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,181 @@
+package relay
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Expr is a node of the relay AST. Nodes are immutable after construction
+// (passes rewrite by rebuilding); identity is pointer identity, which is what
+// visitor memoization and the partitioner's region maps key on.
+type Expr interface {
+	isExpr()
+	// CheckedType returns the type computed by the InferType pass, or nil
+	// if the expression has not been type-checked yet.
+	CheckedType() Type
+	setCheckedType(Type)
+}
+
+// exprBase carries the checked type shared by all node kinds.
+type exprBase struct{ typ Type }
+
+func (b *exprBase) CheckedType() Type     { return b.typ }
+func (b *exprBase) setCheckedType(t Type) { b.typ = t }
+
+// Var is a function parameter or graph input. TypeAnnotation is the declared
+// type (required for function parameters so inference has a starting point).
+type Var struct {
+	exprBase
+	Name           string
+	TypeAnnotation Type
+}
+
+func (*Var) isExpr() {}
+
+// NewVar constructs a typed variable.
+func NewVar(name string, ty Type) *Var {
+	v := &Var{Name: name, TypeAnnotation: ty}
+	v.setCheckedType(ty)
+	return v
+}
+
+// Constant wraps a tensor literal (weights, biases, scalar attributes that
+// ride as inputs).
+type Constant struct {
+	exprBase
+	Value *tensor.Tensor
+}
+
+func (*Constant) isExpr() {}
+
+// Const constructs a constant expression.
+func Const(v *tensor.Tensor) *Constant {
+	c := &Constant{Value: v}
+	tt := &TensorType{Shape: v.Shape.Clone(), DType: v.DType}
+	if v.Quant != nil {
+		q := *v.Quant
+		tt.Quant = &q
+	}
+	c.setCheckedType(tt)
+	return c
+}
+
+// ConstScalar constructs a rank-0 float32 constant.
+func ConstScalar(v float32) *Constant { return Const(tensor.Scalar(v)) }
+
+// Call applies an operator (or a partitioned sub-function) to arguments.
+type Call struct {
+	exprBase
+	Op    *Op  // non-nil for operator calls
+	Fn    Expr // non-nil for calls to Function values (BYOC regions)
+	Args  []Expr
+	Attrs Attrs
+}
+
+func (*Call) isExpr() {}
+
+// NewCall constructs an operator call.
+func NewCall(op *Op, args []Expr, attrs Attrs) *Call {
+	if attrs == nil {
+		attrs = Attrs{}
+	}
+	return &Call{Op: op, Args: args, Attrs: attrs}
+}
+
+// NewFnCall constructs a call whose callee is a Function expression (the form
+// PartitionGraph produces for external regions).
+func NewFnCall(fn Expr, args []Expr) *Call {
+	return &Call{Fn: fn, Args: args, Attrs: Attrs{}}
+}
+
+// OpName returns the callee operator name, or "" for function calls.
+func (c *Call) OpName() string {
+	if c.Op != nil {
+		return c.Op.Name
+	}
+	return ""
+}
+
+// Tuple groups several values (multi-output layers, concatenate inputs).
+type Tuple struct {
+	exprBase
+	Fields []Expr
+}
+
+func (*Tuple) isExpr() {}
+
+// NewTuple constructs a tuple expression.
+func NewTuple(fields []Expr) *Tuple { return &Tuple{Fields: fields} }
+
+// TupleGetItem projects one field out of a tuple-valued expression.
+type TupleGetItem struct {
+	exprBase
+	Tuple Expr
+	Index int
+}
+
+func (*TupleGetItem) isExpr() {}
+
+// NewTupleGetItem constructs a tuple projection.
+func NewTupleGetItem(t Expr, i int) *TupleGetItem { return &TupleGetItem{Tuple: t, Index: i} }
+
+// FnAttr* are the well-known function attribute keys used by the BYOC flow,
+// mirroring TVM's.
+const (
+	FnAttrCompiler     = "Compiler"      // external codegen name, e.g. "nir"
+	FnAttrGlobalSymbol = "global_symbol" // exported symbol of a partitioned fn
+	FnAttrComposite    = "Composite"     // fused-pattern name inside a region
+	FnAttrPrimitive    = "Primitive"     // fused kernel produced by FuseOps
+)
+
+// Function is a relay function: the body of a module-level definition or a
+// partitioned external region.
+type Function struct {
+	exprBase
+	Params []*Var
+	Body   Expr
+	// FnAttrs carries the BYOC markers (Compiler, global_symbol, ...).
+	FnAttrs map[string]string
+}
+
+func (*Function) isExpr() {}
+
+// NewFunc constructs a function expression.
+func NewFunc(params []*Var, body Expr) *Function {
+	return &Function{Params: params, Body: body, FnAttrs: map[string]string{}}
+}
+
+// Attr returns a function attribute value ("" when absent).
+func (f *Function) Attr(key string) string {
+	if f.FnAttrs == nil {
+		return ""
+	}
+	return f.FnAttrs[key]
+}
+
+// WithAttr returns a shallow copy of f with the attribute set.
+func (f *Function) WithAttr(key, val string) *Function {
+	nf := &Function{Params: f.Params, Body: f.Body, FnAttrs: map[string]string{}}
+	for k, v := range f.FnAttrs {
+		nf.FnAttrs[k] = v
+	}
+	nf.FnAttrs[key] = val
+	nf.setCheckedType(f.CheckedType())
+	return nf
+}
+
+// TensorTypeOf returns the checked TensorType of e, panicking if the
+// expression is untyped or tuple-typed. Passes that run after InferType use
+// this accessor.
+func TensorTypeOf(e Expr) *TensorType {
+	t := e.CheckedType()
+	if t == nil {
+		panic(fmt.Sprintf("relay: expression %T has no checked type (run InferType first)", e))
+	}
+	tt, ok := t.(*TensorType)
+	if !ok {
+		panic(fmt.Sprintf("relay: expression %T has non-tensor type %s", e, t))
+	}
+	return tt
+}

@@ -1,0 +1,138 @@
+package relay
+
+import "fmt"
+
+// InferTypes computes and stamps the checked type of every node reachable
+// from e, children first. Variables must carry type annotations (frontends
+// always emit them). Calls to Function values (partitioned regions) get the
+// callee's return type.
+//
+// It returns the type of e. Errors carry the textual form of the offending
+// call so frontend bugs are diagnosable.
+func InferTypes(e Expr) (Type, error) {
+	var rerr error
+	var infer func(Expr) Type
+	memo := map[Expr]Type{}
+	infer = func(e Expr) Type {
+		if rerr != nil {
+			return nil
+		}
+		if t, ok := memo[e]; ok {
+			return t
+		}
+		var t Type
+		switch n := e.(type) {
+		case *Var:
+			if n.TypeAnnotation == nil {
+				rerr = fmt.Errorf("relay: variable %q has no type annotation", n.Name)
+				return nil
+			}
+			t = n.TypeAnnotation
+		case *Constant:
+			t = n.CheckedType() // set at construction
+		case *Call:
+			args := make([]Type, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = infer(a)
+				if rerr != nil {
+					return nil
+				}
+			}
+			switch {
+			case n.Op != nil:
+				ot, err := n.Op.Infer(args, n.Attrs)
+				if err != nil {
+					rerr = fmt.Errorf("relay: type error in %s(%s): %v", n.Op.Name, n.Attrs, err)
+					return nil
+				}
+				t = ot
+			case n.Fn != nil:
+				ft := infer(n.Fn)
+				if rerr != nil {
+					return nil
+				}
+				fty, ok := ft.(*FuncType)
+				if !ok {
+					rerr = fmt.Errorf("relay: call of non-function value of type %s", ft)
+					return nil
+				}
+				if len(fty.Params) != len(args) {
+					rerr = fmt.Errorf("relay: call arity %d, function wants %d", len(args), len(fty.Params))
+					return nil
+				}
+				for i := range args {
+					if !fty.Params[i].Same(args[i]) {
+						rerr = fmt.Errorf("relay: call arg %d type %s, function wants %s", i, args[i], fty.Params[i])
+						return nil
+					}
+				}
+				t = fty.Ret
+			default:
+				rerr = fmt.Errorf("relay: call with neither op nor function callee")
+				return nil
+			}
+		case *Tuple:
+			fields := make([]Type, len(n.Fields))
+			for i, f := range n.Fields {
+				fields[i] = infer(f)
+				if rerr != nil {
+					return nil
+				}
+			}
+			t = &TupleType{Fields: fields}
+		case *TupleGetItem:
+			tt := infer(n.Tuple)
+			if rerr != nil {
+				return nil
+			}
+			tup, ok := tt.(*TupleType)
+			if !ok {
+				rerr = fmt.Errorf("relay: tuple projection on non-tuple type %s", tt)
+				return nil
+			}
+			if n.Index < 0 || n.Index >= len(tup.Fields) {
+				rerr = fmt.Errorf("relay: tuple index %d out of range (%d fields)", n.Index, len(tup.Fields))
+				return nil
+			}
+			t = tup.Fields[n.Index]
+		case *Function:
+			params := make([]Type, len(n.Params))
+			for i, p := range n.Params {
+				params[i] = infer(p)
+				if rerr != nil {
+					return nil
+				}
+			}
+			ret := infer(n.Body)
+			if rerr != nil {
+				return nil
+			}
+			t = &FuncType{Params: params, Ret: ret}
+		default:
+			rerr = fmt.Errorf("relay: unknown expression kind %T", e)
+			return nil
+		}
+		e.setCheckedType(t)
+		memo[e] = t
+		return t
+	}
+	t := infer(e)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return t, nil
+}
+
+// InferModule type-checks every function in the module.
+func InferModule(m *Module) error {
+	var err error
+	m.Functions(func(name string, f *Function) {
+		if err != nil {
+			return
+		}
+		if _, ierr := InferTypes(f); ierr != nil {
+			err = fmt.Errorf("in @%s: %w", name, ierr)
+		}
+	})
+	return err
+}

@@ -1,0 +1,85 @@
+package relay
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MainFunc is the entry-point name every frontend emits.
+const MainFunc = "main"
+
+// Module is an IRModule: a set of named functions. "main" is the model entry
+// point; PartitionGraph adds one definition per external (NeuroPilot) region.
+type Module struct {
+	funcs map[string]*Function
+}
+
+// NewModule creates a module with the given main function.
+func NewModule(main *Function) *Module {
+	m := &Module{funcs: map[string]*Function{}}
+	m.funcs[MainFunc] = main
+	return m
+}
+
+// Main returns the entry function.
+func (m *Module) Main() *Function { return m.funcs[MainFunc] }
+
+// SetMain replaces the entry function.
+func (m *Module) SetMain(f *Function) { m.funcs[MainFunc] = f }
+
+// Get returns a named function.
+func (m *Module) Get(name string) (*Function, bool) {
+	f, ok := m.funcs[name]
+	return f, ok
+}
+
+// Add installs a named function, failing on duplicates.
+func (m *Module) Add(name string, f *Function) error {
+	if _, dup := m.funcs[name]; dup {
+		return fmt.Errorf("relay: module already defines %q", name)
+	}
+	m.funcs[name] = f
+	return nil
+}
+
+// Names returns the function names, sorted, main first.
+func (m *Module) Names() []string {
+	names := make([]string, 0, len(m.funcs))
+	for n := range m.funcs {
+		if n != MainFunc {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{MainFunc}, names...)
+}
+
+// Functions iterates deterministically over all definitions.
+func (m *Module) Functions(fn func(name string, f *Function)) {
+	for _, n := range m.Names() {
+		fn(n, m.funcs[n])
+	}
+}
+
+// ExternalFuncs returns the names of functions partitioned for the given
+// external compiler, sorted.
+func (m *Module) ExternalFuncs(compiler string) []string {
+	var names []string
+	for n, f := range m.funcs {
+		if f.Attr(FnAttrCompiler) == compiler {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone copies the module map (functions themselves are immutable and
+// shared).
+func (m *Module) Clone() *Module {
+	c := &Module{funcs: make(map[string]*Function, len(m.funcs))}
+	for k, v := range m.funcs {
+		c.funcs[k] = v
+	}
+	return c
+}

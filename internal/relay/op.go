@@ -1,0 +1,91 @@
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TypeInferFn computes the result type of a call from argument types and
+// attributes. It should validate shapes/dtypes and return descriptive errors;
+// the InferType pass surfaces them with expression context.
+type TypeInferFn func(args []Type, attrs Attrs) (Type, error)
+
+// OpPattern classifies operators for the fusion pass, mirroring TVM's
+// TOpPattern. Fusion merges chains up to kCommReduce and attaches
+// elementwise/broadcast ops to a preceding complex-out-fusable op.
+type OpPattern int
+
+const (
+	// PatternElemWise ops map each input element to one output element.
+	PatternElemWise OpPattern = iota
+	// PatternBroadcast ops are elementwise with broadcasting (add, mul).
+	PatternBroadcast
+	// PatternInjective ops are data movement (reshape, transpose, concat).
+	PatternInjective
+	// PatternCommReduce ops reduce over axes (mean, global pool).
+	PatternCommReduce
+	// PatternOutEWiseFusable ops are complex kernels whose output can absorb
+	// a trailing elementwise chain (conv2d, dense).
+	PatternOutEWiseFusable
+	// PatternOpaque ops cannot be fused with anything.
+	PatternOpaque
+)
+
+// Op is a registered relay operator. Ops are process-global singletons
+// looked up by name, so pointer equality identifies an operator.
+type Op struct {
+	Name    string
+	Infer   TypeInferFn
+	Pattern OpPattern
+}
+
+var (
+	opMu       sync.RWMutex
+	opRegistry = map[string]*Op{}
+)
+
+// RegisterOp installs an operator in the global registry. Registering the
+// same name twice panics: duplicate registrations indicate an init-order bug.
+func RegisterOp(name string, pattern OpPattern, infer TypeInferFn) *Op {
+	opMu.Lock()
+	defer opMu.Unlock()
+	if _, dup := opRegistry[name]; dup {
+		panic(fmt.Sprintf("relay: duplicate operator registration %q", name))
+	}
+	op := &Op{Name: name, Infer: infer, Pattern: pattern}
+	opRegistry[name] = op
+	return op
+}
+
+// GetOp looks up an operator by name, panicking if it is not registered.
+// Frontends use LookupOp to report user-facing errors instead.
+func GetOp(name string) *Op {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	op, ok := opRegistry[name]
+	if !ok {
+		panic(fmt.Sprintf("relay: operator %q is not registered", name))
+	}
+	return op
+}
+
+// LookupOp looks up an operator by name.
+func LookupOp(name string) (*Op, bool) {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	op, ok := opRegistry[name]
+	return op, ok
+}
+
+// OpNames returns all registered operator names, sorted.
+func OpNames() []string {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	names := make([]string, 0, len(opRegistry))
+	for n := range opRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,368 @@
+package relay
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Tensor-manipulation and arithmetic operator registrations.
+
+// BroadcastShapes computes the numpy-style broadcast of two shapes, or an
+// error if they are incompatible.
+func BroadcastShapes(a, b tensor.Shape) (tensor.Shape, error) {
+	la, lb := len(a), len(b)
+	lo := la
+	if lb > lo {
+		lo = lb
+	}
+	out := make(tensor.Shape, lo)
+	for i := 0; i < lo; i++ {
+		da, db := 1, 1
+		if i >= lo-la {
+			da = a[i-(lo-la)]
+		}
+		if i >= lo-lb {
+			db = b[i-(lo-lb)]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("cannot broadcast %s with %s", a, b)
+		}
+	}
+	return out, nil
+}
+
+func binaryBroadcastInfer(name string) TypeInferFn {
+	return func(args []Type, attrs Attrs) (Type, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%s expects 2 args, got %d", name, len(args))
+		}
+		a, err := AsTensorType(args[0], name+" lhs")
+		if err != nil {
+			return nil, err
+		}
+		b, err := AsTensorType(args[1], name+" rhs")
+		if err != nil {
+			return nil, err
+		}
+		if a.DType != b.DType {
+			return nil, fmt.Errorf("%s dtype mismatch: %s vs %s", name, a.DType, b.DType)
+		}
+		if a.DType.IsQuantized() {
+			return nil, fmt.Errorf("%s on quantized tensors requires qnn.%s", name, name)
+		}
+		shape, err := BroadcastShapes(a.Shape, b.Shape)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return &TensorType{Shape: shape, DType: a.DType}, nil
+	}
+}
+
+func inferConcatenate(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("concatenate expects 1 tuple arg, got %d", len(args))
+	}
+	tup, ok := args[0].(*TupleType)
+	if !ok {
+		return nil, fmt.Errorf("concatenate expects a tuple argument, got %s", args[0])
+	}
+	if len(tup.Fields) == 0 {
+		return nil, fmt.Errorf("concatenate of empty tuple")
+	}
+	first, err := AsTensorType(tup.Fields[0], "concatenate field 0")
+	if err != nil {
+		return nil, err
+	}
+	axis := attrs.Int("axis", -1)
+	if axis < 0 {
+		axis += len(first.Shape)
+	}
+	if axis < 0 || axis >= len(first.Shape) {
+		return nil, fmt.Errorf("concatenate axis out of range for %s", first.Shape)
+	}
+	out := first.Shape.Clone()
+	for i, f := range tup.Fields[1:] {
+		t, err := AsTensorType(f, fmt.Sprintf("concatenate field %d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		if t.DType != first.DType {
+			return nil, fmt.Errorf("concatenate dtype mismatch: %s vs %s", t.DType, first.DType)
+		}
+		if len(t.Shape) != len(first.Shape) {
+			return nil, fmt.Errorf("concatenate rank mismatch: %s vs %s", t.Shape, first.Shape)
+		}
+		for d := range t.Shape {
+			if d == axis {
+				continue
+			}
+			if t.Shape[d] != first.Shape[d] {
+				return nil, fmt.Errorf("concatenate shape mismatch off-axis: %s vs %s", t.Shape, first.Shape)
+			}
+		}
+		out[axis] += t.Shape[axis]
+	}
+	// Quant propagates only when all fields agree (qnn.concatenate handles
+	// requantizing mismatched fields).
+	quant := first.Quant
+	for _, f := range tup.Fields[1:] {
+		t := f.(*TensorType)
+		if (t.Quant == nil) != (quant == nil) || (quant != nil && *t.Quant != *quant) {
+			if first.DType.IsQuantized() {
+				return nil, fmt.Errorf("concatenate of quantized tensors with differing params requires qnn.concatenate")
+			}
+			quant = nil
+			break
+		}
+	}
+	return &TensorType{Shape: out, DType: first.DType, Quant: quant}, nil
+}
+
+func inferReshape(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("reshape expects 1 arg, got %d", len(args))
+	}
+	data, err := AsTensorType(args[0], "reshape")
+	if err != nil {
+		return nil, err
+	}
+	newshape := attrs.Ints("newshape", nil)
+	if newshape == nil {
+		return nil, fmt.Errorf("reshape requires newshape attr")
+	}
+	total := data.Shape.Elems()
+	known := 1
+	infer := -1
+	out := make(tensor.Shape, len(newshape))
+	for i, d := range newshape {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				return nil, fmt.Errorf("reshape with more than one -1: %v", newshape)
+			}
+			infer = i
+		case d > 0:
+			out[i] = d
+			known *= d
+		default:
+			return nil, fmt.Errorf("reshape with invalid extent %d", d)
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || total%known != 0 {
+			return nil, fmt.Errorf("reshape %s -> %v not divisible", data.Shape, newshape)
+		}
+		out[infer] = total / known
+		known *= out[infer]
+	}
+	if known != total {
+		return nil, fmt.Errorf("reshape %s -> %v changes element count", data.Shape, newshape)
+	}
+	return &TensorType{Shape: out, DType: data.DType, Quant: data.Quant}, nil
+}
+
+func inferTranspose(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("transpose expects 1 arg, got %d", len(args))
+	}
+	data, err := AsTensorType(args[0], "transpose")
+	if err != nil {
+		return nil, err
+	}
+	axes := attrs.Ints("axes", nil)
+	if axes == nil {
+		// Default: reverse all axes.
+		axes = make([]int, len(data.Shape))
+		for i := range axes {
+			axes[i] = len(data.Shape) - 1 - i
+		}
+	}
+	if len(axes) != len(data.Shape) {
+		return nil, fmt.Errorf("transpose axes %v rank mismatch with %s", axes, data.Shape)
+	}
+	seen := map[int]bool{}
+	out := make(tensor.Shape, len(axes))
+	for i, ax := range axes {
+		if ax < 0 || ax >= len(data.Shape) || seen[ax] {
+			return nil, fmt.Errorf("transpose axes %v invalid for %s", axes, data.Shape)
+		}
+		seen[ax] = true
+		out[i] = data.Shape[ax]
+	}
+	return &TensorType{Shape: out, DType: data.DType, Quant: data.Quant}, nil
+}
+
+func inferSqueeze(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("squeeze expects 1 arg, got %d", len(args))
+	}
+	data, err := AsTensorType(args[0], "squeeze")
+	if err != nil {
+		return nil, err
+	}
+	axes := attrs.Ints("axis", nil)
+	drop := map[int]bool{}
+	if axes == nil {
+		for i, d := range data.Shape {
+			if d == 1 {
+				drop[i] = true
+			}
+		}
+	} else {
+		for _, ax := range axes {
+			if ax < 0 {
+				ax += len(data.Shape)
+			}
+			if ax < 0 || ax >= len(data.Shape) || data.Shape[ax] != 1 {
+				return nil, fmt.Errorf("squeeze axis %v invalid for %s", axes, data.Shape)
+			}
+			drop[ax] = true
+		}
+	}
+	var out tensor.Shape
+	for i, d := range data.Shape {
+		if !drop[i] {
+			out = append(out, d)
+		}
+	}
+	return &TensorType{Shape: out, DType: data.DType, Quant: data.Quant}, nil
+}
+
+func inferExpandDims(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expand_dims expects 1 arg, got %d", len(args))
+	}
+	data, err := AsTensorType(args[0], "expand_dims")
+	if err != nil {
+		return nil, err
+	}
+	axis := attrs.Int("axis", 0)
+	if axis < 0 {
+		axis += len(data.Shape) + 1
+	}
+	if axis < 0 || axis > len(data.Shape) {
+		return nil, fmt.Errorf("expand_dims axis %d out of range for %s", axis, data.Shape)
+	}
+	out := make(tensor.Shape, 0, len(data.Shape)+1)
+	out = append(out, data.Shape[:axis]...)
+	out = append(out, 1)
+	out = append(out, data.Shape[axis:]...)
+	return &TensorType{Shape: out, DType: data.DType, Quant: data.Quant}, nil
+}
+
+func inferMean(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("mean expects 1 arg, got %d", len(args))
+	}
+	data, err := AsTensorType(args[0], "mean")
+	if err != nil {
+		return nil, err
+	}
+	if data.DType != tensor.Float32 {
+		return nil, fmt.Errorf("mean supports float32 only, got %s", data.DType)
+	}
+	axes := attrs.Ints("axis", nil)
+	keep := attrs.Bool("keepdims", false)
+	reduce := map[int]bool{}
+	if axes == nil {
+		for i := range data.Shape {
+			reduce[i] = true
+		}
+	} else {
+		for _, ax := range axes {
+			if ax < 0 {
+				ax += len(data.Shape)
+			}
+			if ax < 0 || ax >= len(data.Shape) {
+				return nil, fmt.Errorf("mean axis %v out of range for %s", axes, data.Shape)
+			}
+			reduce[ax] = true
+		}
+	}
+	var out tensor.Shape
+	for i, d := range data.Shape {
+		if reduce[i] {
+			if keep {
+				out = append(out, 1)
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	return &TensorType{Shape: out, DType: tensor.Float32}, nil
+}
+
+func inferClip(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("clip expects 1 arg, got %d", len(args))
+	}
+	if _, err := AsTensorType(args[0], "clip"); err != nil {
+		return nil, err
+	}
+	// a_min / a_max are validated here so malformed frontend output fails at
+	// type-check time, not inside a kernel.
+	min := attrs.Float("a_min", 0)
+	max := attrs.Float("a_max", 0)
+	if min > max {
+		return nil, fmt.Errorf("clip a_min %g > a_max %g", min, max)
+	}
+	return args[0], nil
+}
+
+func inferStridedSlice(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("strided_slice expects 1 arg, got %d", len(args))
+	}
+	data, err := AsTensorType(args[0], "strided_slice")
+	if err != nil {
+		return nil, err
+	}
+	begin := attrs.Ints("begin", nil)
+	end := attrs.Ints("end", nil)
+	if len(begin) != len(data.Shape) || len(end) != len(data.Shape) {
+		return nil, fmt.Errorf("strided_slice begin/end rank mismatch with %s", data.Shape)
+	}
+	out := make(tensor.Shape, len(data.Shape))
+	for i := range data.Shape {
+		b, e := begin[i], end[i]
+		if b < 0 {
+			b += data.Shape[i]
+		}
+		if e < 0 {
+			e += data.Shape[i]
+		}
+		if e > data.Shape[i] {
+			e = data.Shape[i]
+		}
+		if b < 0 || b >= data.Shape[i] || e <= b {
+			return nil, fmt.Errorf("strided_slice [%d:%d) invalid for axis %d of %s", begin[i], end[i], i, data.Shape)
+		}
+		out[i] = e - b
+	}
+	return &TensorType{Shape: out, DType: data.DType, Quant: data.Quant}, nil
+}
+
+var (
+	OpAdd          = RegisterOp("add", PatternBroadcast, binaryBroadcastInfer("add"))
+	OpSubtract     = RegisterOp("subtract", PatternBroadcast, binaryBroadcastInfer("subtract"))
+	OpMultiply     = RegisterOp("multiply", PatternBroadcast, binaryBroadcastInfer("multiply"))
+	OpDivide       = RegisterOp("divide", PatternBroadcast, binaryBroadcastInfer("divide"))
+	OpMaximum      = RegisterOp("maximum", PatternBroadcast, binaryBroadcastInfer("maximum"))
+	OpMinimum      = RegisterOp("minimum", PatternBroadcast, binaryBroadcastInfer("minimum"))
+	OpConcatenate  = RegisterOp("concatenate", PatternInjective, inferConcatenate)
+	OpReshape      = RegisterOp("reshape", PatternInjective, inferReshape)
+	OpTranspose    = RegisterOp("transpose", PatternInjective, inferTranspose)
+	OpSqueeze      = RegisterOp("squeeze", PatternInjective, inferSqueeze)
+	OpExpandDims   = RegisterOp("expand_dims", PatternInjective, inferExpandDims)
+	OpMean         = RegisterOp("mean", PatternCommReduce, inferMean)
+	OpClip         = RegisterOp("clip", PatternElemWise, inferClip)
+	OpStridedSlice = RegisterOp("strided_slice", PatternInjective, inferStridedSlice)
+)

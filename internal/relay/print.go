@@ -1,0 +1,142 @@
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrintModule renders every function of the module in the textual form used
+// by debug dumps and golden tests.
+func PrintModule(m *Module) string {
+	var b strings.Builder
+	m.Functions(func(name string, f *Function) {
+		fmt.Fprintf(&b, "def @%s%s\n", name, fnAttrSuffix(f))
+		b.WriteString(PrintExpr(f))
+		b.WriteString("\n")
+	})
+	return b.String()
+}
+
+func fnAttrSuffix(f *Function) string {
+	if len(f.FnAttrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(f.FnAttrs))
+	for k := range f.FnAttrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, f.FnAttrs[k])
+	}
+	return " [" + strings.Join(parts, ", ") + "]"
+}
+
+// PrintExpr renders an expression in an ANF-like numbered form:
+//
+//	%0 = nn.conv2d(%data, const<...>, strides=[2 2])
+//	%1 = nn.relu(%0)
+//	%1
+//
+// Deterministic output (post-order numbering) makes it suitable for golden
+// comparisons in tests.
+func PrintExpr(root Expr) string {
+	var b strings.Builder
+	ids := map[Expr]string{}
+	next := 0
+	var ref func(Expr) string
+	var emit func(Expr)
+
+	fresh := func() string {
+		s := fmt.Sprintf("%%%d", next)
+		next++
+		return s
+	}
+
+	ref = func(e Expr) string {
+		if s, ok := ids[e]; ok {
+			return s
+		}
+		switch n := e.(type) {
+		case *Var:
+			s := "%" + n.Name
+			ids[e] = s
+			return s
+		case *Constant:
+			s := fmt.Sprintf("const<%s %s>", n.Value.DType, n.Value.Shape)
+			ids[e] = s
+			return s
+		default:
+			emit(e)
+			return ids[e]
+		}
+	}
+
+	emit = func(e Expr) {
+		if _, done := ids[e]; done {
+			return
+		}
+		switch n := e.(type) {
+		case *Call:
+			args := make([]string, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = ref(a)
+			}
+			callee := n.OpName()
+			if n.Fn != nil {
+				callee = ref(n.Fn)
+			}
+			id := fresh()
+			ids[e] = id
+			attrStr := ""
+			if s := n.Attrs.String(); s != "" {
+				attrStr = ", " + s
+			}
+			fmt.Fprintf(&b, "  %s = %s(%s%s)\n", id, callee, strings.Join(args, ", "), attrStr)
+		case *Tuple:
+			fields := make([]string, len(n.Fields))
+			for i, f := range n.Fields {
+				fields[i] = ref(f)
+			}
+			id := fresh()
+			ids[e] = id
+			fmt.Fprintf(&b, "  %s = (%s)\n", id, strings.Join(fields, ", "))
+		case *TupleGetItem:
+			t := ref(n.Tuple)
+			id := fresh()
+			ids[e] = id
+			fmt.Fprintf(&b, "  %s = %s.%d\n", id, t, n.Index)
+		case *Function:
+			params := make([]string, len(n.Params))
+			for i, p := range n.Params {
+				ty := ""
+				if p.TypeAnnotation != nil {
+					ty = ": " + p.TypeAnnotation.String()
+				}
+				params[i] = "%" + p.Name + ty
+			}
+			id := fresh()
+			ids[e] = id
+			fmt.Fprintf(&b, "  %s = fn%s(%s) {\n", id, fnAttrSuffix(n), strings.Join(params, ", "))
+			inner := PrintExpr(n.Body)
+			for _, line := range strings.Split(strings.TrimRight(inner, "\n"), "\n") {
+				fmt.Fprintf(&b, "  %s\n", line)
+			}
+			fmt.Fprintf(&b, "  }\n")
+		case *Var, *Constant:
+			ref(e)
+		}
+	}
+
+	if f, ok := root.(*Function); ok {
+		// Top-level function: print body directly with params implied.
+		out := ref(f.Body)
+		fmt.Fprintf(&b, "  %s\n", out)
+		return b.String()
+	}
+	out := ref(root)
+	fmt.Fprintf(&b, "  %s\n", out)
+	return b.String()
+}

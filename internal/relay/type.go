@@ -1,0 +1,136 @@
+// Package relay implements the graph-level intermediate representation of the
+// mini-TVM stack: a typed, functional expression IR modeled on TVM's Relay.
+// A model imported from any frontend becomes a relay Module; graph passes
+// (fusion, constant folding, BYOC annotation/partitioning) operate on it; and
+// the graph executor or the NeuroPilot bridge consume the result.
+package relay
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Type is the checked type of a relay expression: either a TensorType or a
+// TupleType.
+type Type interface {
+	isType()
+	String() string
+	// Same reports structural type equality.
+	Same(Type) bool
+}
+
+// TensorType describes a tensor-valued expression. Quant is carried in the
+// type for quantized tensors: relay QNN keeps quantization parameters on
+// operator attributes, but tracking them in the checked type as well is what
+// lets the BYOC converter attach them to every Neuron operand (paper §3.3).
+type TensorType struct {
+	Shape tensor.Shape
+	DType tensor.DType
+	Quant *tensor.QuantParams
+}
+
+func (*TensorType) isType() {}
+
+func (t *TensorType) String() string {
+	q := ""
+	if t.Quant != nil {
+		q = fmt.Sprintf(", q(%g,%d)", t.Quant.Scale, t.Quant.ZeroPoint)
+	}
+	return fmt.Sprintf("Tensor[%s, %s%s]", t.Shape, t.DType, q)
+}
+
+func (t *TensorType) Same(o Type) bool {
+	ot, ok := o.(*TensorType)
+	if !ok {
+		return false
+	}
+	if t.DType != ot.DType || !t.Shape.Equal(ot.Shape) {
+		return false
+	}
+	if (t.Quant == nil) != (ot.Quant == nil) {
+		return false
+	}
+	if t.Quant != nil && *t.Quant != *ot.Quant {
+		return false
+	}
+	return true
+}
+
+// TType is shorthand for constructing a float tensor type.
+func TType(dt tensor.DType, shape ...int) *TensorType {
+	return &TensorType{Shape: tensor.Shape(shape), DType: dt}
+}
+
+// QTType constructs a quantized tensor type.
+func QTType(dt tensor.DType, q tensor.QuantParams, shape ...int) *TensorType {
+	return &TensorType{Shape: tensor.Shape(shape), DType: dt, Quant: &q}
+}
+
+// TupleType is the type of a Tuple expression.
+type TupleType struct {
+	Fields []Type
+}
+
+func (*TupleType) isType() {}
+
+func (t *TupleType) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (t *TupleType) Same(o Type) bool {
+	ot, ok := o.(*TupleType)
+	if !ok || len(t.Fields) != len(ot.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if !t.Fields[i].Same(ot.Fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncType is the type of a Function expression.
+type FuncType struct {
+	Params []Type
+	Ret    Type
+}
+
+func (*FuncType) isType() {}
+
+func (t *FuncType) String() string {
+	parts := make([]string, len(t.Params))
+	for i, p := range t.Params {
+		parts[i] = p.String()
+	}
+	return "fn(" + strings.Join(parts, ", ") + ") -> " + t.Ret.String()
+}
+
+func (t *FuncType) Same(o Type) bool {
+	ot, ok := o.(*FuncType)
+	if !ok || len(t.Params) != len(ot.Params) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].Same(ot.Params[i]) {
+			return false
+		}
+	}
+	return t.Ret.Same(ot.Ret)
+}
+
+// AsTensorType asserts that ty is a TensorType, returning an error mentioning
+// ctx otherwise. Used throughout op type-inference functions.
+func AsTensorType(ty Type, ctx string) (*TensorType, error) {
+	tt, ok := ty.(*TensorType)
+	if !ok {
+		return nil, fmt.Errorf("relay: %s expects a tensor argument, got %s", ctx, ty)
+	}
+	return tt, nil
+}

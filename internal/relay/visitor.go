@@ -1,0 +1,190 @@
+package relay
+
+// This file provides the AST traversal infrastructure the paper's Listing 1
+// is built on: a memoized post-order DFS visitor (TVM's ExprVisitor) and a
+// bottom-up rewriter (TVM's ExprMutator).
+
+// PostOrderVisit calls fn exactly once per reachable node, children before
+// parents. Shared sub-expressions (the IR is a DAG) are visited once.
+func PostOrderVisit(e Expr, fn func(Expr)) {
+	visited := map[Expr]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if e == nil || visited[e] {
+			return
+		}
+		visited[e] = true
+		switch n := e.(type) {
+		case *Var, *Constant:
+		case *Call:
+			if n.Fn != nil {
+				walk(n.Fn)
+			}
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *Tuple:
+			for _, f := range n.Fields {
+				walk(f)
+			}
+		case *TupleGetItem:
+			walk(n.Tuple)
+		case *Function:
+			for _, p := range n.Params {
+				walk(p)
+			}
+			walk(n.Body)
+		}
+		fn(e)
+	}
+	walk(e)
+}
+
+// Rewrite rebuilds the expression bottom-up, calling fn on each node after
+// its children have been rewritten. fn may return the node unchanged.
+// Memoization preserves sharing: a sub-expression reachable through two paths
+// is rewritten once and both parents reference the same result. Checked types
+// are invalidated on rebuilt nodes; rerun InferType afterwards.
+func Rewrite(e Expr, fn func(Expr) Expr) Expr {
+	memo := map[Expr]Expr{}
+	var walk func(Expr) Expr
+	walk = func(e Expr) Expr {
+		if e == nil {
+			return nil
+		}
+		if r, ok := memo[e]; ok {
+			return r
+		}
+		var rebuilt Expr
+		switch n := e.(type) {
+		case *Var, *Constant:
+			rebuilt = n
+		case *Call:
+			newFn := n.Fn
+			if n.Fn != nil {
+				newFn = walk(n.Fn)
+			}
+			newArgs := make([]Expr, len(n.Args))
+			changed := newFn != n.Fn
+			for i, a := range n.Args {
+				newArgs[i] = walk(a)
+				changed = changed || newArgs[i] != a
+			}
+			if changed {
+				rebuilt = &Call{Op: n.Op, Fn: newFn, Args: newArgs, Attrs: n.Attrs}
+			} else {
+				rebuilt = n
+			}
+		case *Tuple:
+			newFields := make([]Expr, len(n.Fields))
+			changed := false
+			for i, f := range n.Fields {
+				newFields[i] = walk(f)
+				changed = changed || newFields[i] != f
+			}
+			if changed {
+				rebuilt = &Tuple{Fields: newFields}
+			} else {
+				rebuilt = n
+			}
+		case *TupleGetItem:
+			nt := walk(n.Tuple)
+			if nt != n.Tuple {
+				rebuilt = &TupleGetItem{Tuple: nt, Index: n.Index}
+			} else {
+				rebuilt = n
+			}
+		case *Function:
+			nb := walk(n.Body)
+			if nb != n.Body {
+				nf := &Function{Params: n.Params, Body: nb, FnAttrs: n.FnAttrs}
+				rebuilt = nf
+			} else {
+				rebuilt = n
+			}
+		default:
+			rebuilt = e
+		}
+		out := fn(rebuilt)
+		memo[e] = out
+		return out
+	}
+	return walk(e)
+}
+
+// FreeVars returns the variables used by e that are not bound by any
+// Function parameter list inside e, in first-use order. The BYOC partitioner
+// uses this to compute the parameter list of a lifted region.
+func FreeVars(e Expr) []*Var {
+	bound := map[*Var]bool{}
+	seen := map[*Var]bool{}
+	var free []*Var
+	visited := map[Expr]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if e == nil || visited[e] {
+			return
+		}
+		// Vars may legitimately be revisited (no early-out for them); for
+		// all other nodes, memoize.
+		if _, isVar := e.(*Var); !isVar {
+			visited[e] = true
+		}
+		switch n := e.(type) {
+		case *Var:
+			if !bound[n] && !seen[n] {
+				seen[n] = true
+				free = append(free, n)
+			}
+		case *Constant:
+		case *Call:
+			if n.Fn != nil {
+				walk(n.Fn)
+			}
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *Tuple:
+			for _, f := range n.Fields {
+				walk(f)
+			}
+		case *TupleGetItem:
+			walk(n.Tuple)
+		case *Function:
+			for _, p := range n.Params {
+				bound[p] = true
+			}
+			walk(n.Body)
+		}
+	}
+	walk(e)
+	return free
+}
+
+// CountNodes returns the number of distinct reachable AST nodes; used by
+// tests and by the bench harness to report graph sizes.
+func CountNodes(e Expr) int {
+	n := 0
+	PostOrderVisit(e, func(Expr) { n++ })
+	return n
+}
+
+// CountOps returns the number of operator-call nodes whose name matches any
+// of the given names; with no names it counts all op calls.
+func CountOps(e Expr, names ...string) int {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	n := 0
+	PostOrderVisit(e, func(x Expr) {
+		c, ok := x.(*Call)
+		if !ok || c.Op == nil {
+			return
+		}
+		if len(want) == 0 || want[c.Op.Name] {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,72 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/relay"
+	"repro/internal/soc"
+)
+
+// Estimate charges one inference of the built library to a fresh profile
+// without executing any numerics: per-kernel roofline time for host (TVM)
+// kernels, and the compiled Execution-Planner cost for each external
+// NeuroPilot region. The Figure 4/6 sweeps use this path at full model
+// scale; estimate-vs-execute equality is covered by tests on models small
+// enough to run.
+func (lib *Lib) Estimate() (*soc.Profile, error) {
+	prof := soc.NewProfile()
+	cpu := lib.SoC.CPU
+	var eerr error
+	var walk func(e relay.Expr)
+	seen := map[relay.Expr]bool{}
+	walk = func(e relay.Expr) {
+		if e == nil || seen[e] || eerr != nil {
+			return
+		}
+		seen[e] = true
+		switch n := e.(type) {
+		case *relay.Call:
+			for _, a := range n.Args {
+				walk(a)
+			}
+			switch {
+			case n.Op != nil:
+				w := soc.WorkOf(n)
+				prof.AddOp(soc.KindCPU, cpu.OpTime(w, soc.TVMEff(w)))
+			case n.Fn != nil:
+				fn, ok := n.Fn.(*relay.Function)
+				if !ok {
+					eerr = fmt.Errorf("runtime: estimate: call of non-function value")
+					return
+				}
+				switch {
+				case fn.Attr(relay.FnAttrCompiler) == "nir":
+					sym := fn.Attr(relay.FnAttrGlobalSymbol)
+					cm, ok := lib.External[sym]
+					if !ok {
+						eerr = fmt.Errorf("runtime: estimate: external %q not compiled", sym)
+						return
+					}
+					prof.AddSubgraph()
+					cm.Estimate(prof)
+				case fn.Attr(relay.FnAttrPrimitive) != "":
+					fw := soc.FunctionWork(fn)
+					prof.AddOp(soc.KindCPU, cpu.OpTime(fw, soc.TVMEff(fw)))
+				default:
+					walk(fn.Body)
+				}
+			}
+		case *relay.Tuple:
+			for _, f := range n.Fields {
+				walk(f)
+			}
+		case *relay.TupleGetItem:
+			walk(n.Tuple)
+		}
+	}
+	walk(lib.Module.Main().Body)
+	if eerr != nil {
+		return nil, eerr
+	}
+	return prof, nil
+}

@@ -1,0 +1,225 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/relay"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// Randomized differential testing: generate random relay DAGs mixing
+// Neuron-supported and unsupported operators, then compile them through
+// every path — unfused TVM, fused TVM, BYOC CPU+APU, BYOC APU-only — and
+// demand identical numerics. This exercises FuseOps, the partitioner's
+// region merging/convexity logic, the Listing 1 converter and the Neuron
+// runtime against arbitrary graph shapes.
+
+// graphGen grows a random expression DAG with tracked tensor types.
+type graphGen struct {
+	rng  *tensor.RNG
+	pool []relay.Expr // all typed intermediate values
+	t    *testing.T
+}
+
+func (g *graphGen) pick() relay.Expr {
+	return g.pool[g.rng.Intn(len(g.pool))]
+}
+
+// pick4D returns a random pool entry with a 4-D tensor type.
+func (g *graphGen) pick4D() (relay.Expr, *relay.TensorType, bool) {
+	for tries := 0; tries < 16; tries++ {
+		e := g.pick()
+		tt, ok := e.CheckedType().(*relay.TensorType)
+		if ok && len(tt.Shape) == 4 && tt.Shape[1] >= 3 && tt.Shape[2] >= 3 {
+			return e, tt, true
+		}
+	}
+	return nil, nil, false
+}
+
+func (g *graphGen) push(e relay.Expr) bool {
+	if _, err := relay.InferTypes(e); err != nil {
+		// Generator bug — shapes are tracked, so inference must succeed.
+		g.t.Fatalf("generator produced ill-typed node: %v", err)
+	}
+	g.pool = append(g.pool, e)
+	return true
+}
+
+func (g *graphGen) randConst(shape tensor.Shape) *relay.Constant {
+	t := tensor.New(tensor.Float32, shape)
+	t.FillUniform(g.rng, -0.5, 0.5)
+	return relay.Const(t)
+}
+
+// step adds one random operator to the DAG.
+func (g *graphGen) step() {
+	switch g.rng.Intn(10) {
+	case 0, 1: // conv2d
+		x, tt, ok := g.pick4D()
+		if !ok {
+			return
+		}
+		filters := 1 + g.rng.Intn(6)
+		w := g.randConst(tensor.Shape{filters, 3, 3, tt.Shape[3]})
+		g.push(relay.NewCall(relay.OpConv2D, []relay.Expr{x, w},
+			relay.Attrs{"padding": []int{1, 1}}))
+	case 2: // relu (supported elementwise)
+		g.push(relay.NewCall(relay.OpReLU, []relay.Expr{g.pick()}, nil))
+	case 3: // leaky_relu (UNSUPPORTED: forces host gaps)
+		g.push(relay.NewCall(relay.OpLeakyReLU, []relay.Expr{g.pick()},
+			relay.Attrs{"alpha": 0.1}))
+	case 4: // sigmoid (supported on Neuron CPU, not APU)
+		g.push(relay.NewCall(relay.OpSigmoid, []relay.Expr{g.pick()}, nil))
+	case 5: // max pool
+		x, _, ok := g.pick4D()
+		if !ok {
+			return
+		}
+		g.push(relay.NewCall(relay.OpMaxPool2D, []relay.Expr{x},
+			relay.Attrs{"pool_size": []int{2, 2}, "strides": []int{1, 1}}))
+	case 6: // residual add of two same-shaped values
+		a := g.pick()
+		at := a.CheckedType().(*relay.TensorType)
+		for tries := 0; tries < 16; tries++ {
+			b := g.pick()
+			bt := b.CheckedType().(*relay.TensorType)
+			if at.Same(bt) {
+				g.push(relay.NewCall(relay.OpAdd, []relay.Expr{a, b}, nil))
+				return
+			}
+		}
+	case 7: // channel concat of two values with equal spatial dims
+		a, at, ok := g.pick4D()
+		if !ok {
+			return
+		}
+		for tries := 0; tries < 16; tries++ {
+			b := g.pick()
+			bt, ok := b.CheckedType().(*relay.TensorType)
+			if !ok || len(bt.Shape) != 4 || b == a {
+				continue
+			}
+			if bt.Shape[0] == at.Shape[0] && bt.Shape[1] == at.Shape[1] && bt.Shape[2] == at.Shape[2] {
+				g.push(relay.NewCall(relay.OpConcatenate,
+					[]relay.Expr{relay.NewTuple([]relay.Expr{a, b})}, relay.Attrs{"axis": 3}))
+				return
+			}
+		}
+	case 8: // clip
+		g.push(relay.NewCall(relay.OpClip, []relay.Expr{g.pick()},
+			relay.Attrs{"a_min": -1.0, "a_max": 1.0}))
+	case 9: // scale by per-channel constant (broadcast multiply)
+		x := g.pick()
+		tt := x.CheckedType().(*relay.TensorType)
+		c := g.randConst(tensor.Shape{tt.Shape[len(tt.Shape)-1]})
+		g.push(relay.NewCall(relay.OpMultiply, []relay.Expr{x, c}, nil))
+	}
+}
+
+// generate builds a random module with one input.
+func generateModule(t *testing.T, seed uint64) (*relay.Module, tensor.Shape) {
+	rng := tensor.NewRNG(seed)
+	h := 6 + rng.Intn(6)
+	w := 6 + rng.Intn(6)
+	c := 1 + rng.Intn(4)
+	inShape := tensor.Shape{1, h, w, c}
+	in := relay.NewVar("data", relay.TType(tensor.Float32, 1, h, w, c))
+	g := &graphGen{rng: rng, pool: []relay.Expr{in}, t: t}
+	steps := 4 + rng.Intn(10)
+	for i := 0; i < steps; i++ {
+		g.step()
+	}
+	out := g.pool[len(g.pool)-1]
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{in}, out))
+	if err := relay.InferModule(m); err != nil {
+		t.Fatalf("seed %d: generated module ill-typed: %v", seed, err)
+	}
+	return m, inShape
+}
+
+func TestRandomGraphsAllPathsAgree(t *testing.T) {
+	paths := []struct {
+		name string
+		opts BuildOptions
+	}{
+		{"tvm-unfused", BuildOptions{OptLevel: 0}},
+		{"tvm-fused", BuildOptions{OptLevel: 3}},
+		{"byoc-cpu-apu", BuildOptions{OptLevel: 3, UseNIR: true}},
+		{"byoc-apu", BuildOptions{OptLevel: 3, UseNIR: true,
+			NIRDevices: []soc.DeviceKind{soc.KindAPU}}},
+		{"byoc-unmerged", BuildOptions{OptLevel: 3, UseNIR: true,
+			Partition: mkPartition(false)}},
+	}
+	for seed := uint64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m, inShape := generateModule(t, seed)
+			in := tensor.New(tensor.Float32, inShape)
+			in.FillUniform(tensor.NewRNG(seed^0xF00D), -1, 1)
+			var ref *tensor.Tensor
+			for _, p := range paths {
+				lib, err := Build(m, p.opts)
+				if err != nil {
+					t.Fatalf("%s: build: %v", p.name, err)
+				}
+				gm := NewGraphModule(lib)
+				gm.SetInput("data", in)
+				if err := gm.Run(); err != nil {
+					t.Fatalf("%s: run: %v", p.name, err)
+				}
+				out := gm.GetOutput(0)
+				if ref == nil {
+					ref = out
+					continue
+				}
+				if !tensor.AllClose(out, ref, 1e-4, 1e-4) {
+					t.Fatalf("%s diverges from reference path, max diff %g\nmodule:\n%s",
+						p.name, tensor.MaxAbsDiff(out, ref), relay.PrintModule(m))
+				}
+			}
+		})
+	}
+}
+
+// The generated graphs must also survive the export/load round trip.
+func TestRandomGraphsExportLoad(t *testing.T) {
+	for seed := uint64(31); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m, inShape := generateModule(t, seed)
+			lib, err := Build(m, BuildOptions{OptLevel: 3, UseNIR: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := tensor.New(tensor.Float32, inShape)
+			in.FillUniform(tensor.NewRNG(seed), -1, 1)
+			gm := NewGraphModule(lib)
+			gm.SetInput("data", in)
+			if err := gm.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := lib.ExportLibrary(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadLibrary(&buf, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm2 := NewGraphModule(loaded)
+			gm2.SetInput("data", in)
+			if err := gm2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !tensor.AllClose(gm2.GetOutput(0), gm.GetOutput(0), 1e-6, 1e-6) {
+				t.Error("export/load changed random-graph output")
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/relay"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// GraphModule is the executable handle over a built library, mirroring TVM's
+// graph_executor.GraphModule used throughout the paper's listings:
+//
+//	m.SetInput("data", x)
+//	m.Run()
+//	y := m.GetOutput(0)
+//
+// LastProfile exposes the simulated cost of the most recent Run.
+type GraphModule struct {
+	lib     *Lib
+	inputs  map[string]*tensor.Tensor
+	outputs []*tensor.Tensor
+	profile *soc.Profile
+}
+
+// NewGraphModule wraps a built library.
+func NewGraphModule(lib *Lib) *GraphModule {
+	return &GraphModule{lib: lib, inputs: map[string]*tensor.Tensor{}}
+}
+
+// Lib returns the underlying library.
+func (g *GraphModule) Lib() *Lib { return g.lib }
+
+// InputNames returns the model's input names in declaration order.
+func (g *GraphModule) InputNames() []string {
+	params := g.lib.Module.Main().Params
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// SetInput binds an input tensor by name.
+func (g *GraphModule) SetInput(name string, t *tensor.Tensor) {
+	g.inputs[name] = t
+}
+
+// Run executes one inference, validating that every declared input is bound
+// and recording a fresh simulated-cost profile.
+func (g *GraphModule) Run() error {
+	main := g.lib.Module.Main()
+	prof := soc.NewProfile()
+	ex := newExecutor(g.lib, prof)
+	for _, p := range main.Params {
+		in, ok := g.inputs[p.Name]
+		if !ok {
+			return fmt.Errorf("runtime: input %q not set", p.Name)
+		}
+		if tt, ok := p.TypeAnnotation.(*relay.TensorType); ok {
+			if !in.Shape.Equal(tt.Shape) {
+				return fmt.Errorf("runtime: input %q shape %s, model wants %s", p.Name, in.Shape, tt.Shape)
+			}
+			if in.DType != tt.DType {
+				return fmt.Errorf("runtime: input %q dtype %s, model wants %s", p.Name, in.DType, tt.DType)
+			}
+		}
+		ex.env[p] = in
+	}
+	out, err := ex.eval(main.Body)
+	if err != nil {
+		return err
+	}
+	g.outputs = g.outputs[:0]
+	switch v := out.(type) {
+	case *tensor.Tensor:
+		g.outputs = append(g.outputs, v)
+	case []value:
+		for i, f := range v {
+			t, ok := f.(*tensor.Tensor)
+			if !ok {
+				return fmt.Errorf("runtime: output %d is not a tensor", i)
+			}
+			g.outputs = append(g.outputs, t)
+		}
+	default:
+		return fmt.Errorf("runtime: unexpected result value %T", out)
+	}
+	g.profile = prof
+	return nil
+}
+
+// NumOutputs returns the output count of the last Run.
+func (g *GraphModule) NumOutputs() int { return len(g.outputs) }
+
+// GetOutput returns output i of the last Run.
+func (g *GraphModule) GetOutput(i int) *tensor.Tensor {
+	if i < 0 || i >= len(g.outputs) {
+		panic(fmt.Sprintf("runtime: GetOutput(%d) with %d outputs (did Run succeed?)", i, len(g.outputs)))
+	}
+	return g.outputs[i]
+}
+
+// LastProfile returns the simulated cost profile of the last Run (nil before
+// the first Run).
+func (g *GraphModule) LastProfile() *soc.Profile { return g.profile }

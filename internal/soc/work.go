@@ -1,0 +1,105 @@
+package soc
+
+import (
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// Work summarizes the arithmetic and memory traffic of one kernel launch;
+// the cost model consumes nothing else, so the same extraction serves the
+// TVM engine, the NeuroPilot CPU engine and the APU.
+type Work struct {
+	OpName    string
+	MACs      int64 // multiply-accumulates (or ALU ops for non-MAC kernels)
+	Bytes     int64 // input + output + parameter traffic
+	Quantized bool  // int8 path (uses the device's integer throughput)
+}
+
+// Add accumulates other into w.
+func (w *Work) Add(o Work) {
+	w.MACs += o.MACs
+	w.Bytes += o.Bytes
+	w.Quantized = w.Quantized || o.Quantized
+}
+
+func bytesOfType(t relay.Type) int64 {
+	switch tt := t.(type) {
+	case *relay.TensorType:
+		return int64(tt.Shape.Elems()) * int64(tt.DType.Size())
+	case *relay.TupleType:
+		var n int64
+		for _, f := range tt.Fields {
+			n += bytesOfType(f)
+		}
+		return n
+	}
+	return 0
+}
+
+// WorkOf extracts the Work of a single type-checked operator call.
+func WorkOf(call *relay.Call) Work {
+	w := Work{OpName: call.OpName()}
+	outT := call.CheckedType()
+	w.Bytes = bytesOfType(outT)
+	for _, a := range call.Args {
+		w.Bytes += bytesOfType(a.CheckedType())
+	}
+	if ot, ok := outT.(*relay.TensorType); ok {
+		w.Quantized = ot.DType.IsQuantized() || ot.DType == tensor.Int32 && ot.Quant != nil
+	}
+	if len(call.Args) > 0 {
+		if at, ok := call.Args[0].CheckedType().(*relay.TensorType); ok && at.DType.IsQuantized() {
+			w.Quantized = true
+		}
+	}
+
+	outElems := int64(1)
+	if ot, ok := outT.(*relay.TensorType); ok {
+		outElems = int64(ot.Shape.Elems())
+	}
+
+	switch call.OpName() {
+	case "nn.conv2d", "qnn.conv2d":
+		wt := relay.TensorTypeOf(call.Args[1])
+		kh, kw, icg := wt.Shape[1], wt.Shape[2], wt.Shape[3]
+		w.MACs = outElems * int64(kh*kw*icg)
+	case "nn.dense", "qnn.dense":
+		wt := relay.TensorTypeOf(call.Args[1])
+		w.MACs = outElems * int64(wt.Shape[1])
+	case "nn.max_pool2d", "nn.avg_pool2d":
+		kh, kw := call.Attrs.IntPair("pool_size", 1)
+		w.MACs = outElems * int64(kh*kw)
+	case "nn.global_avg_pool2d", "mean":
+		in := relay.TensorTypeOf(call.Args[0])
+		w.MACs = int64(in.Shape.Elems())
+	case "nn.softmax":
+		w.MACs = outElems * 8 // exp + normalize, transcendental-weighted
+	case "sigmoid", "tanh", "exp", "sqrt":
+		w.MACs = outElems * 8
+	case "nn.batch_norm":
+		w.MACs = outElems * 2
+	case "nn.lrn":
+		size := int64(call.Attrs.Int("size", 5))
+		w.MACs = outElems * (size + 4)
+	case "vision.yolo_output":
+		w.MACs = outElems * 8
+	default:
+		// Elementwise / data movement: one ALU op per output element; the
+		// roofline makes these memory-bound anyway.
+		w.MACs = outElems
+	}
+	return w
+}
+
+// FunctionWork sums the work of every operator call in a function body
+// (descending into fused Primitive sub-functions).
+func FunctionWork(f *relay.Function) Work {
+	var total Work
+	relay.PostOrderVisit(f.Body, func(e relay.Expr) {
+		if c, ok := e.(*relay.Call); ok && c.Op != nil {
+			total.Add(WorkOf(c))
+		}
+	})
+	total.OpName = "function"
+	return total
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary tensor format used by artifact export (runtime package) and by
+// the synthetic serialized model formats (tflite-like, darknet .weights):
+//
+//	u8    dtype
+//	u8    hasQuant (0/1)
+//	[f64 scale, i32 zeroPoint]   if hasQuant
+//	u32   rank
+//	u32 × rank   extents
+//	raw little-endian element data
+const maxSerializedRank = 32
+
+// Serialize writes the tensor to w in the binary tensor format.
+func (t *Tensor) Serialize(w io.Writer) error {
+	hdr := []byte{byte(t.DType), 0}
+	if t.Quant != nil {
+		hdr[1] = 1
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if t.Quant != nil {
+		if err := binary.Write(w, binary.LittleEndian, t.Quant.Scale); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, t.Quant.ZeroPoint); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(t.Shape))); err != nil {
+		return err
+	}
+	for _, d := range t.Shape {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	return t.writeData(w)
+}
+
+func (t *Tensor) writeData(w io.Writer) error {
+	switch t.DType {
+	case Float32:
+		buf := make([]byte, 4*len(t.f32))
+		for i, v := range t.f32 {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		_, err := w.Write(buf)
+		return err
+	case Int32:
+		buf := make([]byte, 4*len(t.i32))
+		for i, v := range t.i32 {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		_, err := w.Write(buf)
+		return err
+	case Int8:
+		buf := make([]byte, len(t.i8))
+		for i, v := range t.i8 {
+			buf[i] = byte(v)
+		}
+		_, err := w.Write(buf)
+		return err
+	case UInt8:
+		_, err := w.Write(t.u8)
+		return err
+	}
+	return fmt.Errorf("tensor: cannot serialize dtype %s", t.DType)
+}
+
+// ReadFrom deserializes one tensor from r.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	dt := DType(hdr[0])
+	if dt != Float32 && dt != Int8 && dt != UInt8 && dt != Int32 {
+		return nil, fmt.Errorf("tensor: corrupt stream, dtype byte %d", hdr[0])
+	}
+	var quant *QuantParams
+	if hdr[1] == 1 {
+		var q QuantParams
+		if err := binary.Read(r, binary.LittleEndian, &q.Scale); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &q.ZeroPoint); err != nil {
+			return nil, err
+		}
+		quant = &q
+	} else if hdr[1] != 0 {
+		return nil, fmt.Errorf("tensor: corrupt stream, quant flag %d", hdr[1])
+	}
+	var rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, err
+	}
+	if rank > maxSerializedRank {
+		return nil, fmt.Errorf("tensor: corrupt stream, rank %d", rank)
+	}
+	shape := make(Shape, rank)
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		shape[i] = int(d)
+	}
+	if !shape.Valid() && rank > 0 {
+		return nil, fmt.Errorf("tensor: corrupt stream, shape %v", shape)
+	}
+	t := New(dt, shape)
+	t.Quant = quant
+	if err := t.readData(r); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tensor) readData(r io.Reader) error {
+	n := t.Elems()
+	switch t.DType {
+	case Float32:
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range t.f32 {
+			t.f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case Int32:
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range t.i32 {
+			t.i32[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case Int8:
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range t.i8 {
+			t.i8[i] = int8(buf[i])
+		}
+	case UInt8:
+		if _, err := io.ReadFull(r, t.u8); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package topi
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// conv2dParams gathers the attribute set shared by float and quantized
+// convolution.
+type conv2dParams struct {
+	sh, sw, dh, dw, groups int
+	pad                    [4]int // top, left, bottom, right
+}
+
+func convParams(attrs relay.Attrs) conv2dParams {
+	p := conv2dParams{groups: attrs.Int("groups", 1)}
+	p.sh, p.sw = attrs.IntPair("strides", 1)
+	p.dh, p.dw = attrs.IntPair("dilation", 1)
+	p.pad = attrs.Pad4("padding")
+	return p
+}
+
+// conv2DF32 is the float32 direct convolution: NHWC data, OHWI weight.
+// Parallelized over (batch × output row); each goroutine owns disjoint output
+// rows so there is no shared mutable state.
+func conv2DF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 2, "nn.conv2d"); err != nil {
+		return nil, err
+	}
+	data, weight := args[0], args[1]
+	p := convParams(attrs)
+
+	n := data.Shape[0]
+	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
+	oc, kh, kw, icg := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	ocg := oc / p.groups
+
+	// Compute-heavy shapes take the im2col + GEMM path (contiguous inner
+	// loops); small shapes stay on the direct kernel to avoid packing cost.
+	if int64(n)*int64(oh)*int64(ow)*int64(oc)*int64(kh*kw*icg) >= im2colThreshold {
+		return conv2DF32Im2col(data, weight, p, out), nil
+	}
+	res := newOutput(out)
+
+	din := data.F32()
+	wt := weight.F32()
+	dout := res.F32()
+
+	parallel.For(n*oh, func(job int) {
+		b := job / oh
+		oy := job % oh
+		for ox := 0; ox < ow; ox++ {
+			outBase := ((b*oh+oy)*ow + ox) * oc
+			for g := 0; g < p.groups; g++ {
+				for f := 0; f < ocg; f++ {
+					o := g*ocg + f
+					var acc float32
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*p.sh - p.pad[0] + ky*p.dh
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*p.sw - p.pad[1] + kx*p.dw
+							if ix < 0 || ix >= w {
+								continue
+							}
+							inBase := ((b*h+iy)*w+ix)*c + g*icg
+							wBase := ((o*kh+ky)*kw + kx) * icg
+							for ic := 0; ic < icg; ic++ {
+								acc += din[inBase+ic] * wt[wBase+ic]
+							}
+						}
+					}
+					dout[outBase+o] = acc
+				}
+			}
+		}
+	})
+	return res, nil
+}
+
+// qnnConv2D is the quantized convolution producing an int32 accumulator:
+// acc = Σ (q_in - zp_in) * (q_w - zp_w). The requantize kernel narrows the
+// accumulator back to 8 bits.
+func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 2, "qnn.conv2d"); err != nil {
+		return nil, err
+	}
+	data, weight := args[0], args[1]
+	p := convParams(attrs)
+	zpIn := int32(attrs.Int("input_zero_point", 0))
+	zpK := int32(attrs.Int("kernel_zero_point", 0))
+	res := newOutput(out)
+
+	n := data.Shape[0]
+	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
+	oc, kh, kw, icg := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	ocg := oc / p.groups
+
+	din, err := rawI32View(data)
+	if err != nil {
+		return nil, err
+	}
+	wt, err := rawI32View(weight)
+	if err != nil {
+		return nil, err
+	}
+	dout := res.I32()
+
+	parallel.For(n*oh, func(job int) {
+		b := job / oh
+		oy := job % oh
+		for ox := 0; ox < ow; ox++ {
+			outBase := ((b*oh+oy)*ow + ox) * oc
+			for g := 0; g < p.groups; g++ {
+				for f := 0; f < ocg; f++ {
+					o := g*ocg + f
+					var acc int32
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*p.sh - p.pad[0] + ky*p.dh
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*p.sw - p.pad[1] + kx*p.dw
+							if ix < 0 || ix >= w {
+								continue
+							}
+							inBase := ((b*h+iy)*w+ix)*c + g*icg
+							wBase := ((o*kh+ky)*kw + kx) * icg
+							for ic := 0; ic < icg; ic++ {
+								acc += (din[inBase+ic] - zpIn) * (wt[wBase+ic] - zpK)
+							}
+						}
+					}
+					// Padding contributes (zp_in - zp_in) = 0 with the
+					// skip-out-of-bounds loop above only when the padded
+					// value equals the zero point — which is exactly the
+					// QNN convention (pad with zp), so skipping is correct.
+					dout[outBase+o] = acc
+				}
+			}
+		}
+	})
+	return res, nil
+}
+
+// rawI32View widens an 8-bit quantized tensor into an int32 slice once, so
+// the inner convolution loop avoids per-element interface dispatch.
+func rawI32View(t *tensor.Tensor) ([]int32, error) {
+	switch t.DType {
+	case tensor.UInt8:
+		src := t.U8()
+		out := make([]int32, len(src))
+		for i, v := range src {
+			out[i] = int32(v)
+		}
+		return out, nil
+	case tensor.Int8:
+		src := t.I8()
+		out := make([]int32, len(src))
+		for i, v := range src {
+			out[i] = int32(v)
+		}
+		return out, nil
+	case tensor.Int32:
+		return t.I32(), nil
+	}
+	return nil, fmt.Errorf("quantized kernel on %s tensor", t.DType)
+}
+
+func denseF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 2, "nn.dense"); err != nil {
+		return nil, err
+	}
+	data, weight := args[0], args[1]
+	res := newOutput(out)
+	n, k := data.Shape[0], data.Shape[1]
+	units := weight.Shape[0]
+	din := data.F32()
+	wt := weight.F32()
+	dout := res.F32()
+	parallel.For(n*units, func(job int) {
+		row := job / units
+		u := job % units
+		var acc float32
+		db := row * k
+		wb := u * k
+		for i := 0; i < k; i++ {
+			acc += din[db+i] * wt[wb+i]
+		}
+		dout[row*units+u] = acc
+	})
+	return res, nil
+}
+
+func qnnDense(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 2, "qnn.dense"); err != nil {
+		return nil, err
+	}
+	data, weight := args[0], args[1]
+	zpIn := int32(attrs.Int("input_zero_point", 0))
+	zpK := int32(attrs.Int("kernel_zero_point", 0))
+	res := newOutput(out)
+	n, k := data.Shape[0], data.Shape[1]
+	units := weight.Shape[0]
+	din, err := rawI32View(data)
+	if err != nil {
+		return nil, err
+	}
+	wt, err := rawI32View(weight)
+	if err != nil {
+		return nil, err
+	}
+	dout := res.I32()
+	parallel.For(n*units, func(job int) {
+		row := job / units
+		u := job % units
+		var acc int32
+		db := row * k
+		wb := u * k
+		for i := 0; i < k; i++ {
+			acc += (din[db+i] - zpIn) * (wt[wb+i] - zpK)
+		}
+		dout[row*units+u] = acc
+	})
+	return res, nil
+}
+
+func init() {
+	Register("nn.conv2d", conv2DF32)
+	Register("qnn.conv2d", qnnConv2D)
+	Register("nn.dense", denseF32)
+	Register("qnn.dense", qnnDense)
+}

@@ -1,0 +1,100 @@
+package topi
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// im2col + GEMM convolution path. The direct kernel's inner loops carry
+// per-tap bounds checks and strided reads; for compute-heavy shapes it pays
+// to materialize the patch matrix once per output-row tile and reduce the
+// problem to dense dot products over contiguous memory. The dispatcher in
+// conv.go selects this path when the arithmetic volume amortizes the packing
+// cost.
+
+// im2colThreshold is the MAC volume above which packing pays off.
+const im2colThreshold = 1 << 20
+
+// conv2DF32Im2col computes the same result as the direct kernel.
+func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.TensorType) *tensor.Tensor {
+	res := tensor.New(tensor.Float32, out.Shape)
+	n := data.Shape[0]
+	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
+	oc, kh, kw, icg := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	ocg := oc / p.groups
+	k := kh * kw * icg
+
+	din := data.F32()
+	wt := weight.F32()
+	dout := res.F32()
+
+	// Parallelize over (batch × output row); each worker packs one row of
+	// output pixels into a col buffer and multiplies it against the weight
+	// rows of every group.
+	parallel.ForChunked(n*oh, func(lo, hi int) {
+		col := make([]float32, ow*k) // one output row's patches, per group
+		for job := lo; job < hi; job++ {
+			b := job / oh
+			oy := job % oh
+			for g := 0; g < p.groups; g++ {
+				// Pack: col[ox*k + (ky*kw+kx)*icg + ic]
+				for ox := 0; ox < ow; ox++ {
+					base := ox * k
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*p.sh - p.pad[0] + ky*p.dh
+						rowBase := base + ky*kw*icg
+						if iy < 0 || iy >= h {
+							zero(col[rowBase : rowBase+kw*icg])
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*p.sw - p.pad[1] + kx*p.dw
+							dst := col[rowBase+kx*icg : rowBase+(kx+1)*icg]
+							if ix < 0 || ix >= w {
+								zero(dst)
+								continue
+							}
+							src := din[((b*h+iy)*w+ix)*c+g*icg:]
+							copy(dst, src[:icg])
+						}
+					}
+				}
+				// GEMM: for each output pixel row, dot against each filter.
+				for ox := 0; ox < ow; ox++ {
+					patch := col[ox*k : (ox+1)*k]
+					outBase := ((b*oh+oy)*ow+ox)*oc + g*ocg
+					for f := 0; f < ocg; f++ {
+						wRow := wt[(g*ocg+f)*k : (g*ocg+f+1)*k]
+						dout[outBase+f] = dotF32(patch, wRow)
+					}
+				}
+			}
+		}
+	})
+	return res
+}
+
+func zero(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// dotF32 is a 4-way unrolled dot product over equal-length slices.
+func dotF32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

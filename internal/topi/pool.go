@@ -1,0 +1,254 @@
+package topi
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// Pooling kernels. Max pooling works directly in the storage domain (order
+// is preserved by affine quantization), so one implementation covers float
+// and quantized tensors. Average pooling divides in the accumulator domain
+// with round-to-nearest for quantized inputs; padding is excluded from the
+// divisor (count_exclude_pad, the tflite/NNAPI convention).
+
+type poolParams struct {
+	kh, kw, sh, sw int
+	pad            [4]int
+}
+
+func poolParamsOf(attrs relay.Attrs) poolParams {
+	var p poolParams
+	p.kh, p.kw = attrs.IntPair("pool_size", 1)
+	p.sh, p.sw = attrs.IntPair("strides", 1)
+	p.pad = attrs.Pad4("padding")
+	return p
+}
+
+func maxPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 1, "nn.max_pool2d"); err != nil {
+		return nil, err
+	}
+	in := args[0]
+	p := poolParamsOf(attrs)
+	res := newOutput(out)
+	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+
+	if in.DType == tensor.Float32 {
+		src, dst := in.F32(), res.F32()
+		parallel.For(n*oh, func(job int) {
+			b, oy := job/oh, job%oh
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					best := float32(math.Inf(-1))
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*p.sh - p.pad[0] + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*p.sw - p.pad[1] + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := src[((b*h+iy)*w+ix)*c+ch]
+							if v > best {
+								best = v
+							}
+						}
+					}
+					dst[((b*oh+oy)*ow+ox)*c+ch] = best
+				}
+			}
+		})
+		return res, nil
+	}
+	// Quantized: max over the raw domain.
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					best := int32(math.MinInt32)
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*p.sh - p.pad[0] + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*p.sw - p.pad[1] + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := in.GetRaw(((b*h+iy)*w+ix)*c + ch)
+							if v > best {
+								best = v
+							}
+						}
+					}
+					setRaw(res, ((b*oh+oy)*ow+ox)*c+ch, best)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func avgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 1, "nn.avg_pool2d"); err != nil {
+		return nil, err
+	}
+	in := args[0]
+	p := poolParamsOf(attrs)
+	res := newOutput(out)
+	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	isFloat := in.DType == tensor.Float32
+
+	parallel.For(n*oh, func(job int) {
+		b, oy := job/oh, job%oh
+		for ox := 0; ox < ow; ox++ {
+			for ch := 0; ch < c; ch++ {
+				var accF float64
+				var accI int64
+				count := 0
+				for ky := 0; ky < p.kh; ky++ {
+					iy := oy*p.sh - p.pad[0] + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.kw; kx++ {
+						ix := ox*p.sw - p.pad[1] + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						idx := ((b*h+iy)*w+ix)*c + ch
+						if isFloat {
+							accF += float64(in.F32()[idx])
+						} else {
+							accI += int64(in.GetRaw(idx))
+						}
+						count++
+					}
+				}
+				oidx := ((b*oh+oy)*ow+ox)*c + ch
+				if count == 0 {
+					setRaw(res, oidx, 0)
+					continue
+				}
+				if isFloat {
+					res.F32()[oidx] = float32(accF / float64(count))
+				} else {
+					// Round-half-away in the raw domain.
+					v := accI
+					if v >= 0 {
+						v = (v + int64(count)/2) / int64(count)
+					} else {
+						v = (v - int64(count)/2) / int64(count)
+					}
+					setRaw(res, oidx, int32(v))
+				}
+			}
+		}
+	})
+	return res, nil
+}
+
+func globalAvgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 1, "nn.global_avg_pool2d"); err != nil {
+		return nil, err
+	}
+	in := args[0]
+	res := newOutput(out)
+	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	area := h * w
+	parallel.For(n*c, func(job int) {
+		b, ch := job/c, job%c
+		if in.DType == tensor.Float32 {
+			var acc float64
+			src := in.F32()
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					acc += float64(src[((b*h+y)*w+x)*c+ch])
+				}
+			}
+			res.F32()[b*c+ch] = float32(acc / float64(area))
+			return
+		}
+		var acc int64
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				acc += int64(in.GetRaw(((b*h+y)*w+x)*c + ch))
+			}
+		}
+		v := acc
+		if v >= 0 {
+			v = (v + int64(area)/2) / int64(area)
+		} else {
+			v = (v - int64(area)/2) / int64(area)
+		}
+		setRaw(res, b*c+ch, int32(v))
+	})
+	return res, nil
+}
+
+func meanKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	if err := wantArgs(args, 1, "mean"); err != nil {
+		return nil, err
+	}
+	in := args[0]
+	axes := attrs.Ints("axis", nil)
+	reduce := map[int]bool{}
+	if axes == nil {
+		for i := range in.Shape {
+			reduce[i] = true
+		}
+	} else {
+		for _, ax := range axes {
+			if ax < 0 {
+				ax += len(in.Shape)
+			}
+			reduce[ax] = true
+		}
+	}
+	res := newOutput(out)
+	sums := make([]float64, res.Elems())
+	counts := make([]int, res.Elems())
+	// Map every input index to its output bucket by dropping reduced axes.
+	idx := make([]int, len(in.Shape))
+	src := in.F32()
+	for flat := range src {
+		rem := flat
+		for i := len(in.Shape) - 1; i >= 0; i-- {
+			idx[i] = rem % in.Shape[i]
+			rem /= in.Shape[i]
+		}
+		// Flat layout is unchanged by keepdims' interleaved 1-extents, so one
+		// bucket computation serves both forms.
+		o := 0
+		for i, d := range in.Shape {
+			if reduce[i] {
+				continue
+			}
+			o = o*d + idx[i]
+		}
+		sums[o] += float64(src[flat])
+		counts[o]++
+	}
+	dst := res.F32()
+	for i := range dst {
+		if counts[i] > 0 {
+			dst[i] = float32(sums[i] / float64(counts[i]))
+		}
+	}
+	return res, nil
+}
+
+func init() {
+	Register("nn.max_pool2d", maxPool2D)
+	Register("nn.avg_pool2d", avgPool2D)
+	Register("nn.global_avg_pool2d", globalAvgPool2D)
+	Register("mean", meanKernel)
+}

@@ -1,0 +1,93 @@
+// Package topi implements the CPU reference kernels ("tensor operator
+// inventory") for every registered relay operator, in float32 and in the
+// quantized integer domain. The TVM-side graph executor calls these directly;
+// the simulated NeuroPilot runtime reuses them for numerics while charging
+// device-specific costs through the SoC model.
+//
+// Kernels receive already-evaluated argument tensors plus the call attributes
+// and the type-checked output type (whose shape/dtype/quant they must honor).
+// Tuple-typed arguments (concatenate) are flattened by the caller.
+package topi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// Kernel computes one operator application.
+type Kernel func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error)
+
+var (
+	kernelMu sync.RWMutex
+	kernels  = map[string]Kernel{}
+)
+
+// Register installs the kernel for an operator name; duplicate registration
+// panics (init-order bug).
+func Register(name string, k Kernel) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if _, dup := kernels[name]; dup {
+		panic(fmt.Sprintf("topi: duplicate kernel %q", name))
+	}
+	kernels[name] = k
+}
+
+// Lookup returns the kernel for an operator name.
+func Lookup(name string) (Kernel, bool) {
+	kernelMu.RLock()
+	defer kernelMu.RUnlock()
+	k, ok := kernels[name]
+	return k, ok
+}
+
+// Run executes one operator. It is the single entry point used by the graph
+// executor and the Neuron runtime.
+func Run(name string, args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	k, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("topi: no kernel registered for %q", name)
+	}
+	t, err := k(args, attrs, out)
+	if err != nil {
+		return nil, fmt.Errorf("topi: %s: %w", name, err)
+	}
+	if !t.Shape.Equal(out.Shape) {
+		return nil, fmt.Errorf("topi: %s produced shape %s, type checker said %s", name, t.Shape, out.Shape)
+	}
+	return t, nil
+}
+
+// KernelNames returns all registered kernel names, sorted; tests use it to
+// assert every relay op has a kernel.
+func KernelNames() []string {
+	kernelMu.RLock()
+	defer kernelMu.RUnlock()
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newOutput allocates the output tensor described by the checked type.
+func newOutput(out *relay.TensorType) *tensor.Tensor {
+	t := tensor.New(out.DType, out.Shape)
+	if out.Quant != nil {
+		q := *out.Quant
+		t.Quant = &q
+	}
+	return t
+}
+
+func wantArgs(args []*tensor.Tensor, n int, name string) error {
+	if len(args) != n {
+		return fmt.Errorf("%s kernel expects %d args, got %d", name, n, len(args))
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+// Package video provides the synthetic video source for the application
+// showcase. The paper feeds a camera video through the pipeline; here a
+// deterministic generator synthesizes frames with planted "objects"
+// (textured rectangles) and "faces" (bright elliptical blobs, some marked as
+// spoofed prints with a flat texture), so the detector → anti-spoofing →
+// emotion dependency chain actually fires, with realistic frame-to-frame
+// motion.
+package video
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Rect is an axis-aligned box in pixel coordinates.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Clamp restricts the box to a width×height canvas.
+func (r Rect) Clamp(width, height int) Rect {
+	if r.X < 0 {
+		r.W += r.X
+		r.X = 0
+	}
+	if r.Y < 0 {
+		r.H += r.Y
+		r.Y = 0
+	}
+	if r.X+r.W > width {
+		r.W = width - r.X
+	}
+	if r.Y+r.H > height {
+		r.H = height - r.Y
+	}
+	if r.W < 0 {
+		r.W = 0
+	}
+	if r.H < 0 {
+		r.H = 0
+	}
+	return r
+}
+
+// Area returns the box area.
+func (r Rect) Area() int { return r.W * r.H }
+
+// IoU computes intersection-over-union between two boxes — the overlap test
+// of the paper's Listing 5.
+func IoU(a, b Rect) float64 {
+	x1 := max(a.X, b.X)
+	y1 := max(a.Y, b.Y)
+	x2 := min(a.X+a.W, b.X+b.W)
+	y2 := min(a.Y+a.H, b.Y+b.H)
+	if x2 <= x1 || y2 <= y1 {
+		return 0
+	}
+	inter := (x2 - x1) * (y2 - y1)
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Intersects reports any positive overlap.
+func Intersects(a, b Rect) bool { return IoU(a, b) > 0 }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Rendering constants for face actors; the application calibrates its
+// anti-spoofing threshold against these (see app.New).
+const (
+	// LiveFaceBrightness is the mean intensity of live faces (plus texture).
+	LiveFaceBrightness float32 = 0.85
+	// SpoofFaceBrightness is the flat intensity of printed-photo attacks.
+	SpoofFaceBrightness float32 = 0.72
+)
+
+// Actor is one moving entity in the synthetic scene.
+type Actor struct {
+	Box     Rect
+	VX, VY  int
+	IsFace  bool
+	Spoofed bool // printed-photo attack: flat texture
+	Emotion int  // planted emotion index for face actors
+}
+
+// Frame is one video frame: an NHWC float32 RGB image in [0,1] plus the
+// ground-truth actor boxes (used by tests and report generation, never by
+// the models).
+type Frame struct {
+	Index int
+	Image *tensor.Tensor // (1, H, W, 3)
+	Truth []Actor
+}
+
+// Source generates deterministic frames.
+type Source struct {
+	W, H   int
+	actors []Actor
+	rng    *tensor.RNG
+	frame  int
+}
+
+// NewSource creates a scene with nFaces face actors (alternating live and
+// spoofed) and nObjects non-face objects.
+func NewSource(w, h, nFaces, nObjects int, seed uint64) (*Source, error) {
+	if w < 32 || h < 32 {
+		return nil, fmt.Errorf("video: frame %dx%d too small", w, h)
+	}
+	s := &Source{W: w, H: h, rng: tensor.NewRNG(seed)}
+	for i := 0; i < nFaces; i++ {
+		size := h/6 + s.rng.Intn(h/8)
+		s.actors = append(s.actors, Actor{
+			Box: Rect{
+				X: s.rng.Intn(w - size), Y: s.rng.Intn(h - size),
+				W: size, H: size,
+			},
+			VX: s.rng.Intn(5) - 2, VY: s.rng.Intn(5) - 2,
+			IsFace:  true,
+			Spoofed: i%2 == 1,
+			Emotion: s.rng.Intn(7),
+		})
+	}
+	for i := 0; i < nObjects; i++ {
+		bw := w/5 + s.rng.Intn(w/6)
+		bh := h/4 + s.rng.Intn(h/6)
+		s.actors = append(s.actors, Actor{
+			Box: Rect{X: s.rng.Intn(max(1, w-bw)), Y: s.rng.Intn(max(1, h-bh)), W: bw, H: bh},
+			VX:  s.rng.Intn(3) - 1, VY: s.rng.Intn(3) - 1,
+		})
+	}
+	return s, nil
+}
+
+// Next renders the next frame and advances the scene.
+func (s *Source) Next() *Frame {
+	img := tensor.New(tensor.Float32, tensor.Shape{1, s.H, s.W, 3})
+	data := img.F32()
+	// Background: smooth gradient with low-amplitude noise.
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			base := 0.15 + 0.1*float32(y)/float32(s.H)
+			n := float32(s.rng.Float64()) * 0.02
+			idx := (y*s.W + x) * 3
+			data[idx] = base + n
+			data[idx+1] = base + n*0.5
+			data[idx+2] = base
+		}
+	}
+	for _, a := range s.actors {
+		s.renderActor(img, a)
+	}
+	f := &Frame{Index: s.frame, Image: img, Truth: append([]Actor(nil), s.actors...)}
+	s.frame++
+	// Advance motion with reflection at borders.
+	for i := range s.actors {
+		a := &s.actors[i]
+		a.Box.X += a.VX
+		a.Box.Y += a.VY
+		if a.Box.X < 0 || a.Box.X+a.Box.W > s.W {
+			a.VX = -a.VX
+			a.Box.X += 2 * a.VX
+		}
+		if a.Box.Y < 0 || a.Box.Y+a.Box.H > s.H {
+			a.VY = -a.VY
+			a.Box.Y += 2 * a.VY
+		}
+	}
+	return f
+}
+
+func (s *Source) renderActor(img *tensor.Tensor, a Actor) {
+	box := a.Box.Clamp(s.W, s.H)
+	data := img.F32()
+	cx := float64(box.X) + float64(box.W)/2
+	cy := float64(box.Y) + float64(box.H)/2
+	rx := float64(box.W) / 2
+	ry := float64(box.H) / 2
+	for y := box.Y; y < box.Y+box.H; y++ {
+		for x := box.X; x < box.X+box.W; x++ {
+			idx := (y*s.W + x) * 3
+			if a.IsFace {
+				// Elliptical bright blob; live faces are bright and
+				// textured, spoofed ones (printed photos) dimmer and flat.
+				dx := (float64(x) - cx) / rx
+				dy := (float64(y) - cy) / ry
+				if dx*dx+dy*dy > 1 {
+					continue
+				}
+				v := LiveFaceBrightness
+				if a.Spoofed {
+					v = SpoofFaceBrightness
+				} else {
+					v += float32(s.rng.Float64()-0.5) * 0.2
+				}
+				data[idx] = v
+				data[idx+1] = v * 0.85
+				data[idx+2] = v * 0.75
+			} else {
+				// Textured rectangle object.
+				v := 0.4 + 0.2*float32((x+y)%7)/7
+				data[idx] = v * 0.5
+				data[idx+1] = v
+				data[idx+2] = v * 0.8
+			}
+		}
+	}
+}
+
+// Frames returns the next n frames.
+func (s *Source) Frames(n int) []*Frame {
+	out := make([]*Frame, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// RenderFacePatch renders a reference face crop exactly as the scene
+// renderer would produce it — elliptical blob over background — for
+// calibrating downstream models against live vs printed-photo appearance.
+func RenderFacePatch(h, w int, spoofed bool, seed uint64) *tensor.Tensor {
+	s := &Source{W: w, H: h, rng: tensor.NewRNG(seed)}
+	img := tensor.New(tensor.Float32, tensor.Shape{1, h, w, 3})
+	data := img.F32()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			base := 0.15 + 0.1*float32(y)/float32(h)
+			idx := (y*w + x) * 3
+			data[idx] = base
+			data[idx+1] = base
+			data[idx+2] = base
+		}
+	}
+	s.renderActor(img, Actor{
+		Box:     Rect{X: 0, Y: 0, W: w, H: h},
+		IsFace:  true,
+		Spoofed: spoofed,
+	})
+	return img
+}
+
+// CropResize extracts a box from a frame image and bilinearly resizes it to
+// (outH, outW) — the face-region extraction feeding the anti-spoofing and
+// emotion models. channels selects the output channel count (1 converts to
+// grayscale for the emotion model).
+func CropResize(img *tensor.Tensor, box Rect, outH, outW, channels int) *tensor.Tensor {
+	h, w := img.Shape[1], img.Shape[2]
+	box = box.Clamp(w, h)
+	if box.W < 1 {
+		box.W = 1
+	}
+	if box.H < 1 {
+		box.H = 1
+	}
+	out := tensor.New(tensor.Float32, tensor.Shape{1, outH, outW, channels})
+	for oy := 0; oy < outH; oy++ {
+		sy := float64(box.Y) + (float64(oy)+0.5)*float64(box.H)/float64(outH) - 0.5
+		for ox := 0; ox < outW; ox++ {
+			sx := float64(box.X) + (float64(ox)+0.5)*float64(box.W)/float64(outW) - 0.5
+			r := bilinear(img, sy, sx, 0)
+			g := bilinear(img, sy, sx, 1)
+			b := bilinear(img, sy, sx, 2)
+			if channels == 1 {
+				out.Set(0.299*r+0.587*g+0.114*b, 0, oy, ox, 0)
+			} else {
+				out.Set(r, 0, oy, ox, 0)
+				out.Set(g, 0, oy, ox, 1)
+				out.Set(b, 0, oy, ox, 2)
+			}
+		}
+	}
+	return out
+}
+
+func bilinear(img *tensor.Tensor, y, x float64, c int) float64 {
+	h, w := img.Shape[1], img.Shape[2]
+	x0, y0 := int(x), int(y)
+	fx, fy := x-float64(x0), y-float64(y0)
+	clampAt := func(yy, xx int) float64 {
+		if yy < 0 {
+			yy = 0
+		}
+		if yy >= h {
+			yy = h - 1
+		}
+		if xx < 0 {
+			xx = 0
+		}
+		if xx >= w {
+			xx = w - 1
+		}
+		return img.At(0, yy, xx, c)
+	}
+	return clampAt(y0, x0)*(1-fx)*(1-fy) +
+		clampAt(y0, x0+1)*fx*(1-fy) +
+		clampAt(y0+1, x0)*(1-fx)*fy +
+		clampAt(y0+1, x0+1)*fx*fy
+}

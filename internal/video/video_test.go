@@ -1,0 +1,143 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestSourceValidation(t *testing.T) {
+	if _, err := NewSource(8, 8, 1, 1, 1); err == nil {
+		t.Error("tiny frame accepted")
+	}
+	if _, err := NewSource(64, 64, 1, 1, 1); err != nil {
+		t.Errorf("valid source rejected: %v", err)
+	}
+}
+
+func TestFramePixelRange(t *testing.T) {
+	src, err := NewSource(96, 64, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range src.Frames(3) {
+		for i, n := 0, f.Image.Elems(); i < n; i++ {
+			v := f.Image.GetF(i)
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %d = %g out of [0,1]", i, v)
+			}
+		}
+		if !f.Image.Shape.Equal(tensor.Shape{1, 64, 96, 3}) {
+			t.Fatalf("frame shape %s", f.Image.Shape)
+		}
+	}
+}
+
+func TestActorsMoveAndStayInBounds(t *testing.T) {
+	src, err := NewSource(64, 64, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []Actor
+	moved := false
+	for _, f := range src.Frames(20) {
+		for i, a := range f.Truth {
+			box := a.Box.Clamp(64, 64)
+			if box.W <= 0 || box.H <= 0 {
+				t.Fatalf("frame %d: actor %d degenerate box %+v", f.Index, i, a.Box)
+			}
+			if prev != nil && (a.Box.X != prev[i].Box.X || a.Box.Y != prev[i].Box.Y) {
+				moved = true
+			}
+		}
+		prev = f.Truth
+	}
+	if !moved {
+		t.Error("no actor ever moved")
+	}
+}
+
+func TestTruthIsSnapshot(t *testing.T) {
+	src, err := NewSource(64, 64, 1, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := src.Next()
+	saved := f1.Truth[0].Box
+	src.Next()
+	if f1.Truth[0].Box != saved {
+		t.Error("frame truth mutated by advancing the source")
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := Rect{X: -5, Y: -5, W: 20, H: 20}.Clamp(10, 10)
+	if r.X != 0 || r.Y != 0 || r.W != 10 || r.H != 10 {
+		t.Errorf("clamp = %+v", r)
+	}
+	r = Rect{X: 8, Y: 8, W: 20, H: 20}.Clamp(10, 10)
+	if r.W != 2 || r.H != 2 {
+		t.Errorf("clamp = %+v", r)
+	}
+	r = Rect{X: 50, Y: 50, W: 5, H: 5}.Clamp(10, 10)
+	if r.Area() != 0 {
+		t.Errorf("out-of-canvas clamp = %+v", r)
+	}
+}
+
+func TestRenderFacePatchSeparation(t *testing.T) {
+	live := RenderFacePatch(32, 32, false, 1)
+	spoof := RenderFacePatch(32, 32, true, 1)
+	// Mean intensity of the live patch must exceed the spoofed one (the
+	// calibration signal).
+	mean := func(t2 *tensor.Tensor) float64 {
+		s := 0.0
+		for i := 0; i < t2.Elems(); i++ {
+			s += t2.GetF(i)
+		}
+		return s / float64(t2.Elems())
+	}
+	if mean(live) <= mean(spoof) {
+		t.Errorf("live patch (%.3f) should be brighter than spoofed (%.3f)",
+			mean(live), mean(spoof))
+	}
+}
+
+func TestCropResizeGradient(t *testing.T) {
+	// A horizontal gradient must survive resizing monotonically.
+	img := tensor.New(tensor.Float32, tensor.Shape{1, 4, 16, 3})
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 16; x++ {
+			for c := 0; c < 3; c++ {
+				img.Set(float64(x)/16, 0, y, x, c)
+			}
+		}
+	}
+	out := CropResize(img, Rect{X: 0, Y: 0, W: 16, H: 4}, 4, 8, 3)
+	for x := 1; x < 8; x++ {
+		if out.At(0, 2, x, 0) < out.At(0, 2, x-1, 0) {
+			t.Fatalf("resized gradient not monotone at %d", x)
+		}
+	}
+}
+
+// Property: IoU is symmetric, bounded in [0,1], and 1 exactly on identical
+// non-degenerate boxes.
+func TestIoUProperty(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := Rect{int(ax % 50), int(ay % 50), int(aw%20) + 1, int(ah%20) + 1}
+		b := Rect{int(bx % 50), int(by % 50), int(bw%20) + 1, int(bh%20) + 1}
+		ab, ba := IoU(a, b), IoU(b, a)
+		if ab != ba {
+			return false
+		}
+		if ab < 0 || ab > 1 {
+			return false
+		}
+		return IoU(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
