@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build fmt vet test race lint bench
+
+# check is the tier-1 gate: build + formatting + vet + race-enabled tests +
+# cross-registry lint. CI and pre-commit hooks should run exactly this.
+check: build fmt vet race lint
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/npc -lint
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -9,6 +9,8 @@
 //	npc -model emotion.json -weights emotion.bin -framework keras -o emotion.nplib
 //	npc -model yolov3.cfg -weights yolov3.weights -framework darknet -targets cpu,apu -o yolo.nplib
 //	npc -model model.tflite -dump            # print the partitioned relay module
+//	npc -model model.tflite -verify -o m.nplib   # IR-verify after every pass
+//	npc -lint                                # cross-check the operator registries
 package main
 
 import (
@@ -19,9 +21,12 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/neuron"
+	"repro/internal/nir"
 	"repro/internal/relay"
 	"repro/internal/runtime"
 	"repro/internal/soc"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -36,8 +41,14 @@ func main() {
 		dump        = flag.Bool("dump", false, "print the optimized/partitioned module instead of writing an artifact")
 		dot         = flag.Bool("dot", false, "print the partitioned module as Graphviz DOT")
 		stats       = flag.Bool("stats", false, "print per-op statistics of the partitioned module")
+		verifyFlag  = flag.Bool("verify", false, "run the IR verifier after every optimization pass")
+		lint        = flag.Bool("lint", false, "cross-check the relay-op / NIR-handler / TOPI-kernel / Neuron registries and exit")
 	)
 	flag.Parse()
+	if *lint {
+		runLint()
+		return
+	}
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "npc: -model is required")
 		flag.Usage()
@@ -67,11 +78,15 @@ func main() {
 		OptLevel:   *optLevel,
 		UseNIR:     !*noNIR,
 		NIRDevices: devices,
+		Verify:     *verifyFlag,
 	}
 	lib, err := core.Compile(mod, opts)
 	fatal(err)
 	ext := lib.Module.ExternalFuncs("nir")
 	fmt.Printf("npc: compiled: %d NeuroPilot regions, targets %v\n", len(ext), devices)
+	if *verifyFlag {
+		fmt.Println("npc: IR verification clean after every pass")
+	}
 
 	if *dump {
 		fmt.Print(relay.PrintModule(lib.Module))
@@ -138,6 +153,24 @@ func printStats(lib *runtime.Lib) {
 			fmt.Printf("\nregion %s plan:\n%s", name, cm.PlanReport())
 		}
 	}
+}
+
+// runLint cross-checks the operator registries: every relay op with an NIR
+// handler must be registered, every TOPI kernel must implement a registered
+// op, and every Neuron opcode must resolve to real kernels and at least one
+// backend device. Exits non-zero when any registry is inconsistent.
+func runLint() {
+	res := verify.Registries(nir.VerifySnapshot())
+	for _, d := range res.Diags {
+		fmt.Println("npc:", d)
+	}
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "npc: registry lint failed with %d errors\n", len(res.Errors()))
+		os.Exit(1)
+	}
+	snap := nir.VerifySnapshot()
+	fmt.Printf("npc: registries consistent: %d relay ops, %d NIR handlers, %d TOPI kernels, %d Neuron opcodes\n",
+		len(snap.RelayOps), len(snap.NIRHandlers), len(snap.TOPIKernels), len(neuron.OpCodes()))
 }
 
 func parseTargets(s string) ([]soc.DeviceKind, error) {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // FromDarknet imports a parsed .cfg + .weights pair into a relay module —
@@ -77,6 +78,9 @@ func FromDarknet(cfgText string, weights io.Reader) (*relay.Module, error) {
 	m := relay.NewModule(relay.NewFunc([]*relay.Var{input}, body))
 	if err := relay.InferModule(m); err != nil {
 		return nil, fmt.Errorf("darknet: imported module ill-typed: %w", err)
+	}
+	if err := verify.ModuleErr(m, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("darknet: imported module failed IR verification: %w", err)
 	}
 	return m, nil
 }

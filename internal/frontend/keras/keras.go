@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // ModelConfig is the top-level structure of a serialized Keras model.
@@ -210,6 +211,9 @@ func (b *builder) build(cfg ModelConfig) (*relay.Module, error) {
 	m := relay.NewModule(relay.NewFunc([]*relay.Var{input}, b.cur))
 	if err := relay.InferModule(m); err != nil {
 		return nil, err
+	}
+	if err := verify.ModuleErr(m, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("keras: imported module failed IR verification: %w", err)
 	}
 	return m, nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // ModelProto is the top-level serialized model.
@@ -170,6 +171,9 @@ func Import(mp *ModelProto) (*relay.Module, error) {
 	m := relay.NewModule(relay.NewFunc(vars, body))
 	if err := relay.InferModule(m); err != nil {
 		return nil, fmt.Errorf("onnx: imported module ill-typed: %w", err)
+	}
+	if err := verify.ModuleErr(m, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("onnx: imported module failed IR verification: %w", err)
 	}
 	return m, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // FromTFLite lowers a parsed model to relay. Quantized operators become
@@ -63,6 +64,9 @@ func Lower(m *Model) (*relay.Module, error) {
 	mod := relay.NewModule(relay.NewFunc(vars, body))
 	if err := relay.InferModule(mod); err != nil {
 		return nil, fmt.Errorf("tflite: imported module ill-typed: %w", err)
+	}
+	if err := verify.ModuleErr(mod, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("tflite: imported module failed IR verification: %w", err)
 	}
 	return mod, nil
 }

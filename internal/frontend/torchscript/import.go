@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // FromTorch imports a traced graph + state dict into a relay module —
@@ -56,6 +57,9 @@ func FromTorch(g *Graph, params StateDict) (*relay.Module, error) {
 	m := relay.NewModule(relay.NewFunc(vars, body))
 	if err := relay.InferModule(m); err != nil {
 		return nil, fmt.Errorf("torchscript: imported module ill-typed: %w", err)
+	}
+	if err := verify.ModuleErr(m, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("torchscript: imported module failed IR verification: %w", err)
 	}
 	return m, nil
 }

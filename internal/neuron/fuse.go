@@ -12,12 +12,12 @@ import (
 // layer costs one launch on its device — and gives the ablation benchmarks
 // a measurable knob.
 
-// fusedActivationAttr is the attribute key holding "relu" or "relu6".
-const fusedActivationAttr = "fused_activation"
+// FusedActivationAttr is the attribute key holding "relu" or "relu6".
+const FusedActivationAttr = "fused_activation"
 
-// fusedRequantAttr marks an operation that must requantize its accumulator
+// FusedRequantAttr marks an operation that must requantize its accumulator
 // with the requant_* attributes.
-const fusedRequantAttr = "fused_requantize"
+const FusedRequantAttr = "fused_requantize"
 
 // fusable anchors: operations that can absorb bias/requantize/activation.
 func isFusionAnchor(c OpCode) bool {
@@ -73,9 +73,9 @@ func FuseOperations(m *Model) int {
 				// Absorb the bias as a third input (NNAPI layout).
 				anchor.Inputs = append(anchor.Inputs, next.Inputs[1])
 			case next.Code == Requantize && next.Inputs[0] == out &&
-				anchor.Attrs.Bool(fusedRequantAttr, false) == false:
+				anchor.Attrs.Bool(FusedRequantAttr, false) == false:
 				anchor.Attrs = anchor.Attrs.Clone()
-				anchor.Attrs[fusedRequantAttr] = true
+				anchor.Attrs[FusedRequantAttr] = true
 				for _, k := range []string{"input_scale", "input_zero_point",
 					"output_scale", "output_zero_point", "out_dtype"} {
 					if v, ok := next.Attrs[k]; ok {
@@ -83,9 +83,9 @@ func FuseOperations(m *Model) int {
 					}
 				}
 			case isFusableActivation(next) && next.Inputs[0] == out &&
-				anchor.Attrs.Str(fusedActivationAttr, "") == "":
+				anchor.Attrs.Str(FusedActivationAttr, "") == "":
 				anchor.Attrs = anchor.Attrs.Clone()
-				anchor.Attrs[fusedActivationAttr] = activationName(next)
+				anchor.Attrs[FusedActivationAttr] = activationName(next)
 			default:
 				goto done
 			}
@@ -95,7 +95,7 @@ func FuseOperations(m *Model) int {
 			fused++
 			// A fused activation terminates the chain (nothing fuses after
 			// an activation in NNAPI).
-			if anchor.Attrs.Str(fusedActivationAttr, "") != "" {
+			if anchor.Attrs.Str(FusedActivationAttr, "") != "" {
 				break
 			}
 		}
@@ -153,10 +153,10 @@ func fusedWork(m *Model, op Operation) soc.Work {
 	if len(op.Inputs) >= 3 && isFusionAnchor(op.Code) && op.Code != Add {
 		extra += outElems
 	}
-	if op.Attrs.Bool(fusedRequantAttr, false) {
+	if op.Attrs.Bool(FusedRequantAttr, false) {
 		extra += outElems
 	}
-	if op.Attrs.Str(fusedActivationAttr, "") != "" {
+	if op.Attrs.Str(FusedActivationAttr, "") != "" {
 		extra += outElems
 	}
 	w.MACs += extra

@@ -69,11 +69,11 @@ func TestFuseOperationsCollapsesQuantChain(t *testing.T) {
 	if op.Code != Conv2D || len(op.Inputs) != 3 {
 		t.Fatalf("fused op %s with %d inputs", op.Code, len(op.Inputs))
 	}
-	if !op.Attrs.Bool(fusedRequantAttr, false) {
+	if !op.Attrs.Bool(FusedRequantAttr, false) {
 		t.Error("requantize not recorded")
 	}
-	if op.Attrs.Str(fusedActivationAttr, "") != "relu6" {
-		t.Errorf("activation %q", op.Attrs.Str(fusedActivationAttr, ""))
+	if op.Attrs.Str(FusedActivationAttr, "") != "relu6" {
+		t.Errorf("activation %q", op.Attrs.Str(FusedActivationAttr, ""))
 	}
 	if err := m.Validate(); err != nil {
 		t.Fatalf("fused model invalid: %v", err)

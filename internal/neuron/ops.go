@@ -78,6 +78,16 @@ func (c OpCode) String() string {
 // KnownOpCode reports whether c is a valid opcode.
 func KnownOpCode(c OpCode) bool { return c >= 0 && c < numOpCodes }
 
+// OpCodes returns every opcode in the catalogue, in order; the registry
+// lint walks it to cross-check kernel mappings and device coverage.
+func OpCodes() []OpCode {
+	out := make([]OpCode, 0, int(numOpCodes))
+	for c := OpCode(0); c < numOpCodes; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
 // gpuUnsupported lists opcodes the GPU path cannot execute: the Mali GPU
 // delegate has no integer-quantization pipeline, so the quantized ops stay
 // off it (the planner additionally keeps quantized *work* off the GPU).
@@ -118,10 +128,10 @@ func SupportedOn(c OpCode, dev soc.DeviceKind) bool {
 	}
 }
 
-// kernelFor maps an opcode to the reference kernel (relay op name in the
+// KernelFor maps an opcode to the reference kernel (relay op name in the
 // shared TOPI inventory) used to compute its numerics. The quantized flag
 // selects the integer path where the kernel differs.
-func kernelFor(c OpCode, quantized bool) string {
+func KernelFor(c OpCode, quantized bool) string {
 	switch c {
 	case Conv2D, DepthwiseConv2D:
 		if quantized {

@@ -159,7 +159,35 @@ func CompileWith(m *Model, sc *soc.SoC, devices []soc.DeviceKind, opts CompileOp
 			cm.producerDev[out] = best
 		}
 	}
+	if err := cm.CheckPlan(); err != nil {
+		return nil, fmt.Errorf("neuron: compiler produced an invalid plan: %w", err)
+	}
 	return cm, nil
+}
+
+// CheckPlan audits the execution plan against the model: one device per
+// operation, drawn from the enabled set, whose supported-op set contains the
+// operation. Compile runs it on its own output; deserialized artifacts and
+// the IR verifier run it on externally supplied plans.
+func (cm *CompiledModel) CheckPlan() error {
+	if len(cm.Plan) != len(cm.Model.Operations) {
+		return fmt.Errorf("neuron: plan length %d != %d operations", len(cm.Plan), len(cm.Model.Operations))
+	}
+	enabled := map[soc.DeviceKind]bool{}
+	for _, d := range cm.Devices {
+		enabled[d] = true
+	}
+	for i, dev := range cm.Plan {
+		if !enabled[dev] {
+			return fmt.Errorf("neuron: plan places operation %d (%s) on %s, which is not enabled (%v)",
+				i, cm.Model.Operations[i].Code, dev, cm.Devices)
+		}
+		if !SupportedOn(cm.Model.Operations[i].Code, dev) {
+			return fmt.Errorf("neuron: plan places %s on %s, which does not support it",
+				cm.Model.Operations[i].Code, dev)
+		}
+	}
+	return nil
 }
 
 // NewCompiledModel rehydrates a compiled model from a serialized artifact:
@@ -168,16 +196,11 @@ func NewCompiledModel(m *Model, sc *soc.SoC, devices []soc.DeviceKind, plan []so
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if len(plan) != len(m.Operations) {
-		return nil, fmt.Errorf("neuron: plan length %d != %d operations", len(plan), len(m.Operations))
+	cm := &CompiledModel{Model: m, SoC: sc, Devices: devices, Plan: plan}
+	if err := cm.CheckPlan(); err != nil {
+		return nil, err
 	}
-	for i, dev := range plan {
-		if !SupportedOn(m.Operations[i].Code, dev) {
-			return nil, fmt.Errorf("neuron: plan places %s on %s, which does not support it",
-				m.Operations[i].Code, dev)
-		}
-	}
-	return &CompiledModel{Model: m, SoC: sc, Devices: devices, Plan: plan}, nil
+	return cm, nil
 }
 
 // crossesLink reports whether moving a value from dev a to dev b traverses
@@ -248,10 +271,10 @@ func (cm *CompiledModel) PlanReport() string {
 		dev := cm.Plan[i]
 		t := cm.SoC.Device(dev).OpTime(w, efficiency(dev))
 		name := op.Code.String()
-		if act := op.Attrs.Str(fusedActivationAttr, ""); act != "" {
+		if act := op.Attrs.Str(FusedActivationAttr, ""); act != "" {
 			name += "+" + act
 		}
-		if op.Attrs.Bool(fusedRequantAttr, false) {
+		if op.Attrs.Bool(FusedRequantAttr, false) {
 			name += "+requant"
 		}
 		appendf("%-4d %-24s %-6s %12d %10s\n", i, name, dev, w.MACs, t)

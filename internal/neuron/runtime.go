@@ -86,7 +86,7 @@ func runOperation(m *Model, op Operation, args []*tensor.Tensor) (*tensor.Tensor
 	outOperand := m.Operands[op.Outputs[0]]
 	finalTy := operandRelayType(outOperand)
 	quantized := isQuantizedOp(m, op)
-	kernel := kernelFor(op.Code, quantized)
+	kernel := KernelFor(op.Code, quantized)
 	if kernel == "" {
 		return nil, fmt.Errorf("neuron: opcode %s has no kernel", op.Code)
 	}
@@ -97,8 +97,8 @@ func runOperation(m *Model, op Operation, args []*tensor.Tensor) (*tensor.Tensor
 		bias = args[2]
 		mainArgs = args[:2]
 	}
-	hasRequant := op.Attrs.Bool(fusedRequantAttr, false)
-	activation := op.Attrs.Str(fusedActivationAttr, "")
+	hasRequant := op.Attrs.Bool(FusedRequantAttr, false)
+	activation := op.Attrs.Str(FusedActivationAttr, "")
 
 	// The anchor kernel's own output type: with a fused requantize, the
 	// anchor produces the int32 accumulator; otherwise the operand's type.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/neuron"
 	"repro/internal/relay"
+	"repro/internal/verify"
 )
 
 // This file is the Go rendition of the paper's Listing 1: an ExprVisitor
@@ -98,6 +99,9 @@ func ConvertFunction(name string, fn *relay.Function) (*neuron.Model, error) {
 	cv.model.Outputs = append(cv.model.Outputs, rootEntry.Outputs...)
 	if err := cv.model.Validate(); err != nil {
 		return nil, fmt.Errorf("nir: converted model invalid: %w", err)
+	}
+	if err := verify.NeuronModelErr(cv.model); err != nil {
+		return nil, fmt.Errorf("nir: converted model failed IR verification: %w", err)
 	}
 	return cv.model, nil
 }

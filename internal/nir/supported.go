@@ -13,11 +13,14 @@
 package nir
 
 import (
+	"fmt"
+
 	"repro/internal/neuron"
 	"repro/internal/passes"
 	"repro/internal/relay"
 	"repro/internal/soc"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // CompilerName is the Compiler attribute value marking NIR regions.
@@ -192,5 +195,12 @@ func PartitionForNIR(m *relay.Module, opts passes.PartitionOptions, devices ...s
 	if err != nil {
 		return nil, err
 	}
-	return passes.PartitionForCompiler(m, CompilerName, SupportedForDevices(devices), opts)
+	out, err := passes.PartitionForCompiler(m, CompilerName, SupportedForDevices(devices), opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.ModuleErr(out, VerifyOptions()); err != nil {
+		return nil, fmt.Errorf("nir: partition_for_nir produced an ill-formed module: %w", err)
+	}
+	return out, nil
 }

@@ -17,6 +17,15 @@ import (
 type Context struct {
 	OptLevel int
 	Disabled map[string]bool
+	// VerifyAfterEachPass, when non-nil, runs on the module after the
+	// initial type inference and again after every executed pass — the
+	// MLIR-style verify-after-each-pass instrumentation. The hook receives
+	// the name of the pass that just ran ("InferType" for the initial
+	// inference); a returned error aborts the pipeline, attributing the
+	// broken invariant to that pass. Callers typically install a closure
+	// over verify.ModuleErr (internal/verify cannot be imported from here
+	// without a cycle through internal/nir).
+	VerifyAfterEachPass func(m *relay.Module, pass string) error
 }
 
 // NewContext returns a context at the given opt level.
@@ -45,6 +54,9 @@ func Sequential(m *relay.Module, ctx *Context, ps ...Pass) (*relay.Module, error
 	if err := relay.InferModule(m); err != nil {
 		return nil, fmt.Errorf("passes: initial type inference: %w", err)
 	}
+	if err := ctx.verifyAfter(m, "InferType"); err != nil {
+		return nil, err
+	}
 	for _, p := range ps {
 		if !ctx.Enabled(p) {
 			continue
@@ -56,9 +68,24 @@ func Sequential(m *relay.Module, ctx *Context, ps ...Pass) (*relay.Module, error
 		if err := relay.InferModule(nm); err != nil {
 			return nil, fmt.Errorf("passes: type inference after %s: %w", p.Name, err)
 		}
+		if err := ctx.verifyAfter(nm, p.Name); err != nil {
+			return nil, err
+		}
 		m = nm
 	}
 	return m, nil
+}
+
+// verifyAfter runs the VerifyAfterEachPass hook, naming the pass whose
+// output broke an invariant.
+func (c *Context) verifyAfter(m *relay.Module, pass string) error {
+	if c.VerifyAfterEachPass == nil {
+		return nil
+	}
+	if err := c.VerifyAfterEachPass(m, pass); err != nil {
+		return fmt.Errorf("passes: IR verification failed after %s: %w", pass, err)
+	}
+	return nil
 }
 
 // DefaultPipeline returns the standard optimization pipeline run by

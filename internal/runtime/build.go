@@ -16,6 +16,7 @@ import (
 	"repro/internal/passes"
 	"repro/internal/relay"
 	"repro/internal/soc"
+	"repro/internal/verify"
 )
 
 // BuildOptions configures relay.Build.
@@ -35,6 +36,12 @@ type BuildOptions struct {
 	Partition passes.PartitionOptions
 	// DisablePasses names optimization passes to skip (ablation hook).
 	DisablePasses []string
+	// Verify enables verify-after-each-pass instrumentation: the IR
+	// verifier audits the module after every optimization pass, attributing
+	// a broken invariant to the pass that introduced it (npc -verify). The
+	// final module and every compiled NeuroPilot artifact are verified
+	// regardless of this flag.
+	Verify bool
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
@@ -69,6 +76,11 @@ func Build(m *relay.Module, opts BuildOptions) (*Lib, error) {
 	for _, p := range opts.DisablePasses {
 		ctx.Disabled[p] = true
 	}
+	if opts.Verify {
+		ctx.VerifyAfterEachPass = func(m *relay.Module, pass string) error {
+			return verify.ModuleErr(m, nir.VerifyOptions())
+		}
+	}
 
 	mod, err := passes.Sequential(mod, ctx,
 		passes.SimplifyInference(),
@@ -91,11 +103,22 @@ func Build(m *relay.Module, opts BuildOptions) (*Lib, error) {
 		return nil, fmt.Errorf("runtime: fusion failed: %w", err)
 	}
 
+	// The built module is always verified, whatever the Verify flag says:
+	// relay.Build must never hand an ill-formed module to the executor.
+	if err := verify.ModuleErr(mod, nir.VerifyOptions()); err != nil {
+		return nil, fmt.Errorf("runtime: built module failed IR verification: %w", err)
+	}
+
 	lib := &Lib{Module: mod, External: map[string]*neuron.CompiledModel{}, SoC: opts.SoC, Opts: opts}
 	if opts.UseNIR {
 		ext, err := nir.Codegen(mod, opts.SoC, opts.NIRDevices)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: external codegen failed: %w", err)
+		}
+		for name, cm := range ext {
+			if err := verify.PlanErr(cm); err != nil {
+				return nil, fmt.Errorf("runtime: compiled region %s failed verification: %w", name, err)
+			}
 		}
 		lib.External = ext
 	}

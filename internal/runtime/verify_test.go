@@ -1,0 +1,42 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/runtime"
+)
+
+// TestZooVerifiedBuild drives every zoo model through the full
+// relay.Build + partition_for_nir pipeline with verify-after-each-pass
+// instrumentation enabled: no optimization pass, the partitioner, nor the
+// external codegen may emit IR that violates a verifier invariant.
+func TestZooVerifiedBuild(t *testing.T) {
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := models.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := spec.Build(models.SizeLite)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			lib, err := runtime.Build(m, runtime.BuildOptions{
+				OptLevel: 3,
+				UseNIR:   true,
+				Verify:   true,
+			})
+			if err != nil {
+				t.Fatalf("instrumented relay.Build: %v", err)
+			}
+			for name, cm := range lib.External {
+				if err := cm.CheckPlan(); err != nil {
+					t.Errorf("region %s: %v", name, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package verify
+
+import (
+	"sort"
+
+	"repro/internal/neuron"
+	"repro/internal/soc"
+)
+
+// RegistrySnapshot is the cross-registry state the lint audits: the relay op
+// registry, the NIR converter's op-handler dictionary, the TOPI kernel
+// inventory, and the Neuron opcode catalogue with its per-device support
+// sets. It is plain data + closures so the verifier stays below
+// internal/nir and internal/topi in the dependency order;
+// nir.VerifySnapshot assembles the live one.
+type RegistrySnapshot struct {
+	// RelayOps is relay.OpNames(): every registered relay operator.
+	RelayOps []string
+	// NIRHandlers is nir.SupportedOpNames(): relay ops with a Neuron
+	// conversion handler.
+	NIRHandlers []string
+	// OpcodeOf maps a handled relay op name to its Neuron opcode
+	// (nir.OpcodeOf).
+	OpcodeOf func(string) (neuron.OpCode, bool)
+	// TOPIKernels is topi.KernelNames(): ops with a reference kernel.
+	TOPIKernels []string
+	// Devices are the NeuroPilot backends to audit coverage for; empty
+	// defaults to CPU+APU+GPU.
+	Devices []soc.DeviceKind
+}
+
+// Registries cross-checks the four operator registries so that a new op
+// cannot be half-registered: every relay op with an NIR handler must exist
+// in the op registry and map to a known Neuron opcode, every TOPI kernel
+// must implement a registered relay op (and vice versa), and every Neuron
+// opcode must resolve to real reference kernels and be executable on at
+// least one backend device.
+func Registries(s RegistrySnapshot) *Result {
+	res := &Result{}
+	devices := s.Devices
+	if len(devices) == 0 {
+		devices = []soc.DeviceKind{soc.KindCPU, soc.KindAPU, soc.KindGPU}
+	}
+	relayOps := toSet(s.RelayOps)
+	kernels := toSet(s.TOPIKernels)
+
+	// NIR handler dictionary ↔ relay op registry ↔ Neuron opcode catalogue.
+	handlers := append([]string(nil), s.NIRHandlers...)
+	sort.Strings(handlers)
+	for _, name := range handlers {
+		if !relayOps[name] {
+			res.errorf("nir-orphan-handler", "nir:"+name,
+				"converter has a handler for %q but the relay op registry does not define it", name)
+		}
+		code, ok := s.OpcodeOf(name)
+		if !ok {
+			res.errorf("nir-no-opcode", "nir:"+name,
+				"handled relay op %q maps to no Neuron opcode (device-coverage checks cannot see it)", name)
+			continue
+		}
+		if !neuron.KnownOpCode(code) {
+			res.errorf("nir-no-opcode", "nir:"+name,
+				"handled relay op %q maps to unknown Neuron opcode %d", name, int(code))
+		}
+	}
+
+	// TOPI kernel inventory ↔ relay op registry.
+	for _, name := range s.TOPIKernels {
+		if !relayOps[name] {
+			res.errorf("topi-orphan-kernel", "topi:"+name,
+				"kernel %q implements no registered relay op", name)
+		}
+	}
+	for _, name := range s.RelayOps {
+		if !kernels[name] {
+			res.errorf("relay-op-no-kernel", "relay:"+name,
+				"relay op %q has no TOPI kernel — the graph executor cannot run it", name)
+		}
+	}
+
+	// Neuron opcode catalogue: reference kernels and device coverage.
+	for _, code := range neuron.OpCodes() {
+		where := "neuron:" + code.String()
+		for _, quantized := range []bool{false, true} {
+			k := neuron.KernelFor(code, quantized)
+			if k == "" {
+				res.errorf("neuron-no-kernel", where,
+					"opcode has no reference kernel mapping (quantized=%v)", quantized)
+			} else if !kernels[k] {
+				res.errorf("neuron-no-kernel", where,
+					"opcode maps to kernel %q, which is not in the TOPI inventory (quantized=%v)", k, quantized)
+			}
+		}
+		supported := false
+		for _, d := range devices {
+			if neuron.SupportedOn(code, d) {
+				supported = true
+				break
+			}
+		}
+		if !supported {
+			res.errorf("neuron-no-device", where,
+				"no enabled device's supported-op set contains the opcode (devices %v)", devices)
+		}
+	}
+	return res
+}
+
+// RegistriesErr is Registries returning an error.
+func RegistriesErr(s RegistrySnapshot) error { return Registries(s).Err() }
+
+func toSet(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
