@@ -25,5 +25,12 @@ race:
 lint:
 	$(GO) run ./cmd/npc -lint
 
+# bench writes the machine-readable run log to BENCH_PR2.json (test2json
+# event stream, one JSON object per line) while echoing the human-readable
+# benchmark lines to stdout. Override BENCHTIME for a quick smoke run
+# (e.g. make bench BENCHTIME=1x).
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | \
+		tee BENCH_PR2.json | \
+		sed -n 's/.*"Output":"\(.*\)\\n"}$$/\1/p' | sed -e 's/\\t/\t/g' -e 's/\\u003e/>/g'

@@ -10,6 +10,7 @@
 //	npc -model yolov3.cfg -weights yolov3.weights -framework darknet -targets cpu,apu -o yolo.nplib
 //	npc -model model.tflite -dump            # print the partitioned relay module
 //	npc -model model.tflite -verify -o m.nplib   # IR-verify after every pass
+//	npc -model model.tflite -run -executor=plan  # one synthetic inference
 //	npc -lint                                # cross-check the operator registries
 package main
 
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/models"
 	"repro/internal/neuron"
 	"repro/internal/nir"
 	"repro/internal/relay"
@@ -43,6 +45,8 @@ func main() {
 		stats       = flag.Bool("stats", false, "print per-op statistics of the partitioned module")
 		verifyFlag  = flag.Bool("verify", false, "run the IR verifier after every optimization pass")
 		lint        = flag.Bool("lint", false, "cross-check the relay-op / NIR-handler / TOPI-kernel / Neuron registries and exit")
+		runFlag     = flag.Bool("run", false, "execute one inference on a synthetic input and print the simulated profile")
+		executor    = flag.String("executor", "auto", "executor for -run: plan|interp|auto")
 	)
 	flag.Parse()
 	if *lint {
@@ -100,6 +104,12 @@ func main() {
 		printStats(lib)
 		return
 	}
+	if *runFlag {
+		kind, err := runtime.ParseExecutorKind(*executor)
+		fatal(err)
+		fatal(runOnce(lib, mod, kind))
+		return
+	}
 	if *outPath == "" {
 		fmt.Fprintln(os.Stderr, "npc: -o is required unless -dump/-dot is given")
 		os.Exit(2)
@@ -111,6 +121,32 @@ func main() {
 	info, err := f.Stat()
 	fatal(err)
 	fmt.Printf("npc: wrote %s (%d bytes)\n", *outPath, info.Size())
+}
+
+// runOnce executes one inference on a synthetic input through the selected
+// executor and prints the plan summary plus the simulated cost profile.
+func runOnce(lib *runtime.Lib, mod *relay.Module, kind runtime.ExecutorKind) error {
+	gm := runtime.NewGraphModule(lib)
+	gm.SetExecutor(kind)
+	names := gm.InputNames()
+	if len(names) != 1 {
+		return fmt.Errorf("npc: -run requires a single-input model, have %d inputs", len(names))
+	}
+	gm.SetInput(names[0], models.RandomInput(mod, 1))
+	if err := gm.Run(); err != nil {
+		return err
+	}
+	if kind != runtime.ExecutorInterp {
+		if plan, err := lib.Plan(); err == nil {
+			fmt.Printf("npc: %s\n", plan)
+		} else {
+			fmt.Printf("npc: module not plannable (%v), interpreter used\n", err)
+		}
+	}
+	fmt.Printf("npc: executor=%s, %d output(s), simulated inference %s\n",
+		kind, gm.NumOutputs(), gm.LastProfile().Total())
+	fmt.Printf("npc: profile: %s\n", gm.LastProfile())
+	return nil
 }
 
 // printStats summarizes the compiled module: per-op counts, parameter

@@ -68,7 +68,7 @@ func main() {
 	qt, ft := qgm.LastProfile().Total(), fgm.LastProfile().Total()
 	fmt.Printf("\nsimulated inference: float32 %s, int8 %s (%.2fx)\n", ft, qt, float64(ft)/float64(qt))
 	fmt.Printf("top-1 (same seed, different weights due to quantization): float=%d quant=%d\n",
-		fgm.GetOutput(0).ArgMax(), qgm.GetOutput(0).ArgMax())
+		fgm.MustOutput(0).ArgMax(), qgm.MustOutput(0).ArgMax())
 	fmt.Println("\nthe quantized model also compiles NeuroPilot-only (whole-model Neuron conversion):")
 	cm, err := runtime.BuildNeuroPilotOnly(qm, nil, nil)
 	if err != nil {

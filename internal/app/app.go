@@ -138,7 +138,7 @@ func (s *Showcase) calibrateSpoof() error {
 		if err := s.spoofGM.Run(); err != nil {
 			return 0, err
 		}
-		return s.spoofGM.GetOutput(1).GetF(0), nil
+		return s.spoofGM.MustOutput(1).GetF(0), nil
 	}
 	live, err := score(video.RenderFacePatch(h, w, false, 0xCA11B))
 	if err != nil {
@@ -179,7 +179,7 @@ func (s *Showcase) DetectStage(f *video.Frame) (*FrameResult, []video.Rect, erro
 		return nil, nil, fmt.Errorf("app: object detection: %w", err)
 	}
 	res.Timing.Detect = s.detGM.LastProfile().Total()
-	dets, err := DecodeSSD(s.detGM.GetOutput(0), s.detGM.GetOutput(1),
+	dets, err := DecodeSSD(s.detGM.MustOutput(0), s.detGM.MustOutput(1),
 		frameW, frameH, s.cfg.ScoreThreshold, 16)
 	if err != nil {
 		return nil, nil, err
@@ -208,7 +208,7 @@ func (s *Showcase) SpoofStage(f *video.Frame, res *FrameResult, candidates []vid
 			return fmt.Errorf("app: anti-spoofing: %w", err)
 		}
 		res.Timing.AntiSpoof += s.spoofGM.LastProfile().Total()
-		score := s.spoofGM.GetOutput(1).GetF(0)
+		score := s.spoofGM.MustOutput(1).GetF(0)
 		res.Faces = append(res.Faces, FaceResult{Box: fb, SpoofScore: score,
 			Real: s.spoofPolarity*(score-s.spoofThreshold) >= 0})
 	}
@@ -229,7 +229,7 @@ func (s *Showcase) EmotionStage(f *video.Frame, res *FrameResult) error {
 			return fmt.Errorf("app: emotion detection: %w", err)
 		}
 		res.Timing.Emotion += s.emoGM.LastProfile().Total()
-		probs := s.emoGM.GetOutput(0)
+		probs := s.emoGM.MustOutput(0)
 		best := probs.ArgMax()
 		fr.Emotion = models.EmotionLabels[best]
 		fr.Confidence = probs.GetF(best)

@@ -547,7 +547,7 @@ func RunAutoQuantExtension(sc *soc.SoC) (*AutoQuantResult, error) {
 		if err := gm.Run(); err != nil {
 			return nil, err
 		}
-		return gm.GetOutput(0), nil
+		return gm.MustOutput(0), nil
 	}
 	fOut, err := runOne(m)
 	if err != nil {

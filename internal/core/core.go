@@ -126,7 +126,7 @@ func RunOnce(lib *runtime.Lib, input *tensor.Tensor) ([]*tensor.Tensor, *soc.Pro
 	}
 	outs := make([]*tensor.Tensor, gm.NumOutputs())
 	for i := range outs {
-		outs[i] = gm.GetOutput(i)
+		outs[i] = gm.MustOutput(i)
 	}
 	return outs, gm.LastProfile(), nil
 }

@@ -204,15 +204,15 @@ func TestDarknetRunsEndToEnd(t *testing.T) {
 		t.Fatalf("outputs %d", gm.NumOutputs())
 	}
 	// First head: 8x8 cells, 3 anchors × (5+2).
-	if !gm.GetOutput(0).Shape.Equal(tensor.Shape{1, 8, 8, 21}) {
-		t.Errorf("head 0 shape %s", gm.GetOutput(0).Shape)
+	if !gm.MustOutput(0).Shape.Equal(tensor.Shape{1, 8, 8, 21}) {
+		t.Errorf("head 0 shape %s", gm.MustOutput(0).Shape)
 	}
 	// Second head: upsampled back to 16x16.
-	if !gm.GetOutput(1).Shape.Equal(tensor.Shape{1, 16, 16, 21}) {
-		t.Errorf("head 1 shape %s", gm.GetOutput(1).Shape)
+	if !gm.MustOutput(1).Shape.Equal(tensor.Shape{1, 16, 16, 21}) {
+		t.Errorf("head 1 shape %s", gm.MustOutput(1).Shape)
 	}
 	// yolo sigmoided channels are probabilities.
-	out := gm.GetOutput(0)
+	out := gm.MustOutput(0)
 	if v := out.GetF(4); v < 0 || v > 1 {
 		t.Errorf("objectness %g out of [0,1]", v)
 	}

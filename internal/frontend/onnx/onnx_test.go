@@ -97,7 +97,7 @@ func TestFromONNXImportsAndRuns(t *testing.T) {
 	}
 	sum := 0.0
 	for i := 0; i < 5; i++ {
-		sum += gm.GetOutput(0).GetF(i)
+		sum += gm.MustOutput(0).GetF(i)
 	}
 	if sum < 0.99 || sum > 1.01 {
 		t.Errorf("softmax sums to %g", sum)

@@ -116,7 +116,7 @@ func TestQuantizedExecutionProducesSaneRange(t *testing.T) {
 	if err := gm.Run(); err != nil {
 		t.Fatal(err)
 	}
-	out := gm.GetOutput(0)
+	out := gm.MustOutput(0)
 	for i := 0; i < out.Elems(); i++ {
 		v := out.GetF(i)
 		if v < 0 || v > 1 {
@@ -149,7 +149,7 @@ func TestQuantizedModelRunsThroughBYOC(t *testing.T) {
 		if err := gm.Run(); err != nil {
 			t.Fatal(err)
 		}
-		return gm.GetOutput(0)
+		return gm.MustOutput(0)
 	}
 	ref := run(false)
 	got := run(true)
@@ -201,7 +201,7 @@ func TestQuantizedCloseToFloatTwin(t *testing.T) {
 		if err := gm.Run(); err != nil {
 			t.Fatal(err)
 		}
-		return gm.GetOutput(0)
+		return gm.MustOutput(0)
 	}
 	fOut := runOne(build(false), fIn)
 	qOut := runOne(build(true), qIn)

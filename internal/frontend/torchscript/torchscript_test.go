@@ -113,12 +113,12 @@ func TestImportMatchesPyTorchReference(t *testing.T) {
 	if err := gm.Run(); err != nil {
 		t.Fatal(err)
 	}
-	gotPix := NHWCToNCHW(gm.GetOutput(0))
+	gotPix := NHWCToNCHW(gm.MustOutput(0))
 	wantPix := refOut[g.Outputs[0]]
 	if !tensor.AllClose(gotPix, wantPix, 1e-3, 1e-3) {
 		t.Errorf("pixel map differs from PyTorch reference, max %g", tensor.MaxAbsDiff(gotPix, wantPix))
 	}
-	gotScore := gm.GetOutput(1)
+	gotScore := gm.MustOutput(1)
 	wantScore := refOut[g.Outputs[1]]
 	if !tensor.AllClose(gotScore, wantScore, 1e-3, 1e-3) {
 		t.Errorf("score differs from PyTorch reference, max %g", tensor.MaxAbsDiff(gotScore, wantScore))
@@ -147,7 +147,7 @@ func TestImportMatchesReferenceThroughBYOC(t *testing.T) {
 	if err := gm.Run(); err != nil {
 		t.Fatal(err)
 	}
-	gotPix := NHWCToNCHW(gm.GetOutput(0))
+	gotPix := NHWCToNCHW(gm.MustOutput(0))
 	if !tensor.AllClose(gotPix, refOut[g.Outputs[0]], 1e-3, 1e-3) {
 		t.Errorf("BYOC pixel map differs from reference, max %g",
 			tensor.MaxAbsDiff(gotPix, refOut[g.Outputs[0]]))
@@ -221,8 +221,8 @@ func TestLinearAfterGlobalPool(t *testing.T) {
 	if err := gm.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if !tensor.AllClose(gm.GetOutput(0), refOut[g.Outputs[0]], 1e-4, 1e-4) {
+	if !tensor.AllClose(gm.MustOutput(0), refOut[g.Outputs[0]], 1e-4, 1e-4) {
 		t.Errorf("linear head differs from reference, max %g",
-			tensor.MaxAbsDiff(gm.GetOutput(0), refOut[g.Outputs[0]]))
+			tensor.MaxAbsDiff(gm.MustOutput(0), refOut[g.Outputs[0]]))
 	}
 }

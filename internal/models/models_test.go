@@ -208,7 +208,7 @@ func TestModelDeterminism(t *testing.T) {
 		if err := gm.Run(); err != nil {
 			t.Fatal(err)
 		}
-		return gm.GetOutput(0)
+		return gm.MustOutput(0)
 	}
 	if !tensor.AllClose(run(a), run(b), 0, 0) {
 		t.Error("two builds of the same model differ (non-deterministic weights)")

@@ -1,36 +1,52 @@
 // Package parallel provides the goroutine work-splitting helpers used by the
-// TOPI CPU kernels. Kernels parallelize over their outermost independent
-// dimension (batch×output-row tiles for convolution, rows for dense), which
-// keeps per-goroutine state disjoint so no locking is needed.
+// TOPI CPU kernels and the planned executor's wavefront scheduler. Kernels
+// parallelize over their outermost independent dimension (batch×output-row
+// tiles for convolution, rows for dense), which keeps per-goroutine state
+// disjoint so no locking is needed.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxWorkers caps kernel parallelism; GOMAXPROCS by default.
-var maxWorkers = runtime.GOMAXPROCS(0)
+// maxWorkers caps kernel parallelism; GOMAXPROCS by default. It is read on
+// every For/ForChunked call — possibly from concurrently executing kernels —
+// while tests and ablations write it, so access is atomic.
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetMaxWorkers overrides the worker cap (testing and the serial-kernel
 // ablation use 1). Returns the previous value. n < 1 is treated as 1.
 func SetMaxWorkers(n int) int {
-	old := maxWorkers
 	if n < 1 {
 		n = 1
 	}
-	maxWorkers = n
-	return old
+	return int(maxWorkers.Swap(int64(n)))
 }
 
 // MaxWorkers returns the current worker cap.
-func MaxWorkers() int { return maxWorkers }
+func MaxWorkers() int { return int(maxWorkers.Load()) }
 
 // For runs body(i) for every i in [0,n), splitting the range into contiguous
 // chunks across at most MaxWorkers goroutines. It runs serially when n is
 // small or only one worker is allowed, avoiding goroutine overhead on tiny
 // kernels.
 func For(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	// Serial fast path: skip the chunk-closure wrapper entirely, so a
+	// single-worker For is allocation-free (the planned executor's
+	// steady-state hot loop runs through here on every kernel).
+	if n == 1 || MaxWorkers() <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
 	ForChunked(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
@@ -45,7 +61,7 @@ func ForChunked(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
+	workers := MaxWorkers()
 	if workers > n {
 		workers = n
 	}

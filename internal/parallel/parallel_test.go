@@ -73,6 +73,46 @@ func TestSetMaxWorkers(t *testing.T) {
 	}
 }
 
+// The worker cap is written by tests/ablations while concurrently running
+// kernels read it; this must be race-free (run with -race). The wavefront
+// executor dispatches kernels from several goroutines at once, so the
+// concurrent-For part also exercises nested parallelism.
+func TestConcurrentForAndSetMaxWorkers(t *testing.T) {
+	old := MaxWorkers()
+	defer SetMaxWorkers(old)
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for w := 1; ; w = w%4 + 1 {
+			select {
+			case <-stop:
+				return
+			default:
+				SetMaxWorkers(w)
+			}
+		}
+	}()
+	var visited int64
+	const loops, n = 50, 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := 0; l < loops; l++ {
+				For(n, func(i int) { atomic.AddInt64(&visited, 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+	if visited != 4*loops*n {
+		t.Fatalf("visited %d indices, want %d", visited, 4*loops*n)
+	}
+}
+
 // Property: the set of visited indices equals [0,n) for any n.
 func TestForCoverageProperty(t *testing.T) {
 	f := func(n uint16) bool {

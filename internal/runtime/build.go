@@ -10,6 +10,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/neuron"
 	"repro/internal/nir"
@@ -65,6 +66,22 @@ type Lib struct {
 	External map[string]*neuron.CompiledModel
 	SoC      *soc.SoC
 	Opts     BuildOptions
+
+	// The execution plan is built on first use and cached: the lowering and
+	// memory planning cost is paid once per library, not per GraphModule or
+	// per Run.
+	planOnce sync.Once
+	plan     *ExecPlan
+	planErr  error
+}
+
+// Plan returns the library's execution plan, lowering main on first call.
+// The error is sticky: a module the planner cannot lower (see BuildPlan)
+// reports the same error on every call, and callers fall back to the
+// interpreting executor.
+func (lib *Lib) Plan() (*ExecPlan, error) {
+	lib.planOnce.Do(func() { lib.plan, lib.planErr = BuildPlan(lib) })
+	return lib.plan, lib.planErr
 }
 
 // Build compiles a relay module into an executable library, mirroring the

@@ -172,7 +172,7 @@ func TestRandomGraphsAllPathsAgree(t *testing.T) {
 				if err := gm.Run(); err != nil {
 					t.Fatalf("%s: run: %v", p.name, err)
 				}
-				out := gm.GetOutput(0)
+				out := gm.MustOutput(0)
 				if ref == nil {
 					ref = out
 					continue
@@ -217,7 +217,7 @@ func TestRandomGraphsExportLoad(t *testing.T) {
 			if err := gm2.Run(); err != nil {
 				t.Fatal(err)
 			}
-			if !tensor.AllClose(gm2.GetOutput(0), gm.GetOutput(0), 1e-6, 1e-6) {
+			if !tensor.AllClose(gm2.MustOutput(0), gm.MustOutput(0), 1e-6, 1e-6) {
 				t.Error("export/load changed random-graph output")
 			}
 		})

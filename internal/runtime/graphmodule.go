@@ -8,19 +8,72 @@ import (
 	"repro/internal/tensor"
 )
 
+// ExecutorKind selects how GraphModule.Run executes the model.
+type ExecutorKind int
+
+const (
+	// ExecutorAuto (the default) runs the planned executor whenever the
+	// module lowers to an execution plan, and falls back silently to the
+	// reference interpreter when it does not (e.g. plain non-primitive
+	// function calls). Both executors produce bit-identical outputs and
+	// profiles.
+	ExecutorAuto ExecutorKind = iota
+	// ExecutorPlanned requires the planned executor: Run fails if the module
+	// cannot be lowered to a plan.
+	ExecutorPlanned
+	// ExecutorInterp forces the reference AST-walking interpreter (the
+	// oracle the planned executor is differential-tested against).
+	ExecutorInterp
+)
+
+func (k ExecutorKind) String() string {
+	switch k {
+	case ExecutorAuto:
+		return "auto"
+	case ExecutorPlanned:
+		return "plan"
+	case ExecutorInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("ExecutorKind(%d)", int(k))
+}
+
+// ParseExecutorKind parses the npc -executor flag values.
+func ParseExecutorKind(s string) (ExecutorKind, error) {
+	switch s {
+	case "auto":
+		return ExecutorAuto, nil
+	case "plan", "planned":
+		return ExecutorPlanned, nil
+	case "interp", "interpreter":
+		return ExecutorInterp, nil
+	}
+	return ExecutorAuto, fmt.Errorf("runtime: unknown executor %q (want auto, plan, or interp)", s)
+}
+
 // GraphModule is the executable handle over a built library, mirroring TVM's
 // graph_executor.GraphModule used throughout the paper's listings:
 //
 //	m.SetInput("data", x)
 //	m.Run()
-//	y := m.GetOutput(0)
+//	y, err := m.GetOutput(0)
 //
 // LastProfile exposes the simulated cost of the most recent Run.
+//
+// By default Run executes the library's cached ExecPlan: kernels write into
+// views of an arena preallocated once per GraphModule, so the steady-state
+// hot path allocates no intermediate buffers. Outputs returned by GetOutput
+// are views into that arena and remain valid only until the next Run; Clone
+// them to keep results across runs (the interpreter path returns fresh
+// tensors every Run, so code that must hold results without cloning can
+// SetExecutor(ExecutorInterp)).
 type GraphModule struct {
-	lib     *Lib
-	inputs  map[string]*tensor.Tensor
-	outputs []*tensor.Tensor
-	profile *soc.Profile
+	lib      *Lib
+	inputs   map[string]*tensor.Tensor
+	outputs  []*tensor.Tensor
+	profile  *soc.Profile
+	executor ExecutorKind
+	state    *planState // lazily bound arena + slot state (planned path)
 }
 
 // NewGraphModule wraps a built library.
@@ -30,6 +83,12 @@ func NewGraphModule(lib *Lib) *GraphModule {
 
 // Lib returns the underlying library.
 func (g *GraphModule) Lib() *Lib { return g.lib }
+
+// SetExecutor selects the execution strategy for subsequent Runs.
+func (g *GraphModule) SetExecutor(k ExecutorKind) { g.executor = k }
+
+// Executor returns the currently selected execution strategy.
+func (g *GraphModule) Executor() ExecutorKind { return g.executor }
 
 // InputNames returns the model's input names in declaration order.
 func (g *GraphModule) InputNames() []string {
@@ -49,10 +108,28 @@ func (g *GraphModule) SetInput(name string, t *tensor.Tensor) {
 // Run executes one inference, validating that every declared input is bound
 // and recording a fresh simulated-cost profile.
 func (g *GraphModule) Run() error {
-	main := g.lib.Module.Main()
-	prof := soc.NewProfile()
-	ex := newExecutor(g.lib, prof)
-	for _, p := range main.Params {
+	if err := g.validateInputs(); err != nil {
+		return err
+	}
+	switch g.executor {
+	case ExecutorInterp:
+		return g.runInterp()
+	case ExecutorPlanned:
+		st, err := g.planState()
+		if err != nil {
+			return err
+		}
+		return g.runPlanned(st)
+	default: // ExecutorAuto
+		if st, err := g.planState(); err == nil {
+			return g.runPlanned(st)
+		}
+		return g.runInterp()
+	}
+}
+
+func (g *GraphModule) validateInputs() error {
+	for _, p := range g.lib.Module.Main().Params {
 		in, ok := g.inputs[p.Name]
 		if !ok {
 			return fmt.Errorf("runtime: input %q not set", p.Name)
@@ -65,7 +142,48 @@ func (g *GraphModule) Run() error {
 				return fmt.Errorf("runtime: input %q dtype %s, model wants %s", p.Name, in.DType, tt.DType)
 			}
 		}
-		ex.env[p] = in
+	}
+	return nil
+}
+
+// planState lazily binds this module's arena to the library's cached plan.
+// Each GraphModule owns its state, so two modules over one Lib never share
+// buffers.
+func (g *GraphModule) planState() (*planState, error) {
+	if g.state != nil {
+		return g.state, nil
+	}
+	plan, err := g.lib.Plan()
+	if err != nil {
+		return nil, err
+	}
+	st, err := newPlanState(plan)
+	if err != nil {
+		return nil, err
+	}
+	g.state = st
+	return st, nil
+}
+
+func (g *GraphModule) runPlanned(st *planState) error {
+	prof := soc.NewProfile()
+	if err := st.run(g.inputs, prof); err != nil {
+		return err
+	}
+	g.outputs = g.outputs[:0]
+	for _, s := range st.plan.outputs {
+		g.outputs = append(g.outputs, st.slots[s])
+	}
+	g.profile = prof
+	return nil
+}
+
+func (g *GraphModule) runInterp() error {
+	main := g.lib.Module.Main()
+	prof := soc.NewProfile()
+	ex := newExecutor(g.lib, prof)
+	for _, p := range main.Params {
+		ex.env[p] = g.inputs[p.Name]
 	}
 	out, err := ex.eval(main.Body)
 	if err != nil {
@@ -93,12 +211,23 @@ func (g *GraphModule) Run() error {
 // NumOutputs returns the output count of the last Run.
 func (g *GraphModule) NumOutputs() int { return len(g.outputs) }
 
-// GetOutput returns output i of the last Run.
-func (g *GraphModule) GetOutput(i int) *tensor.Tensor {
+// GetOutput returns output i of the last Run. On the planned path the tensor
+// is an arena view valid until the next Run; Clone it to keep.
+func (g *GraphModule) GetOutput(i int) (*tensor.Tensor, error) {
 	if i < 0 || i >= len(g.outputs) {
-		panic(fmt.Sprintf("runtime: GetOutput(%d) with %d outputs (did Run succeed?)", i, len(g.outputs)))
+		return nil, fmt.Errorf("runtime: GetOutput(%d) with %d outputs (did Run succeed?)", i, len(g.outputs))
 	}
-	return g.outputs[i]
+	return g.outputs[i], nil
+}
+
+// MustOutput is GetOutput for callers that have already checked Run's error;
+// it panics on an out-of-range index.
+func (g *GraphModule) MustOutput(i int) *tensor.Tensor {
+	t, err := g.GetOutput(i)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // LastProfile returns the simulated cost profile of the last Run (nil before

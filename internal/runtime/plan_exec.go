@@ -1,0 +1,187 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+// This file is the runtime half of the planned executor: planState binds an
+// ExecPlan to a preallocated arena once per GraphModule, and run executes the
+// node list level by level — independent nodes of one wavefront level across
+// the parallel workers — with kernels writing into arena views through
+// topi.RunInto, so the steady-state hot path performs no heap allocation for
+// intermediates.
+
+// planState is the mutable execution state of one GraphModule over a plan:
+// the arena, the current tensor bound to each slot, per-node argument
+// scratch, and per-primitive-node sub-state. It is constructed once and
+// reused by every Run.
+type planState struct {
+	plan  *ExecPlan
+	arena *tensor.Arena
+	// slots holds each slot's current tensor: constants bound at build time,
+	// arena views bound at build time, graph inputs and external-region
+	// results rebound per run.
+	slots []*tensor.Tensor
+	args  [][]*tensor.Tensor // per-node argument scratch
+	errs  []error            // per-node error scratch for wavefront execution
+	subs  []*planState       // per-node sub-state (primitive nodes only)
+}
+
+// newPlanState allocates the arena and binds every statically known slot.
+func newPlanState(p *ExecPlan) (*planState, error) {
+	st := &planState{
+		plan:  p,
+		arena: tensor.NewArena(),
+		slots: make([]*tensor.Tensor, len(p.slots)),
+		args:  make([][]*tensor.Tensor, len(p.nodes)),
+		errs:  make([]error, len(p.nodes)),
+		subs:  make([]*planState, len(p.nodes)),
+	}
+	for _, rec := range p.storages {
+		st.arena.Add(rec.DType, rec.Elems)
+	}
+	for i, sl := range p.slots {
+		switch {
+		case sl.Const != nil:
+			st.slots[i] = sl.Const
+		case sl.Storage >= 0:
+			v, err := st.arena.View(sl.Storage, sl.DType, sl.Shape, sl.Quant)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: plan state: slot %d: %w", i, err)
+			}
+			st.slots[i] = v
+		}
+	}
+	for id, n := range p.nodes {
+		st.args[id] = make([]*tensor.Tensor, len(n.args))
+		if n.kind != nodePrim {
+			continue
+		}
+		sub, err := newPlanState(n.sub)
+		if err != nil {
+			return nil, err
+		}
+		// The sub-plan's result writes straight into the outer arena view:
+		// rebind the sub output slot so the fused body's last kernel lands
+		// in place (no copy). A body that is a bare parameter or constant
+		// has no producing node; runPrim copies in that case.
+		if outSlot := n.sub.outputs[0]; n.sub.slots[outSlot].Producer >= 0 {
+			sub.slots[outSlot] = st.slots[n.out[0]]
+		}
+		st.subs[id] = sub
+	}
+	return st, nil
+}
+
+// run executes one inference over the bound plan. Numerics run uncharged
+// (possibly concurrently); the simulated cost is then charged to prof in a
+// single sequential pass over the linear node order, which keeps the profile
+// bit-identical to the interpreter's post-order charging regardless of how
+// the wavefront interleaved.
+func (st *planState) run(inputs map[string]*tensor.Tensor, prof *soc.Profile) error {
+	p := st.plan
+	for name, slot := range p.inputs {
+		in, ok := inputs[name]
+		if !ok {
+			return fmt.Errorf("runtime: input %q not set", name)
+		}
+		st.slots[slot] = in
+	}
+	for _, lvl := range p.levels {
+		if len(lvl) == 1 || parallel.MaxWorkers() <= 1 {
+			for _, ni := range lvl {
+				if err := st.exec(ni); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Wavefront: the nodes of one level are mutually independent and
+		// the memory planner never recycles a storage within its release
+		// level, so they run concurrently without aliasing.
+		parallel.For(len(lvl), func(i int) {
+			ni := lvl[i]
+			st.errs[ni] = st.exec(ni)
+		})
+		for _, ni := range lvl {
+			if st.errs[ni] != nil {
+				return st.errs[ni]
+			}
+		}
+	}
+	if prof != nil {
+		st.charge(prof)
+	}
+	return nil
+}
+
+// exec runs one node's numerics.
+func (st *planState) exec(ni int) error {
+	n := st.plan.nodes[ni]
+	args := st.args[ni]
+	for i, s := range n.args {
+		args[i] = st.slots[s]
+	}
+	switch n.kind {
+	case nodeOp:
+		return topi.RunInto(n.opName, args, n.attrs, n.outTy, st.slots[n.out[0]])
+	case nodePrim:
+		return st.runPrim(ni, n, args)
+	case nodeExternal:
+		outs, err := n.cm.Execute(args, nil)
+		if err != nil {
+			return fmt.Errorf("runtime: external region %q: %w", n.sym, err)
+		}
+		if len(outs) != len(n.out) {
+			return fmt.Errorf("runtime: external region %q returned %d outputs, plan has %d", n.sym, len(outs), len(n.out))
+		}
+		for i, o := range outs {
+			st.slots[n.out[i]] = o
+		}
+		return nil
+	}
+	return fmt.Errorf("runtime: plan: unknown node kind %v", n.kind)
+}
+
+// runPrim executes a fused kernel's sub-plan serially within this node's
+// wavefront task. Each primitive node owns a private sub-state, so two fused
+// kernels scheduled on the same level never share sub-arena buffers.
+func (st *planState) runPrim(ni int, n *planNode, args []*tensor.Tensor) error {
+	sub := st.subs[ni]
+	for i, s := range n.sub.params {
+		sub.slots[s] = args[i]
+	}
+	for _, sn := range n.sub.nodes {
+		if err := sub.exec(sn.id); err != nil {
+			return err
+		}
+	}
+	outSlot := n.sub.outputs[0]
+	if n.sub.slots[outSlot].Producer < 0 {
+		// Degenerate body (bare parameter/constant): materialize into the
+		// outer view.
+		return st.slots[n.out[0]].CopyFrom(sub.slots[outSlot])
+	}
+	return nil
+}
+
+// charge accrues the simulated cost of the whole plan in linear node order:
+// the precomputed TVM-engine time per op/primitive node, and the Execution
+// Planner estimate (dispatch + per-op + boundary DMA) per external region —
+// the exact sequence the interpreting executor emits.
+func (st *planState) charge(prof *soc.Profile) {
+	for _, n := range st.plan.nodes {
+		switch n.kind {
+		case nodeOp, nodePrim:
+			prof.AddOp(soc.KindCPU, n.charge)
+		case nodeExternal:
+			prof.AddSubgraph()
+			n.cm.Estimate(prof)
+		}
+	}
+}

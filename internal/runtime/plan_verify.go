@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/verify"
+)
+
+// VerifyPlan audits an execution plan the way verify.Module audits relay IR:
+// every invariant the executor relies on is checked structurally, and a
+// violation names the check that caught it. BuildPlan runs this on every plan
+// before caching it, so a planner bug surfaces as a build-time diagnostic
+// rather than a silently corrupted inference.
+//
+// Checks:
+//
+//	plan-slot-range     node arg/out slot ids are in range
+//	plan-topo-order     a node only reads slots produced by earlier nodes
+//	plan-level-order    a node's level is strictly deeper than its producers'
+//	plan-single-def     every slot is defined exactly once, by its Producer
+//	plan-storage-type   a storage's dtype/element count matches its slots
+//	plan-storage-alias  slots sharing a storage have disjoint live ranges
+//	plan-output-alias   graph-output slots never share a storage
+//	plan-output-def     every graph output is a defined value
+func VerifyPlan(p *ExecPlan) *verify.Result {
+	res := &verify.Result{}
+	verifyPlanInto(p, "", res)
+	return res
+}
+
+func verifyPlanInto(p *ExecPlan, prefix string, res *verify.Result) {
+	errorf := func(check, where, format string, a ...any) {
+		res.Diags = append(res.Diags, verify.Diagnostic{
+			Sev:   verify.SevError,
+			Check: check,
+			Where: prefix + where,
+			Msg:   fmt.Sprintf(format, a...),
+		})
+	}
+
+	defs := make([]int, len(p.slots)) // definitions seen per slot
+	for _, n := range p.nodes {
+		where := fmt.Sprintf("node %d (%s)", n.id, n.describe())
+		for _, s := range n.args {
+			if s < 0 || s >= len(p.slots) {
+				errorf("plan-slot-range", where, "argument slot %d out of range [0,%d)", s, len(p.slots))
+				continue
+			}
+			sl := p.slots[s]
+			if sl.Producer < 0 {
+				continue // graph input or constant
+			}
+			if sl.Producer >= n.id {
+				errorf("plan-topo-order", where, "reads slot %d produced by later node %d", s, sl.Producer)
+			} else if p.nodes[sl.Producer].level >= n.level {
+				errorf("plan-level-order", where, "level %d does not dominate producer node %d at level %d",
+					n.level, sl.Producer, p.nodes[sl.Producer].level)
+			}
+		}
+		for _, o := range n.out {
+			if o < 0 || o >= len(p.slots) {
+				errorf("plan-slot-range", where, "output slot %d out of range [0,%d)", o, len(p.slots))
+				continue
+			}
+			defs[o]++
+			if p.slots[o].Producer != n.id {
+				errorf("plan-single-def", where, "defines slot %d whose recorded producer is node %d", o, p.slots[o].Producer)
+			}
+		}
+	}
+	for i, sl := range p.slots {
+		where := fmt.Sprintf("slot %d", i)
+		switch {
+		case sl.Producer < 0 && defs[i] != 0:
+			errorf("plan-single-def", where, "producer-less slot defined by %d node(s)", defs[i])
+		case sl.Producer >= 0 && defs[i] != 1:
+			errorf("plan-single-def", where, "slot defined %d times, want exactly once", defs[i])
+		}
+		if sl.Storage >= 0 {
+			if sl.Storage >= len(p.storages) {
+				errorf("plan-slot-range", where, "storage id %d out of range [0,%d)", sl.Storage, len(p.storages))
+				continue
+			}
+			st := p.storages[sl.Storage]
+			if st.DType != sl.DType || st.Elems != sl.Shape.Elems() {
+				errorf("plan-storage-type", where, "slot is %v×%d elems but storage %d is %v×%d",
+					sl.DType, sl.Shape.Elems(), sl.Storage, st.DType, st.Elems)
+			}
+		}
+	}
+
+	// Aliasing: group arena-backed slots per storage and demand disjoint
+	// [DefLevel, LastUse] intervals. The planner additionally delays reuse by
+	// one level (release at L, reacquire at L+1), so even touching intervals
+	// are a bug. Graph outputs must be alone on their storage: the caller
+	// reads them after the run ends, i.e. their lifetime is unbounded.
+	byStorage := make([][]int, len(p.storages))
+	for i, sl := range p.slots {
+		if sl.Storage >= 0 && sl.Storage < len(p.storages) {
+			byStorage[sl.Storage] = append(byStorage[sl.Storage], i)
+		}
+	}
+	for sid, group := range byStorage {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := p.slots[group[i]], p.slots[group[j]]
+				where := fmt.Sprintf("storage %d", sid)
+				if a.IsOutput || b.IsOutput {
+					errorf("plan-output-alias", where, "graph-output slot shares storage with slot (slots %d, %d)", group[i], group[j])
+					continue
+				}
+				if a.DefLevel <= b.LastUse && b.DefLevel <= a.LastUse {
+					errorf("plan-storage-alias", where, "slots %d [%d,%d] and %d [%d,%d] have overlapping live ranges",
+						group[i], a.DefLevel, a.LastUse, group[j], b.DefLevel, b.LastUse)
+				}
+			}
+		}
+	}
+
+	for i, s := range p.outputs {
+		where := fmt.Sprintf("output %d", i)
+		if s < 0 || s >= len(p.slots) {
+			errorf("plan-slot-range", where, "slot %d out of range [0,%d)", s, len(p.slots))
+			continue
+		}
+		sl := p.slots[s]
+		if sl.Producer < 0 && sl.Const == nil && sl.InputName == "" {
+			errorf("plan-output-def", where, "slot %d is neither produced, constant, nor a graph input", s)
+		}
+	}
+
+	// Primitive sub-plans obey the same invariants.
+	for _, n := range p.nodes {
+		if n.sub != nil {
+			verifyPlanInto(n.sub, fmt.Sprintf("%snode %d sub-plan: ", prefix, n.id), res)
+		}
+	}
+}
+
+// describe names a node for diagnostics.
+func (n *planNode) describe() string {
+	switch n.kind {
+	case nodeOp:
+		return n.opName
+	case nodePrim:
+		return "primitive"
+	case nodeExternal:
+		return "external " + n.sym
+	}
+	return n.kind.String()
+}

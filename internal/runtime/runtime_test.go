@@ -68,7 +68,7 @@ func runModule(t *testing.T, m *relay.Module, opts BuildOptions, in *tensor.Tens
 	if err := gm.Run(); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	return gm, gm.GetOutput(0)
+	return gm, gm.MustOutput(0)
 }
 
 func TestTVMOnlyExecution(t *testing.T) {
@@ -146,8 +146,8 @@ func TestUnfusedSlowerThanFused(t *testing.T) {
 			fused.LastProfile().Total(), unfused.LastProfile().Total())
 	}
 	// Numerics must agree regardless of fusion.
-	fusedOut := fused.GetOutput(0)
-	unfusedOut := unfused.GetOutput(0)
+	fusedOut := fused.MustOutput(0)
+	unfusedOut := unfused.MustOutput(0)
 	if !tensor.AllClose(fusedOut, unfusedOut, 1e-4, 1e-4) {
 		t.Error("fusion changed numerics")
 	}
@@ -272,7 +272,7 @@ func TestRegionMergeAblation(t *testing.T) {
 		t.Errorf("unmerged (%s) should be slower than merged (%s)", up.Total(), mp.Total())
 	}
 	// And identical numerics.
-	if !tensor.AllClose(merged.GetOutput(0), unmerged.GetOutput(0), 1e-4, 1e-4) {
+	if !tensor.AllClose(merged.MustOutput(0), unmerged.MustOutput(0), 1e-4, 1e-4) {
 		t.Error("region merging changed numerics")
 	}
 }
@@ -298,7 +298,7 @@ func TestExportLoadRoundTrip(t *testing.T) {
 	if err := gm2.Run(); err != nil {
 		t.Fatalf("run loaded: %v", err)
 	}
-	got := gm2.GetOutput(0)
+	got := gm2.MustOutput(0)
 	if !tensor.AllClose(got, ref, 1e-6, 1e-6) {
 		t.Errorf("loaded artifact output differs, max %g", tensor.MaxAbsDiff(got, ref))
 	}
@@ -387,7 +387,7 @@ func TestExportLoadQuantizedFused(t *testing.T) {
 	if err := gm2.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if !tensor.AllClose(gm2.GetOutput(0), gm.GetOutput(0), 0, 0) {
+	if !tensor.AllClose(gm2.MustOutput(0), gm.MustOutput(0), 0, 0) {
 		t.Error("quantized artifact round trip changed outputs")
 	}
 	if gm2.LastProfile().Total() != gm.LastProfile().Total() {

@@ -26,7 +26,7 @@ func convParams(attrs relay.Attrs) conv2dParams {
 // conv2DF32 is the float32 direct convolution: NHWC data, OHWI weight.
 // Parallelized over (batch × output row); each goroutine owns disjoint output
 // rows so there is no shared mutable state.
-func conv2DF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func conv2DF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 2, "nn.conv2d"); err != nil {
 		return nil, err
 	}
@@ -42,9 +42,9 @@ func conv2DF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 	// Compute-heavy shapes take the im2col + GEMM path (contiguous inner
 	// loops); small shapes stay on the direct kernel to avoid packing cost.
 	if int64(n)*int64(oh)*int64(ow)*int64(oc)*int64(kh*kw*icg) >= im2colThreshold {
-		return conv2DF32Im2col(data, weight, p, out), nil
+		return conv2DF32Im2col(data, weight, p, out, dstBuf), nil
 	}
-	res := newOutput(out)
+	res := output(dstBuf, out)
 
 	din := data.F32()
 	wt := weight.F32()
@@ -87,7 +87,7 @@ func conv2DF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 // qnnConv2D is the quantized convolution producing an int32 accumulator:
 // acc = Σ (q_in - zp_in) * (q_w - zp_w). The requantize kernel narrows the
 // accumulator back to 8 bits.
-func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 2, "qnn.conv2d"); err != nil {
 		return nil, err
 	}
@@ -95,7 +95,7 @@ func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 	p := convParams(attrs)
 	zpIn := int32(attrs.Int("input_zero_point", 0))
 	zpK := int32(attrs.Int("kernel_zero_point", 0))
-	res := newOutput(out)
+	res := output(dstBuf, out)
 
 	n := data.Shape[0]
 	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
@@ -175,12 +175,12 @@ func rawI32View(t *tensor.Tensor) ([]int32, error) {
 	return nil, fmt.Errorf("quantized kernel on %s tensor", t.DType)
 }
 
-func denseF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func denseF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 2, "nn.dense"); err != nil {
 		return nil, err
 	}
 	data, weight := args[0], args[1]
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n, k := data.Shape[0], data.Shape[1]
 	units := weight.Shape[0]
 	din := data.F32()
@@ -200,14 +200,14 @@ func denseF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (
 	return res, nil
 }
 
-func qnnDense(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func qnnDense(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 2, "qnn.dense"); err != nil {
 		return nil, err
 	}
 	data, weight := args[0], args[1]
 	zpIn := int32(attrs.Int("input_zero_point", 0))
 	zpK := int32(attrs.Int("kernel_zero_point", 0))
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n, k := data.Shape[0], data.Shape[1]
 	units := weight.Shape[0]
 	din, err := rawI32View(data)

@@ -17,8 +17,8 @@ import (
 const im2colThreshold = 1 << 20
 
 // conv2DF32Im2col computes the same result as the direct kernel.
-func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.TensorType) *tensor.Tensor {
-	res := tensor.New(tensor.Float32, out.Shape)
+func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.TensorType, dstBuf *tensor.Tensor) *tensor.Tensor {
+	res := output(dstBuf, out)
 	n := data.Shape[0]
 	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
 	oc, kh, kw, icg := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
@@ -34,7 +34,9 @@ func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.Ten
 	// output pixels into a col buffer and multiplies it against the weight
 	// rows of every group.
 	parallel.ForChunked(n*oh, func(lo, hi int) {
-		col := make([]float32, ow*k) // one output row's patches, per group
+		colP := getScratchF32(ow * k) // one output row's patches, per group
+		defer putScratchF32(colP)
+		col := *colP
 		for job := lo; job < hi; job++ {
 			b := job / oh
 			oy := job % oh

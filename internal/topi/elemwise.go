@@ -11,7 +11,7 @@ import (
 
 // unaryF32 registers a float32 map kernel.
 func unaryF32(name string, f func(float32) float32) {
-	Register(name, func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	Register(name, func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 		if err := wantArgs(args, 1, name); err != nil {
 			return nil, err
 		}
@@ -19,9 +19,9 @@ func unaryF32(name string, f func(float32) float32) {
 		if in.DType != tensor.Float32 {
 			// Quantized pass-through for activations the type checker allowed
 			// (e.g. relu on uint8 works on the raw domain relative to zp).
-			return unaryQuantized(name, in, out)
+			return unaryQuantized(name, in, out, dstBuf)
 		}
-		res := newOutput(out)
+		res := output(dstBuf, out)
 		src, dst := in.F32(), res.F32()
 		parallel.ForChunked(len(src), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -34,10 +34,10 @@ func unaryF32(name string, f func(float32) float32) {
 
 // unaryQuantized handles relu-style activations on quantized tensors: the
 // comparison happens against the zero point in the raw domain.
-func unaryQuantized(name string, in *tensor.Tensor, out *relay.TensorType) (*tensor.Tensor, error) {
-	res := newOutput(out)
+func unaryQuantized(name string, in *tensor.Tensor, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	switch name {
 	case "nn.relu":
+		res := output(dstBuf, out)
 		zp := int32(0)
 		if in.Quant != nil {
 			zp = in.Quant.ZeroPoint
@@ -51,7 +51,15 @@ func unaryQuantized(name string, in *tensor.Tensor, out *relay.TensorType) (*ten
 		}
 		return res, nil
 	case "nn.dropout":
-		return in.Clone(), nil
+		// Inference-time identity: copy into dstBuf when supplied, else clone.
+		if dstBuf == nil {
+			return in.Clone(), nil
+		}
+		res := output(dstBuf, out)
+		if err := res.CopyFrom(in); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	return nil, fmt.Errorf("%s kernel does not support %s input", name, in.DType)
 }
@@ -71,12 +79,12 @@ func setRaw(t *tensor.Tensor, i int, v int32) {
 
 // binaryF32 registers a broadcasting float32 zip kernel.
 func binaryF32(name string, f func(a, b float32) float32) {
-	Register(name, func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	Register(name, func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 		if err := wantArgs(args, 2, name); err != nil {
 			return nil, err
 		}
 		a, b := args[0], args[1]
-		res := newOutput(out)
+		res := output(dstBuf, out)
 		if a.Shape.Equal(b.Shape) {
 			// Fast path: element-wise, no index math.
 			as, bs, dst := a.F32(), b.F32(), res.F32()
@@ -148,7 +156,7 @@ func (bc *broadcaster) index(flat int) (ia, ib int) {
 	return ia, ib
 }
 
-func biasAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func biasAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 2, "nn.bias_add"); err != nil {
 		return nil, err
 	}
@@ -157,7 +165,7 @@ func biasAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*
 	if axis < 0 {
 		axis += len(data.Shape)
 	}
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	c := data.Shape[axis]
 	inner := 1
 	for i := axis + 1; i < len(data.Shape); i++ {
@@ -183,13 +191,13 @@ func biasAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*
 	return res, nil
 }
 
-func batchNorm(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func batchNorm(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 5, "nn.batch_norm"); err != nil {
 		return nil, err
 	}
 	data, gamma, beta, mean, variance := args[0], args[1], args[2], args[3], args[4]
 	eps := float32(attrs.Float("epsilon", 1e-5))
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	c := data.Shape[len(data.Shape)-1]
 	src, dst := data.F32(), res.F32()
 	g, bt, mn, vr := gamma.F32(), beta.F32(), mean.F32(), variance.F32()
@@ -210,12 +218,12 @@ func batchNorm(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 	return res, nil
 }
 
-func softmax(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func softmax(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.softmax"); err != nil {
 		return nil, err
 	}
 	data := args[0]
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	rank := len(data.Shape)
 	axisLen := data.Shape[rank-1] // axis=-1 (the only form frontends emit)
 	rows := data.Elems() / axisLen
@@ -242,14 +250,14 @@ func softmax(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*
 	return res, nil
 }
 
-func clipKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func clipKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "clip"); err != nil {
 		return nil, err
 	}
 	in := args[0]
 	lo := attrs.Float("a_min", math.Inf(-1))
 	hi := attrs.Float("a_max", math.Inf(1))
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	if in.DType == tensor.Float32 {
 		src, dst := in.F32(), res.F32()
 		flo, fhi := float32(lo), float32(hi)
@@ -282,7 +290,7 @@ func clipKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType)
 	return res, nil
 }
 
-func lrn(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func lrn(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.lrn"); err != nil {
 		return nil, err
 	}
@@ -291,7 +299,7 @@ func lrn(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tens
 	alpha := attrs.Float("alpha", 1e-4)
 	beta := attrs.Float("beta", 0.75)
 	bias := attrs.Float("bias", 2)
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	c := in.Shape[len(in.Shape)-1]
 	rows := in.Elems() / c
 	src, dst := in.F32(), res.F32()
@@ -313,13 +321,13 @@ func lrn(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tens
 	return res, nil
 }
 
-func leakyReLU(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func leakyReLU(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.leaky_relu"); err != nil {
 		return nil, err
 	}
 	alpha := float32(attrs.Float("alpha", 0.01))
 	in := args[0]
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	src, dst := in.F32(), res.F32()
 	parallel.ForChunked(len(src), func(lo, hi int) {
 		for i := lo; i < hi; i++ {

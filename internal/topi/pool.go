@@ -27,13 +27,13 @@ func poolParamsOf(attrs relay.Attrs) poolParams {
 	return p
 }
 
-func maxPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func maxPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.max_pool2d"); err != nil {
 		return nil, err
 	}
 	in := args[0]
 	p := poolParamsOf(attrs)
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
 
@@ -96,13 +96,13 @@ func maxPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 	return res, nil
 }
 
-func avgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func avgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.avg_pool2d"); err != nil {
 		return nil, err
 	}
 	in := args[0]
 	p := poolParamsOf(attrs)
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
 	isFloat := in.DType == tensor.Float32
@@ -156,12 +156,12 @@ func avgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 	return res, nil
 }
 
-func globalAvgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func globalAvgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.global_avg_pool2d"); err != nil {
 		return nil, err
 	}
 	in := args[0]
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	area := h * w
 	parallel.For(n*c, func(job int) {
@@ -194,7 +194,7 @@ func globalAvgPool2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tensor
 	return res, nil
 }
 
-func meanKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func meanKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "mean"); err != nil {
 		return nil, err
 	}
@@ -213,7 +213,7 @@ func meanKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType)
 			reduce[ax] = true
 		}
 	}
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	sums := make([]float64, res.Elems())
 	counts := make([]int, res.Elems())
 	// Map every input index to its output bucket by dropping reduced axes.
@@ -237,10 +237,12 @@ func meanKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType)
 		sums[o] += float64(src[flat])
 		counts[o]++
 	}
-	dst := res.F32()
-	for i := range dst {
+	dres := res.F32()
+	for i := range dres {
 		if counts[i] > 0 {
-			dst[i] = float32(sums[i] / float64(counts[i]))
+			dres[i] = float32(sums[i] / float64(counts[i]))
+		} else {
+			dres[i] = 0 // never reached for valid shapes; keeps reused buffers clean
 		}
 	}
 	return res, nil

@@ -38,14 +38,14 @@ func roundHalfAwayF(x float64) int32 {
 	return int32(x - 0.5)
 }
 
-func qnnQuantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func qnnQuantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "qnn.quantize"); err != nil {
 		return nil, err
 	}
 	in := args[0]
 	scale := attrs.Float("output_scale", 1)
 	zp := int32(attrs.Int("output_zero_point", 0))
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	src := in.F32()
 	parallel.ForChunked(len(src), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -56,7 +56,7 @@ func qnnQuantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType
 	return res, nil
 }
 
-func qnnDequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func qnnDequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "qnn.dequantize"); err != nil {
 		return nil, err
 	}
@@ -68,7 +68,7 @@ func qnnDequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorTy
 		// these available even when the frontend omitted the attrs).
 		scale, zp = in.Quant.Scale, in.Quant.ZeroPoint
 	}
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	dst := res.F32()
 	for i := range dst {
 		dst[i] = float32(scale * float64(in.GetRaw(i)-zp))
@@ -76,7 +76,7 @@ func qnnDequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorTy
 	return res, nil
 }
 
-func qnnRequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func qnnRequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "qnn.requantize"); err != nil {
 		return nil, err
 	}
@@ -86,7 +86,7 @@ func qnnRequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorTy
 	outScale := attrs.Float("output_scale", 1)
 	outZp := int32(attrs.Int("output_zero_point", 0))
 	ratio := inScale / outScale
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n := in.Elems()
 	parallel.ForChunked(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -97,7 +97,7 @@ func qnnRequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorTy
 	return res, nil
 }
 
-func qnnAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func qnnAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 2, "qnn.add"); err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func qnnAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*t
 	rhsZp := int32(attrs.Int("rhs_zero_point", 0))
 	outScale := attrs.Float("output_scale", 1)
 	outZp := int32(attrs.Int("output_zero_point", 0))
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n := res.Elems()
 	sameShape := a.Shape.Equal(b.Shape)
 	var bc *broadcaster
@@ -128,7 +128,7 @@ func qnnAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*t
 	return res, nil
 }
 
-func qnnConcatenate(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func qnnConcatenate(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	// Requantize each field to the output params, then concatenate.
 	outScale := attrs.Float("output_scale", 1)
 	outZp := int32(attrs.Int("output_zero_point", 0))
@@ -150,7 +150,7 @@ func qnnConcatenate(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorT
 		}
 		rescaled[i] = r
 	}
-	return concatenateKernel(rescaled, attrs, out)
+	return concatenateKernel(rescaled, attrs, out, dstBuf)
 }
 
 // QuantizeLinear is a convenience used by frontends/tests to pick symmetric

@@ -1,0 +1,23 @@
+package topi
+
+import "sync"
+
+// scratchPool recycles kernel-internal scratch buffers (the im2col patch
+// matrices). Output buffers are arena-planned by the executor, but scratch is
+// shaped per (kernel, chunk) and so is pooled here instead — keeping the
+// planned executor's steady state free of per-run heap allocation. Pooling
+// pointers-to-slices avoids boxing a fresh slice header on every Put.
+var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getScratchF32 returns a length-n float32 scratch slice with unspecified
+// contents. Return it with putScratchF32 when done.
+func getScratchF32(n int) *[]float32 {
+	p := scratchPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putScratchF32(p *[]float32) { scratchPool.Put(p) }

@@ -18,8 +18,13 @@ import (
 	"repro/internal/tensor"
 )
 
-// Kernel computes one operator application.
-type Kernel func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error)
+// Kernel computes one operator application. dst is an optional destination
+// buffer supplied by the planned executor (RunInto): when non-nil it matches
+// the checked output type's dtype and element count, and the kernel should
+// write its result there instead of allocating. A nil dst (the Run path)
+// means the kernel allocates its own output. dst contents are unspecified on
+// entry; kernels that need zero-initialized output must clear it themselves.
+type Kernel func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dst *tensor.Tensor) (*tensor.Tensor, error)
 
 var (
 	kernelMu sync.RWMutex
@@ -45,14 +50,14 @@ func Lookup(name string) (Kernel, bool) {
 	return k, ok
 }
 
-// Run executes one operator. It is the single entry point used by the graph
-// executor and the Neuron runtime.
+// Run executes one operator, allocating a fresh output tensor. It is the
+// entry point used by the interpreting graph executor and the Neuron runtime.
 func Run(name string, args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
 	k, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("topi: no kernel registered for %q", name)
 	}
-	t, err := k(args, attrs, out)
+	t, err := k(args, attrs, out, nil)
 	if err != nil {
 		return nil, fmt.Errorf("topi: %s: %w", name, err)
 	}
@@ -60,6 +65,38 @@ func Run(name string, args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tenso
 		return nil, fmt.Errorf("topi: %s produced shape %s, type checker said %s", name, t.Shape, out.Shape)
 	}
 	return t, nil
+}
+
+// RunInto executes one operator into a caller-supplied destination buffer
+// (typically an arena view handed out by the planned executor's memory
+// planner). dst must match the checked output type's dtype and element count.
+// Kernels normally write dst in place; the few that fundamentally produce a
+// fresh tensor fall back to a copy so the caller's aliasing contract holds.
+func RunInto(name string, args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dst *tensor.Tensor) error {
+	k, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("topi: no kernel registered for %q", name)
+	}
+	if dst == nil {
+		return fmt.Errorf("topi: RunInto %s with nil destination", name)
+	}
+	if dst.DType != out.DType || dst.Elems() != out.Shape.Elems() {
+		return fmt.Errorf("topi: RunInto %s destination %s %s does not match checked type %s %s",
+			name, dst.DType, dst.Shape, out.DType, out.Shape)
+	}
+	t, err := k(args, attrs, out, dst)
+	if err != nil {
+		return fmt.Errorf("topi: %s: %w", name, err)
+	}
+	if !t.Shape.Equal(out.Shape) {
+		return fmt.Errorf("topi: %s produced shape %s, type checker said %s", name, t.Shape, out.Shape)
+	}
+	if t != dst {
+		if err := dst.CopyFrom(t); err != nil {
+			return fmt.Errorf("topi: %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // KernelNames returns all registered kernel names, sorted; tests use it to
@@ -83,6 +120,26 @@ func newOutput(out *relay.TensorType) *tensor.Tensor {
 		t.Quant = &q
 	}
 	return t
+}
+
+// output returns the destination buffer for a kernel: dst when the caller
+// supplied one (RunInto — no allocation, contents stale), otherwise a fresh
+// zero-filled tensor. Kernels that overwrite every output element use this
+// as-is; a kernel whose algorithm assumes zeroed output (nn.pad) must clear
+// the reused buffer itself.
+func output(dst *tensor.Tensor, out *relay.TensorType) *tensor.Tensor {
+	if dst == nil {
+		return newOutput(out)
+	}
+	if out.Quant == nil {
+		dst.Quant = nil
+	} else if dst.Quant == nil || *dst.Quant != *out.Quant {
+		// Only reallocate when the view's params differ; arena views arrive
+		// pre-bound with the slot's params, keeping the steady state alloc-free.
+		q := *out.Quant
+		dst.Quant = &q
+	}
+	return dst
 }
 
 func wantArgs(args []*tensor.Tensor, n int, name string) error {

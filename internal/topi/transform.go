@@ -24,15 +24,22 @@ func copyWithShape(in *tensor.Tensor, out *relay.TensorType) *tensor.Tensor {
 }
 
 func reshapeKernel(name string) Kernel {
-	return func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+	return func(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 		if err := wantArgs(args, 1, name); err != nil {
 			return nil, err
 		}
-		return copyWithShape(args[0], out), nil
+		if dstBuf == nil {
+			return copyWithShape(args[0], out), nil
+		}
+		res := output(dstBuf, out)
+		if err := res.CopyFrom(args[0]); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 }
 
-func transposeKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func transposeKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "transpose"); err != nil {
 		return nil, err
 	}
@@ -45,7 +52,7 @@ func transposeKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tensor
 			axes[i] = rank - 1 - i
 		}
 	}
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	// Strides of the input.
 	inStrides := make([]int, rank)
 	acc := 1
@@ -79,7 +86,7 @@ func copyElem(dst *tensor.Tensor, di int, src *tensor.Tensor, si int) {
 	}
 }
 
-func concatenateKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func concatenateKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(args) == 0 {
 		return nil, fmt.Errorf("concatenate of no tensors")
 	}
@@ -88,7 +95,7 @@ func concatenateKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tens
 	if axis < 0 {
 		axis += rank
 	}
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	// outer = product of dims before axis; inner = product after.
 	outer := 1
 	for i := 0; i < axis; i++ {
@@ -115,14 +122,14 @@ func concatenateKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tens
 	return res, nil
 }
 
-func padKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func padKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.pad"); err != nil {
 		return nil, err
 	}
 	in := args[0]
 	pad := attrs.Pad4("pad_width")
 	padValue := attrs.Float("pad_value", 0)
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	if padValue != 0 {
 		res.Fill(padValue)
 	} else if in.Quant != nil {
@@ -130,6 +137,10 @@ func padKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 		for i, n := 0, res.Elems(); i < n; i++ {
 			setRaw(res, i, in.Quant.ZeroPoint)
 		}
+	} else if dstBuf != nil {
+		// The algorithm assumes zero-initialized padding; a reused arena
+		// buffer carries stale data.
+		res.Zero()
 	}
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	ow := out.Shape[2]
@@ -147,13 +158,13 @@ func padKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) 
 	return res, nil
 }
 
-func upsamplingKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func upsamplingKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "nn.upsampling"); err != nil {
 		return nil, err
 	}
 	in := args[0]
 	scale := attrs.Int("scale", 2)
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
 	for b := 0; b < n; b++ {
@@ -178,7 +189,7 @@ func upsamplingKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tenso
 	return res, nil
 }
 
-func stridedSliceKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func stridedSliceKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "strided_slice"); err != nil {
 		return nil, err
 	}
@@ -198,7 +209,7 @@ func stridedSliceKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Ten
 		inStrides[i] = acc
 		acc *= in.Shape[i]
 	}
-	res := newOutput(out)
+	res := output(dstBuf, out)
 	n := res.Elems()
 	for flat := 0; flat < n; flat++ {
 		rem := flat
@@ -213,7 +224,7 @@ func stridedSliceKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Ten
 	return res, nil
 }
 
-func yoloOutputKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType) (*tensor.Tensor, error) {
+func yoloOutputKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := wantArgs(args, 1, "vision.yolo_output"); err != nil {
 		return nil, err
 	}
@@ -221,7 +232,15 @@ func yoloOutputKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tenso
 	anchors := attrs.Int("anchors", 3)
 	classes := attrs.Int("classes", 80)
 	per := 5 + classes
-	res := in.Clone()
+	var res *tensor.Tensor
+	if dstBuf == nil {
+		res = in.Clone()
+	} else {
+		res = output(dstBuf, out)
+		if err := res.CopyFrom(in); err != nil {
+			return nil, err
+		}
+	}
 	src := res.F32()
 	cells := in.Elems() / (anchors * per)
 	sigmoid := func(v float32) float32 {
