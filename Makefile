@@ -25,12 +25,13 @@ race:
 lint:
 	$(GO) run ./cmd/npc -lint
 
-# bench writes the machine-readable run log to BENCH_PR2.json (test2json
+# bench writes the machine-readable run log to BENCH_PR4.json (test2json
 # event stream, one JSON object per line) while echoing the human-readable
 # benchmark lines to stdout. Override BENCHTIME for a quick smoke run
 # (e.g. make bench BENCHTIME=1x).
 BENCHTIME ?= 1s
+BENCHOUT ?= BENCH_PR4.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | \
-		tee BENCH_PR2.json | \
+		tee $(BENCHOUT) | \
 		sed -n 's/.*"Output":"\(.*\)\\n"}$$/\1/p' | sed -e 's/\\t/\t/g' -e 's/\\u003e/>/g'

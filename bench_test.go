@@ -5,9 +5,11 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/relay"
 	"repro/internal/runtime"
+	"repro/internal/serve"
 	"repro/internal/soc"
 	"repro/internal/tensor"
 	"repro/internal/topi"
@@ -435,6 +438,77 @@ func BenchmarkExecutorPlanVsInterp(b *testing.B) {
 		b.ReportMetric(planAllocs, "plan-allocs/op")
 		b.ReportMetric(interpAllocs, "interp-allocs/op")
 	})
+}
+
+// ------------------------------------------------------------------ serving
+
+// BenchmarkServeThroughput drives concurrent clients through the serving
+// subsystem (internal/serve) across pool sizes and batching modes: each op
+// is one complete request (admission → pool checkout → inference → output
+// copy-out). Wall clock is this host; sim-ms/req is the simulated device
+// cost. Batched variants coalesce same-model requests into one exclusive
+// device reservation, so their mean-batch metric should exceed 1 under
+// concurrent load.
+func BenchmarkServeThroughput(b *testing.B) {
+	m, err := models.BuildEmotion(models.SizeLite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3, SoC: benchSoC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inName := runtime.NewGraphModule(lib).InputNames()[0]
+	// Pre-synthesized inputs so the clients measure serving, not RNG.
+	inputs := make([]*tensor.Tensor, 16)
+	for i := range inputs {
+		inputs[i] = models.RandomInput(m, uint64(i+1))
+	}
+	for _, c := range []struct {
+		name  string
+		pool  int
+		batch int
+	}{
+		{"pool1/unbatched", 1, 1},
+		{"pool2/unbatched", 2, 1},
+		{"pool4/unbatched", 4, 1},
+		{"pool2/batch8", 2, 8},
+		{"pool4/batch8", 4, 8},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			s := serve.NewServer()
+			err := s.Register("emotion", lib, serve.ModelOptions{
+				Pool:        c.pool,
+				QueueDepth:  1024,
+				MaxBatch:    c.batch,
+				BatchWindow: 200 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var reqID atomic.Uint64
+			b.SetParallelism(8) // ≥ 8 concurrent clients regardless of GOMAXPROCS
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := reqID.Add(1)
+					in := map[string]*tensor.Tensor{inName: inputs[i%uint64(len(inputs))]}
+					if _, err := s.Submit(context.Background(), "emotion", in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := s.Stats()[0]
+			if st.Completed != uint64(b.N) {
+				b.Fatalf("completed %d of %d requests", st.Completed, b.N)
+			}
+			b.ReportMetric(st.SimMs/float64(b.N), "sim-ms/req")
+			b.ReportMetric(st.MeanBatch, "mean-batch")
+			b.ReportMetric(float64(st.MaxBatch), "max-batch")
+			s.Drain()
+		})
+	}
 }
 
 // BenchmarkAutoPipeline runs the automatic pipeline-scheduling search (the

@@ -1,0 +1,144 @@
+// Command npserve is the serving binary: it compiles zoo models and exposes
+// them as concurrent, deadline-aware HTTP inference endpoints backed by
+// internal/serve's module pools, dynamic micro-batching, and admission
+// control.
+//
+// Usage:
+//
+//	npserve                                  # serve the three showcase models + /v1/showcase
+//	npserve -models "emotion,mobilenet v2"   # serve specific zoo models
+//	npserve -pool 4 -batch 8 -window 2ms     # bigger pools, micro-batching on
+//	npserve -addr :9000 -size full
+//
+// A sample session:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/infer -d '{"model":"emotion","seed":7}'
+//	curl -s -X POST localhost:8080/v1/showcase -d '{"frames":2}'
+//	curl -s localhost:8080/statsz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/models"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelsArg = flag.String("models", "showcase", `comma-separated zoo models, or "showcase" for the §4 trio + /v1/showcase`)
+		sizeArg   = flag.String("size", "lite", "model build preset: lite|full")
+		pool      = flag.Int("pool", 2, "GraphModule instances (and workers) per model")
+		queue     = flag.Int("queue", 64, "admission queue depth per model")
+		batch     = flag.Int("batch", 1, "max micro-batch size (1 = batching off)")
+		window    = flag.Duration("window", 2*time.Millisecond, "micro-batch coalescing window")
+		executor  = flag.String("executor", "auto", "executor: plan|interp|auto")
+		noNIR     = flag.Bool("no-nir", false, "disable NeuroPilot partitioning (TVM-only builds)")
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+
+	kind, err := runtime.ParseExecutorKind(*executor)
+	fatal(err)
+	size := models.SizeLite
+	switch *sizeArg {
+	case "lite":
+	case "full":
+		size = models.SizeFull
+	default:
+		fatal(fmt.Errorf("npserve: unknown -size %q (want lite or full)", *sizeArg))
+	}
+
+	srv := serve.NewServer()
+	opts := serve.ModelOptions{
+		Pool:        *pool,
+		QueueDepth:  *queue,
+		MaxBatch:    *batch,
+		BatchWindow: *window,
+		Executor:    kind,
+	}
+
+	names := splitModels(*modelsArg)
+	withShowcase := false
+	if len(names) == 1 && names[0] == "showcase" {
+		withShowcase = true
+		names = nil
+		for _, s := range models.Showcase() {
+			names = append(names, s.Name)
+		}
+	}
+	for _, name := range names {
+		spec, err := models.Get(name)
+		fatal(err)
+		fmt.Printf("npserve: building %s (%s, %s preset)...\n", name, spec.Framework, *sizeArg)
+		mod, err := spec.Build(size)
+		fatal(err)
+		lib, err := runtime.Build(mod, runtime.BuildOptions{OptLevel: 3, UseNIR: !*noNIR})
+		fatal(err)
+		fatal(srv.Register(name, lib, opts))
+		fmt.Printf("npserve: registered %q: pool=%d queue=%d batch=%d devices=%v\n",
+			name, *pool, *queue, *batch, must(srv.Endpoint(name)).Devices)
+	}
+	if withShowcase {
+		fmt.Println("npserve: building the /v1/showcase application (3 models)...")
+		cfg := app.DefaultConfig()
+		cfg.Size = size
+		cfg.Executor = kind
+		fatal(srv.RegisterShowcase(cfg))
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("npserve: serving %v on %s\n", srv.Models(), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("\nnpserve: %v: draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		srv.Drain()
+		_ = hs.Shutdown(ctx)
+		fmt.Println("npserve: drained, bye")
+	}
+}
+
+// splitModels splits the -models flag on commas (zoo names contain spaces
+// but not commas).
+func splitModels(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func must(o serve.ModelOptions, err error) serve.ModelOptions {
+	fatal(err)
+	return o
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npserve:", err)
+		os.Exit(1)
+	}
+}

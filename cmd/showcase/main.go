@@ -8,6 +8,7 @@
 //
 //	showcase -frames 10 -faces 2 -objects 2
 //	showcase -frames 20 -pipeline        # also report the §5.2 pipeline comparison
+//	showcase -executor=interp            # force the reference interpreter
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/pipeline"
+	"repro/internal/runtime"
 	"repro/internal/soc"
 	"repro/internal/video"
 )
@@ -30,11 +32,16 @@ func main() {
 		height   = flag.Int("height", 120, "frame height")
 		seed     = flag.Uint64("seed", 42, "scene seed")
 		pipeFlag = flag.Bool("pipeline", false, "compare sequential vs pipelined scheduling")
+		executor = flag.String("executor", "auto", "executor for all three models: plan|interp|auto")
 	)
 	flag.Parse()
 
+	kind, err := runtime.ParseExecutorKind(*executor)
+	fatal(err)
 	fmt.Println("building the three showcase models (TFLite SSD, PyTorch DeePixBiS, Keras emotion CNN)...")
-	sc, err := app.New(app.DefaultConfig())
+	cfg := app.DefaultConfig()
+	cfg.Executor = kind
+	sc, err := app.New(cfg)
 	fatal(err)
 	src, err := video.NewSource(*width, *height, *faces, *objects, *seed)
 	fatal(err)

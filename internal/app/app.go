@@ -20,6 +20,9 @@ type Config struct {
 	Detection runtime.BuildOptions
 	AntiSpoof runtime.BuildOptions
 	Emotion   runtime.BuildOptions
+	// Executor selects the execution strategy for all three graph modules
+	// (the showcase/npc -executor flag); the zero value is ExecutorAuto.
+	Executor runtime.ExecutorKind
 	// ScoreThreshold for object detections.
 	ScoreThreshold float64
 }
@@ -121,6 +124,9 @@ func New(cfg Config) (*Showcase, error) {
 		detQuant: models.InputQuant(detMod),
 		spoofIn:  models.InputShape(spoofMod),
 	}
+	s.detGM.SetExecutor(cfg.Executor)
+	s.spoofGM.SetExecutor(cfg.Executor)
+	s.emoGM.SetExecutor(cfg.Executor)
 	if err := s.calibrateSpoof(); err != nil {
 		return nil, fmt.Errorf("app: calibrating anti-spoofing: %w", err)
 	}

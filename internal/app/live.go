@@ -2,8 +2,8 @@ package app
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/pipeline"
 	"repro/internal/soc"
 	"repro/internal/video"
 )
@@ -15,36 +15,10 @@ import (
 // while the shared virtual timeline accounts the simulated schedule with
 // the same atomic multi-device reservation the static scheduler uses.
 
-// DeviceLocks serializes wall-clock access to the simulated devices. Locks
-// are always taken in DeviceKind order, so multi-device stages cannot
-// deadlock.
-type DeviceLocks struct {
-	mu [3]sync.Mutex
-}
-
-// Lock acquires the devices in canonical order.
-func (l *DeviceLocks) Lock(devs []soc.DeviceKind) {
-	for k := soc.DeviceKind(0); k < 3; k++ {
-		for _, d := range devs {
-			if d == k {
-				l.mu[k].Lock()
-				break
-			}
-		}
-	}
-}
-
-// Unlock releases in reverse order.
-func (l *DeviceLocks) Unlock(devs []soc.DeviceKind) {
-	for k := soc.DeviceKind(2); k >= 0; k-- {
-		for _, d := range devs {
-			if d == k {
-				l.mu[k].Unlock()
-				break
-			}
-		}
-	}
-}
+// DeviceLocks is the shared exclusive-device mutex set; it now lives in
+// internal/pipeline so the serving scheduler can coordinate through the same
+// mechanism.
+type DeviceLocks = pipeline.DeviceLocks
 
 // StageDevices assigns the exclusive device set of each pipeline stage —
 // the Figure 5 assignment by default.

@@ -1,0 +1,45 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/soc"
+)
+
+// DeviceLocks serializes wall-clock access to the simulated devices — the
+// exclusive-resource rule of the §5 pipeline prototype enforced with real
+// mutexes. A stage (or a serving batch) holds every device in its set for
+// the duration of its execution, so two workloads overlap in wall-clock time
+// only when their device sets are disjoint.
+//
+// Locks are always taken in DeviceKind order, so multi-device holders cannot
+// deadlock. One DeviceLocks value is shared per simulated SoC: the live
+// showcase pipeline (internal/app) and the serving scheduler (internal/serve)
+// both coordinate through it.
+type DeviceLocks struct {
+	mu [soc.NumDeviceKinds]sync.Mutex
+}
+
+// Lock acquires the devices in canonical order.
+func (l *DeviceLocks) Lock(devs []soc.DeviceKind) {
+	for k := soc.DeviceKind(0); k < soc.NumDeviceKinds; k++ {
+		for _, d := range devs {
+			if d == k {
+				l.mu[k].Lock()
+				break
+			}
+		}
+	}
+}
+
+// Unlock releases in reverse order.
+func (l *DeviceLocks) Unlock(devs []soc.DeviceKind) {
+	for k := soc.NumDeviceKinds - 1; k >= 0; k-- {
+		for _, d := range devs {
+			if d == k {
+				l.mu[k].Unlock()
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// These tests pin the package's output-aliasing contract (see the package
+// doc): on the planned path GetOutput returns arena views that the next Run
+// overwrites, and OutputCopy is the detached escape hatch.
+
+func aliasingModule(t *testing.T) *runtime.GraphModule {
+	t.Helper()
+	m, err := models.BuildEmotion(models.SizeLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	gm.SetExecutor(runtime.ExecutorPlanned)
+	return gm
+}
+
+// TestGetOutputViewInvalidatedByNextRun pins the sharp edge: the view
+// returned by GetOutput is overwritten in place by the next Run.
+func TestGetOutputViewInvalidatedByNextRun(t *testing.T) {
+	gm := aliasingModule(t)
+	name := gm.InputNames()[0]
+	mod := gm.Lib().Module
+
+	gm.SetInput(name, models.RandomInput(mod, 1))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := gm.GetOutput(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := view.Clone() // what run 1 actually produced
+
+	gm.SetInput(name, models.RandomInput(mod, 2))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	second := gm.MustOutput(0)
+
+	// Different inputs must give different outputs, or the test proves
+	// nothing.
+	if tensor.MaxAbsDiff(snapshot, second) == 0 {
+		t.Fatal("runs 1 and 2 produced identical outputs; pick different seeds")
+	}
+	// The old view now shows run 2's data: same backing storage.
+	if d := tensor.MaxAbsDiff(view, second); d != 0 {
+		t.Errorf("stale view differs from run 2 output by %g; expected the arena view to be overwritten in place", d)
+	}
+	if tensor.MaxAbsDiff(view, snapshot) == 0 {
+		t.Error("view still holds run 1 data after run 2; the invalidation contract changed — update the package doc")
+	}
+}
+
+// TestOutputCopyDetached pins OutputCopy: the copy survives subsequent Runs
+// unchanged and shares nothing with the arena.
+func TestOutputCopyDetached(t *testing.T) {
+	gm := aliasingModule(t)
+	name := gm.InputNames()[0]
+	mod := gm.Lib().Module
+
+	gm.SetInput(name, models.RandomInput(mod, 1))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := gm.OutputCopy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := copied.Clone()
+
+	gm.SetInput(name, models.RandomInput(mod, 2))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(copied, want); d != 0 {
+		t.Errorf("OutputCopy mutated by a later Run (diff %g); it must be detached from the arena", d)
+	}
+
+	// Out-of-range indices are errors, mirroring GetOutput.
+	if _, err := gm.OutputCopy(99); err == nil {
+		t.Error("OutputCopy(99) succeeded; want error")
+	}
+}
+
+// TestInterpOutputsFresh documents (without promising) the interpreter
+// behavior the contract calls out: interp results are freshly allocated, so
+// a held result is not overwritten by the next Run.
+func TestInterpOutputsFresh(t *testing.T) {
+	gm := aliasingModule(t)
+	gm.SetExecutor(runtime.ExecutorInterp)
+	name := gm.InputNames()[0]
+	mod := gm.Lib().Module
+
+	gm.SetInput(name, models.RandomInput(mod, 1))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := gm.MustOutput(0)
+	snapshot := first.Clone()
+	gm.SetInput(name, models.RandomInput(mod, 2))
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(first, snapshot); d != 0 {
+		t.Errorf("interpreter output mutated by later Run (diff %g)", d)
+	}
+}

@@ -5,6 +5,24 @@
 // Listings 2–6 use. Execution computes real numerics through the TOPI
 // kernels and the Neuron runtime while charging simulated device time to a
 // profile.
+//
+// # Output aliasing contract
+//
+// On the planned-executor path (the default), tensors returned by
+// GraphModule.GetOutput and MustOutput are views into the module's
+// preallocated arena: they are valid only until that module's next Run,
+// which overwrites them in place. Callers that keep results across Runs, or
+// that hand results to another goroutine while the module keeps serving
+// (e.g. a module pool), must detach them first — either Clone the view or
+// use GraphModule.OutputCopy, which returns a tensor sharing no storage
+// with the arena. The reference interpreter (ExecutorInterp) happens to
+// return freshly allocated tensors each Run, but callers must not rely on
+// that: the contract is defined by the planned path.
+//
+// One GraphModule is single-threaded state (SetInput/Run/GetOutput is a
+// stateful sequence); concurrency is achieved by pooling independent
+// GraphModules over one shared Lib, whose lowered ExecPlan is immutable and
+// cached once per library.
 package runtime
 
 import (

@@ -220,6 +220,21 @@ func (g *GraphModule) GetOutput(i int) (*tensor.Tensor, error) {
 	return g.outputs[i], nil
 }
 
+// OutputCopy returns a detached deep copy of output i of the last Run. The
+// copy shares no storage with the module's arena, so it stays valid across
+// subsequent Runs and may be handed to other goroutines — the safe choice
+// for serving layers that release the module back to a pool before the
+// response is consumed. (GetOutput is the zero-copy variant whose view the
+// next Run invalidates; see the package documentation for the full aliasing
+// contract.)
+func (g *GraphModule) OutputCopy(i int) (*tensor.Tensor, error) {
+	t, err := g.GetOutput(i)
+	if err != nil {
+		return nil, err
+	}
+	return t.Clone(), nil
+}
+
 // MustOutput is GetOutput for callers that have already checked Run's error;
 // it panics on an out-of-range index.
 func (g *GraphModule) MustOutput(i int) *tensor.Tensor {

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// worker is one pooled instance's serving loop: dequeue the head request,
+// gather a micro-batch behind it, execute the batch under the model's
+// exclusive device reservation, and fan results back out. On drain the
+// worker finishes whatever is still queued (answering expired requests with
+// their deadline error) and exits.
+func (e *endpoint) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case req := <-e.queue:
+			e.runBatch(e.gather(req))
+		case <-e.server.drainCh:
+			for {
+				select {
+				case req := <-e.queue:
+					e.runBatch(e.gather(req))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather coalesces same-model requests behind first: it holds the batch open
+// for at most BatchWindow, closing early when MaxBatch is reached or drain
+// begins. With batching disabled it returns immediately.
+func (e *endpoint) gather(first *request) []*request {
+	batch := []*request{first}
+	if e.opts.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(e.opts.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < e.opts.MaxBatch {
+		select {
+		case req := <-e.queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-e.server.drainCh:
+			// Don't hold the window open during shutdown; take what is
+			// already queued and go.
+			for len(batch) < e.opts.MaxBatch {
+				select {
+				case req := <-e.queue:
+					batch = append(batch, req)
+				default:
+					return batch
+				}
+			}
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one coalesced batch on a pooled module under the model's
+// exclusive device locks. Requests whose context expired while queued (or
+// while the batch window was open) are answered with their context error
+// without executing.
+func (e *endpoint) runBatch(batch []*request) {
+	live := make([]*request, 0, len(batch))
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			e.stats.expired()
+			r.respond(nil, fmt.Errorf("serve: %s: expired after %v in queue: %w",
+				e.name, time.Since(r.enqueued).Round(time.Microsecond), err))
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if e.opts.Gate != nil {
+		e.opts.Gate(len(live))
+	}
+
+	// Checkout order is fixed (pool, then device locks) across all workers
+	// and endpoints, so the two acquisitions cannot deadlock.
+	gm := <-e.pool
+	e.server.locks.Lock(e.opts.Devices)
+	defer func() {
+		e.server.locks.Unlock(e.opts.Devices)
+		e.pool <- gm
+	}()
+
+	runStart := time.Now()
+	var batchSim soc.Seconds
+	for _, r := range live {
+		// The batch window may have outlived a tight deadline.
+		if err := r.ctx.Err(); err != nil {
+			e.stats.expired()
+			r.respond(nil, fmt.Errorf("serve: %s: expired before execution: %w", e.name, err))
+			continue
+		}
+		start := time.Now()
+		for name, t := range r.inputs {
+			gm.SetInput(name, t)
+		}
+		if err := gm.Run(); err != nil {
+			e.stats.failed()
+			r.respond(nil, fmt.Errorf("serve: %s: %w", e.name, err))
+			continue
+		}
+		outs := make([]*tensor.Tensor, gm.NumOutputs())
+		var copyErr error
+		for i := range outs {
+			if outs[i], copyErr = gm.OutputCopy(i); copyErr != nil {
+				break
+			}
+		}
+		if copyErr != nil {
+			e.stats.failed()
+			r.respond(nil, fmt.Errorf("serve: %s: %w", e.name, copyErr))
+			continue
+		}
+		sim := gm.LastProfile().Total()
+		batchSim += sim
+		e.stats.completed(time.Since(r.enqueued), sim)
+		r.respond(&Result{
+			Outputs:   outs,
+			BatchSize: len(live),
+			QueueWait: runStart.Sub(r.enqueued),
+			Wall:      time.Since(start),
+			SimTime:   sim,
+		}, nil)
+	}
+	// Account the whole reservation on the shared virtual timeline: the
+	// batch occupied its device set exclusively for its summed simulated
+	// cost (this is what /statsz reports as per-device busy time).
+	e.server.timeline.ScheduleMulti(e.opts.Devices, e.name, 0, batchSim)
+	e.stats.batchDone(len(live), time.Since(runStart))
+}

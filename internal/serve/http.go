@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/models"
+	"repro/internal/relay"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+	"repro/internal/video"
+)
+
+// The JSON API surface:
+//
+//	POST /v1/infer    {"model":"emotion","seed":7}                → outputs
+//	POST /v1/infer    {"model":"emotion","inputs":{"x":[...]}}    → outputs
+//	POST /v1/showcase {"frames":2,"faces":1,"objects":1,"seed":9} → per-frame verdicts
+//	GET  /healthz                                                 → liveness + drain state
+//	GET  /statsz                                                  → per-model counters, device busy time
+
+// InferRequest is the /v1/infer body. Exactly one of Inputs or Seed drives
+// the input tensors: Inputs binds explicit per-input data (row-major real
+// values, quantized with the model's declared input parameters where
+// needed); otherwise the input is synthesized deterministically from Seed.
+type InferRequest struct {
+	Model     string               `json:"model"`
+	Seed      uint64               `json:"seed,omitempty"`
+	Inputs    map[string][]float64 `json:"inputs,omitempty"`
+	TimeoutMs int                  `json:"timeout_ms,omitempty"`
+}
+
+// TensorJSON is one tensor on the wire.
+type TensorJSON struct {
+	Shape []int     `json:"shape"`
+	DType string    `json:"dtype"`
+	Data  []float64 `json:"data"`
+}
+
+// InferResponse is the /v1/infer reply.
+type InferResponse struct {
+	Model     string       `json:"model"`
+	Outputs   []TensorJSON `json:"outputs"`
+	BatchSize int          `json:"batch_size"`
+	QueueMs   float64      `json:"queue_ms"`
+	WallMs    float64      `json:"wall_ms"`
+	SimMs     float64      `json:"sim_ms"`
+}
+
+// Handler returns the HTTP mux serving the JSON API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/showcase", s.handleShowcase)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/statsz", s.handleStats)
+	return mux
+}
+
+// httpStatus maps serving errors onto status codes: 429 for overload, 503
+// while draining, 404 for unknown models, 504 for deadlines that expired in
+// queue, 400 for bad bindings, 500 otherwise.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.mu.RLock()
+	e, ok := s.endpoints[req.Model]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model))
+		return
+	}
+	inputs, err := e.buildInputs(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.Submit(ctx, req.Model, inputs)
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	resp := InferResponse{
+		Model:     req.Model,
+		BatchSize: res.BatchSize,
+		QueueMs:   float64(res.QueueWait) / float64(time.Millisecond),
+		WallMs:    float64(res.Wall) / float64(time.Millisecond),
+		SimMs:     res.SimTime.Ms(),
+	}
+	for _, t := range res.Outputs {
+		resp.Outputs = append(resp.Outputs, tensorToJSON(t))
+	}
+	writeJSON(w, resp)
+}
+
+// buildInputs materializes the request's input binding: explicit data when
+// given, a deterministic synthetic input otherwise.
+func (e *endpoint) buildInputs(req InferRequest) (map[string]*tensor.Tensor, error) {
+	main := e.lib.Module.Main()
+	out := make(map[string]*tensor.Tensor, len(main.Params))
+	if len(req.Inputs) == 0 {
+		if len(main.Params) != 1 {
+			return nil, fmt.Errorf("serve: model %q has %d inputs; seed synthesis needs exactly 1 (bind inputs explicitly)",
+				e.name, len(main.Params))
+		}
+		out[main.Params[0].Name] = models.RandomInput(e.lib.Module, req.Seed)
+		return out, nil
+	}
+	for _, p := range main.Params {
+		data, ok := req.Inputs[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("serve: model %q: input %q missing", e.name, p.Name)
+		}
+		tt, ok := p.TypeAnnotation.(*relay.TensorType)
+		if !ok {
+			return nil, fmt.Errorf("serve: model %q: input %q has no tensor type", e.name, p.Name)
+		}
+		t, err := tensorFromData(data, tt)
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %q input %q: %w", e.name, p.Name, err)
+		}
+		out[p.Name] = t
+	}
+	return out, nil
+}
+
+// tensorFromData builds a tensor of the declared input type from row-major
+// real values, quantizing through the declared parameters for integer
+// inputs.
+func tensorFromData(data []float64, tt *relay.TensorType) (*tensor.Tensor, error) {
+	if len(data) != tt.Shape.Elems() {
+		return nil, fmt.Errorf("want %d elements for shape %s, got %d", tt.Shape.Elems(), tt.Shape, len(data))
+	}
+	f := tensor.New(tensor.Float32, tt.Shape.Clone())
+	for i, v := range data {
+		f.SetF(i, v)
+	}
+	if tt.DType == tensor.Float32 {
+		return f, nil
+	}
+	if !tt.DType.IsQuantized() || tt.Quant == nil {
+		return nil, fmt.Errorf("cannot bind explicit data to %s input without quant params", tt.DType)
+	}
+	return f.QuantizeTo(tt.DType, *tt.Quant), nil
+}
+
+func tensorToJSON(t *tensor.Tensor) TensorJSON {
+	out := TensorJSON{Shape: []int(t.Shape.Clone()), DType: t.DType.String(), Data: make([]float64, t.Elems())}
+	for i := range out.Data {
+		out.Data[i] = t.GetF(i)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- showcase
+
+// showcaseEndpoint wraps the three-model §4 application behind the API. An
+// app.Showcase is single-threaded state, so access is serialized by the
+// server's showMu — concurrency belongs to the per-model /v1/infer pools;
+// /v1/showcase is the demo surface.
+type showcaseEndpoint struct {
+	sc *app.Showcase
+}
+
+// RegisterShowcase builds the three showcase models and mounts /v1/showcase.
+func (s *Server) RegisterShowcase(cfg app.Config) error {
+	sc, err := app.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.showMu.Lock()
+	s.showcase = &showcaseEndpoint{sc: sc}
+	s.showMu.Unlock()
+	return nil
+}
+
+// ShowcaseRequest is the /v1/showcase body (zero values get defaults).
+type ShowcaseRequest struct {
+	Frames  int    `json:"frames"`
+	Faces   int    `json:"faces"`
+	Objects int    `json:"objects"`
+	Width   int    `json:"width"`
+	Height  int    `json:"height"`
+	Seed    uint64 `json:"seed"`
+}
+
+// ShowcaseFace is one face verdict on the wire.
+type ShowcaseFace struct {
+	X          int     `json:"x"`
+	Y          int     `json:"y"`
+	W          int     `json:"w"`
+	H          int     `json:"h"`
+	SpoofScore float64 `json:"spoof_score"`
+	Real       bool    `json:"real"`
+	Emotion    string  `json:"emotion,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// ShowcaseFrame is one frame's result on the wire.
+type ShowcaseFrame struct {
+	Frame    int            `json:"frame"`
+	Objects  int            `json:"objects"`
+	Faces    []ShowcaseFace `json:"faces"`
+	DetectMs float64        `json:"detect_sim_ms"`
+	SpoofMs  float64        `json:"spoof_sim_ms"`
+	EmoMs    float64        `json:"emotion_sim_ms"`
+}
+
+// ShowcaseResponse is the /v1/showcase reply.
+type ShowcaseResponse struct {
+	Frames     []ShowcaseFrame `json:"frames"`
+	TotalSimMs float64         `json:"total_sim_ms"`
+}
+
+func (s *Server) handleShowcase(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	s.showMu.Lock()
+	ep := s.showcase
+	s.showMu.Unlock()
+	if ep == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("showcase endpoint not registered"))
+		return
+	}
+	var req ShowcaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Frames <= 0 {
+		req.Frames = 1
+	}
+	if req.Frames > 64 {
+		writeErr(w, http.StatusBadRequest, errors.New("frames > 64"))
+		return
+	}
+	if req.Width <= 0 {
+		req.Width = 160
+	}
+	if req.Height <= 0 {
+		req.Height = 120
+	}
+	if req.Faces < 0 || req.Objects < 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("negative faces/objects"))
+		return
+	}
+	if req.Faces == 0 {
+		req.Faces = 2
+	}
+	if req.Objects == 0 {
+		req.Objects = 2
+	}
+	src, err := video.NewSource(req.Width, req.Height, req.Faces, req.Objects, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp ShowcaseResponse
+	var total soc.Seconds
+	s.showMu.Lock()
+	defer s.showMu.Unlock()
+	for i := 0; i < req.Frames; i++ {
+		res, err := ep.sc.ProcessFrame(src.Next())
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		fr := ShowcaseFrame{
+			Frame:    res.Frame,
+			Objects:  len(res.Objects),
+			DetectMs: res.Timing.Detect.Ms(),
+			SpoofMs:  res.Timing.AntiSpoof.Ms(),
+			EmoMs:    res.Timing.Emotion.Ms(),
+		}
+		for _, f := range res.Faces {
+			fr.Faces = append(fr.Faces, ShowcaseFace{
+				X: f.Box.X, Y: f.Box.Y, W: f.Box.W, H: f.Box.H,
+				SpoofScore: f.SpoofScore, Real: f.Real,
+				Emotion: f.Emotion, Confidence: f.Confidence,
+			})
+		}
+		total += res.Timing.Total()
+		resp.Frames = append(resp.Frames, fr)
+	}
+	resp.TotalSimMs = total.Ms()
+	writeJSON(w, resp)
+}
+
+// ------------------------------------------------------------------ health
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"draining": s.Draining(),
+		"models":   s.Models(),
+	})
+}
+
+// StatsResponse is the /statsz reply.
+type StatsResponse struct {
+	UptimeMs float64            `json:"uptime_ms"`
+	Draining bool               `json:"draining"`
+	Models   []ModelStats       `json:"models"`
+	DeviceMs map[string]float64 `json:"device_busy_sim_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeMs: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Draining: s.Draining(),
+		Models:   s.Stats(),
+		DeviceMs: map[string]float64{},
+	}
+	for _, k := range soc.AllDeviceKinds() {
+		resp.DeviceMs[k.String()] = s.timeline.BusyTime(k).Ms()
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,305 @@
+// Package serve is the concurrent inference-serving layer over the compiled
+// runtime: it turns built libraries into deadline-aware, goroutine-safe
+// endpoints — the ROADMAP's "serve heavy traffic" direction applied to the
+// paper's §5 scheduling model.
+//
+// Three mechanisms compose per registered model:
+//
+//   - A module pool: N independently planned GraphModule instances over one
+//     shared Lib (plan lowered once, one arena per instance), checked out per
+//     batch. Steady-state serving therefore stays allocation-free inside the
+//     executor while remaining safe under arbitrary client concurrency.
+//   - A dynamic micro-batcher: same-model requests arriving within a
+//     configurable window coalesce into one device reservation; results fan
+//     back out with outputs copied out of the arena (OutputCopy) before the
+//     module returns to the pool.
+//   - Admission control: a bounded queue with per-request context deadlines.
+//     A full queue rejects immediately with ErrOverloaded (HTTP 429) rather
+//     than blocking; a request whose deadline expires while queued is
+//     answered with its context error without ever executing; Drain stops
+//     admission and lets workers finish what was already admitted.
+//
+// Device exclusivity reuses internal/pipeline's model: every batch holds the
+// wall-clock locks of its model's simulated device set for the duration of
+// execution, so an APU-bound model and a CPU-bound model overlap while two
+// APU models serialize — exactly the paper's exclusive-resource rule, applied
+// to request traffic instead of video frames.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/runtime"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// Typed admission errors (the HTTP layer maps these to status codes).
+var (
+	// ErrOverloaded reports a full admission queue: the request was rejected
+	// immediately instead of being allowed to queue without bound.
+	ErrOverloaded = errors.New("serve: overloaded (admission queue full)")
+	// ErrDraining reports that the server has begun graceful shutdown and
+	// admits no new requests.
+	ErrDraining = errors.New("serve: draining")
+	// ErrUnknownModel reports a request for a model that was never registered.
+	ErrUnknownModel = errors.New("serve: unknown model")
+)
+
+// ModelOptions configures one registered endpoint.
+type ModelOptions struct {
+	// Pool is the number of GraphModule instances (and worker goroutines);
+	// default 2.
+	Pool int
+	// QueueDepth bounds the admission queue; default 64.
+	QueueDepth int
+	// MaxBatch caps the dynamic micro-batch size; <= 1 disables batching.
+	MaxBatch int
+	// BatchWindow is how long a worker holds the first request of a batch
+	// waiting for companions; default 2ms. Ignored when MaxBatch <= 1.
+	BatchWindow time.Duration
+	// Devices is the simulated device set the model occupies exclusively
+	// while executing. Defaults to the set implied by the library's build
+	// options: CPU, plus the NIR target devices on the BYOC path.
+	Devices []soc.DeviceKind
+	// Executor selects the execution strategy for the pooled modules.
+	Executor runtime.ExecutorKind
+	// Gate, when non-nil, is invoked with the batch size immediately before
+	// each batch executes. It exists for tests and benchmarks to shape
+	// traffic deterministically (e.g. hold a worker to force queueing).
+	Gate func(batch int)
+}
+
+func (o ModelOptions) withDefaults(lib *runtime.Lib) ModelOptions {
+	if o.Pool <= 0 {
+		o.Pool = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if len(o.Devices) == 0 {
+		o.Devices = LibDevices(lib)
+	}
+	return o
+}
+
+// LibDevices derives the exclusive device set a built library occupies: the
+// host CPU always (TVM kernels and dispatch run there), plus every NeuroPilot
+// target device when the library was partitioned for NIR.
+func LibDevices(lib *runtime.Lib) []soc.DeviceKind {
+	set := map[soc.DeviceKind]bool{soc.KindCPU: true}
+	if lib.Opts.UseNIR {
+		for _, d := range lib.Opts.NIRDevices {
+			set[d] = true
+		}
+	}
+	devs := make([]soc.DeviceKind, 0, len(set))
+	for d := range set {
+		devs = append(devs, d)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	return devs
+}
+
+// Result is one request's response.
+type Result struct {
+	// Outputs are detached copies (no arena aliasing): valid indefinitely.
+	Outputs []*tensor.Tensor
+	// BatchSize is how many requests the micro-batcher coalesced into the
+	// device reservation that served this one (1 = unbatched).
+	BatchSize int
+	// QueueWait is wall-clock time spent in the admission queue (including
+	// the batch-gathering window).
+	QueueWait time.Duration
+	// Wall is wall-clock execution time of this request's own Run.
+	Wall time.Duration
+	// SimTime is the simulated device cost of this request's inference.
+	SimTime soc.Seconds
+}
+
+type outcome struct {
+	res *Result
+	err error
+}
+
+type request struct {
+	ctx      context.Context
+	inputs   map[string]*tensor.Tensor
+	ch       chan outcome
+	enqueued time.Time
+}
+
+func (r *request) respond(res *Result, err error) {
+	r.ch <- outcome{res: res, err: err}
+}
+
+// Server hosts the registered model endpoints behind one admission-controlled
+// front door, sharing a device-lock set and a virtual timeline across all of
+// them.
+type Server struct {
+	mu        sync.RWMutex
+	endpoints map[string]*endpoint
+	draining  bool
+	drainCh   chan struct{}
+	locks     *pipeline.DeviceLocks
+	timeline  *soc.Timeline
+	start     time.Time
+
+	showMu   sync.Mutex
+	showcase *showcaseEndpoint
+}
+
+// NewServer returns an empty server; register models before serving.
+func NewServer() *Server {
+	return &Server{
+		endpoints: map[string]*endpoint{},
+		drainCh:   make(chan struct{}),
+		locks:     &pipeline.DeviceLocks{},
+		timeline:  soc.NewTimeline(),
+		start:     time.Now(),
+	}
+}
+
+// Timeline exposes the shared virtual timeline (per-device busy accounting
+// for /statsz).
+func (s *Server) Timeline() *soc.Timeline { return s.timeline }
+
+// Register creates an endpoint named name over a built library and starts
+// its worker pool.
+func (s *Server) Register(name string, lib *runtime.Lib, opts ModelOptions) error {
+	if name == "" {
+		return errors.New("serve: empty model name")
+	}
+	opts = opts.withDefaults(lib)
+	e, err := newEndpoint(name, lib, opts, s)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if _, dup := s.endpoints[name]; dup {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	s.endpoints[name] = e
+	e.startWorkers()
+	return nil
+}
+
+// Models lists the registered endpoint names, sorted.
+func (s *Server) Models() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.endpoints))
+	for n := range s.endpoints {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Endpoint returns the registered endpoint's options (introspection).
+func (s *Server) Endpoint(name string) (ModelOptions, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.endpoints[name]
+	if !ok {
+		return ModelOptions{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return e.opts, nil
+}
+
+// Submit runs one inference on the named model. inputs must bind exactly the
+// model's declared input names; outputs in the Result are detached copies.
+// It blocks until the request is served, rejected, or times out — every
+// admitted request is guaranteed a response, including during drain.
+func (s *Server) Submit(ctx context.Context, model string, inputs map[string]*tensor.Tensor) (*Result, error) {
+	s.mu.RLock()
+	e, ok := s.endpoints[model]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	if err := e.checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &request{ctx: ctx, inputs: inputs, ch: make(chan outcome, 1), enqueued: time.Now()}
+
+	// Admission: the read lock pairs with Drain's write lock so a request
+	// can never slip into a queue after the workers have drained it.
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case e.queue <- req:
+		e.stats.admitted()
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		e.stats.rejected()
+		return nil, ErrOverloaded
+	}
+
+	out := <-req.ch
+	if out.err != nil {
+		return nil, out.err
+	}
+	return out.res, nil
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Drain begins graceful shutdown: new submissions are rejected with
+// ErrDraining, already-admitted requests are served (or answered with their
+// deadline error), and Drain returns when every worker has exited.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	eps := make([]*endpoint, 0, len(s.endpoints))
+	for _, e := range s.endpoints {
+		eps = append(eps, e)
+	}
+	s.mu.Unlock()
+	for _, e := range eps {
+		e.wg.Wait()
+	}
+}
+
+// Stats snapshots every endpoint's counters, sorted by model name.
+func (s *Server) Stats() []ModelStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ModelStats, 0, len(s.endpoints))
+	for _, e := range s.endpoints {
+		out = append(out, e.stats.snapshot(e.name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}

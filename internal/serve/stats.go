@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/soc"
+)
+
+// latencyWindow is how many recent end-to-end latencies the quantile
+// summary is computed over (a fixed ring, so stats stay O(1) per request).
+const latencyWindow = 512
+
+// ModelStats is a point-in-time snapshot of one endpoint's counters.
+type ModelStats struct {
+	Model string `json:"model"`
+	// Admitted counts requests accepted into the queue; Rejected counts
+	// ErrOverloaded refusals; Expired counts requests whose deadline passed
+	// before execution; Failed counts execution errors.
+	Admitted  uint64 `json:"admitted"`
+	Completed uint64 `json:"completed"`
+	Rejected  uint64 `json:"rejected"`
+	Expired   uint64 `json:"expired"`
+	Failed    uint64 `json:"failed"`
+	// Batches is how many device reservations served the completed
+	// requests; MeanBatch = Completed/Batches; MaxBatch is the largest
+	// coalesced batch observed.
+	Batches   uint64  `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+	MaxBatch  int     `json:"max_batch"`
+	// SimMs is total simulated device time charged; Latency summarizes
+	// recent end-to-end wall-clock latencies (queue + execution).
+	SimMs   float64        `json:"sim_ms"`
+	Latency LatencySummary `json:"latency"`
+}
+
+// LatencySummary reports quantiles over the recent-latency window, in
+// milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// statsCollector accumulates one endpoint's counters; all methods are
+// goroutine-safe.
+type statsCollector struct {
+	mu        sync.Mutex
+	admit     uint64
+	complete  uint64
+	reject    uint64
+	expire    uint64
+	fail      uint64
+	batches   uint64
+	maxBatch  int
+	simTotal  soc.Seconds
+	sumMs     float64
+	maxMs     float64
+	ring      [latencyWindow]float64
+	ringLen   int
+	ringNext  int
+	latencies uint64
+}
+
+func (c *statsCollector) admitted() {
+	c.mu.Lock()
+	c.admit++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) rejected() {
+	c.mu.Lock()
+	c.reject++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) expired() {
+	c.mu.Lock()
+	c.expire++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) failed() {
+	c.mu.Lock()
+	c.fail++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) completed(latency time.Duration, sim soc.Seconds) {
+	ms := float64(latency) / float64(time.Millisecond)
+	c.mu.Lock()
+	c.complete++
+	c.simTotal += sim
+	c.latencies++
+	c.sumMs += ms
+	if ms > c.maxMs {
+		c.maxMs = ms
+	}
+	c.ring[c.ringNext] = ms
+	c.ringNext = (c.ringNext + 1) % latencyWindow
+	if c.ringLen < latencyWindow {
+		c.ringLen++
+	}
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) batchDone(size int, wall time.Duration) {
+	c.mu.Lock()
+	c.batches++
+	if size > c.maxBatch {
+		c.maxBatch = size
+	}
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) snapshot(model string) ModelStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := ModelStats{
+		Model:     model,
+		Admitted:  c.admit,
+		Completed: c.complete,
+		Rejected:  c.reject,
+		Expired:   c.expire,
+		Failed:    c.fail,
+		Batches:   c.batches,
+		MaxBatch:  c.maxBatch,
+		SimMs:     c.simTotal.Ms(),
+	}
+	if c.batches > 0 {
+		s.MeanBatch = float64(c.complete) / float64(c.batches)
+	}
+	s.Latency.Count = c.latencies
+	if c.ringLen > 0 {
+		s.Latency.MeanMs = c.sumMs / float64(c.latencies)
+		s.Latency.MaxMs = c.maxMs
+		window := append([]float64(nil), c.ring[:c.ringLen]...)
+		sort.Float64s(window)
+		s.Latency.P50Ms = quantile(window, 0.50)
+		s.Latency.P95Ms = quantile(window, 0.95)
+		s.Latency.P99Ms = quantile(window, 0.99)
+	}
+	return s
+}
+
+// quantile reads the q-th quantile from a sorted window (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -30,7 +30,15 @@ const (
 	KindCPU DeviceKind = iota
 	KindGPU
 	KindAPU
+	// NumDeviceKinds is the number of distinct device kinds; code that keeps
+	// per-device state (locks, counters) sizes arrays with it.
+	NumDeviceKinds
 )
+
+// AllDeviceKinds lists every device kind in canonical order.
+func AllDeviceKinds() []DeviceKind {
+	return []DeviceKind{KindCPU, KindGPU, KindAPU}
+}
 
 func (k DeviceKind) String() string {
 	switch k {
