@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race lint bench
+.PHONY: check build fmt vet test race lint bench trace-demo
 
 # check is the tier-1 gate: build + formatting + vet + race-enabled tests +
 # cross-registry lint. CI and pre-commit hooks should run exactly this.
@@ -30,8 +30,16 @@ lint:
 # benchmark lines to stdout. Override BENCHTIME for a quick smoke run
 # (e.g. make bench BENCHTIME=1x).
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR4.json
+BENCHOUT ?= BENCH_PR5.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | \
 		tee $(BENCHOUT) | \
 		sed -n 's/.*"Output":"\(.*\)\\n"}$$/\1/p' | sed -e 's/\\t/\t/g' -e 's/\\u003e/>/g'
+
+# trace-demo compiles and runs the lite emotion model with profiling on and
+# writes demo-trace.json — a Chrome/Perfetto trace with all three clock
+# domains (compile passes, per-node executor spans, simulated device rows).
+# CI uploads the file as an artifact.
+TRACEOUT ?= demo-trace.json
+trace-demo:
+	$(GO) run ./cmd/npc -zoo emotion -run -profile -trace $(TRACEOUT)

@@ -440,6 +440,31 @@ func BenchmarkExecutorPlanVsInterp(b *testing.B) {
 	})
 }
 
+// BenchmarkTracingOverhead measures what turning profiling on costs the
+// planned executor (per-node wall spans + named simulated-event recording)
+// against the same module with profiling off — the "low-overhead" claim of
+// the observability layer, quantified. The off variant doubles as the
+// allocation pin: SetProfiling(false) must keep Run() at the never-profiled
+// baseline (see TestProfilingOffAddsZeroAllocs for the exact assertion).
+func BenchmarkTracingOverhead(b *testing.B) {
+	run := func(b *testing.B, profiling bool) {
+		gm, _ := executorBenchModule(b, runtime.ExecutorPlanned)
+		gm.SetProfiling(profiling)
+		if err := gm.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := gm.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // ------------------------------------------------------------------ serving
 
 // BenchmarkServeThroughput drives concurrent clients through the serving

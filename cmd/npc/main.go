@@ -11,6 +11,8 @@
 //	npc -model model.tflite -dump            # print the partitioned relay module
 //	npc -model model.tflite -verify -o m.nplib   # IR-verify after every pass
 //	npc -model model.tflite -run -executor=plan  # one synthetic inference
+//	npc -zoo emotion -run -profile           # per-op profile table for a zoo model
+//	npc -zoo emotion -run -trace=out.json    # Chrome trace (load in Perfetto)
 //	npc -lint                                # cross-check the operator registries
 package main
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/neuron"
 	"repro/internal/nir"
+	"repro/internal/obs"
 	"repro/internal/relay"
 	"repro/internal/runtime"
 	"repro/internal/soc"
@@ -47,42 +50,71 @@ func main() {
 		lint        = flag.Bool("lint", false, "cross-check the relay-op / NIR-handler / TOPI-kernel / Neuron registries and exit")
 		runFlag     = flag.Bool("run", false, "execute one inference on a synthetic input and print the simulated profile")
 		executor    = flag.String("executor", "auto", "executor for -run: plan|interp|auto")
+		zooName     = flag.String("zoo", "", "build a model-zoo model by name instead of importing -model (\"list\" prints names)")
+		sizeFlag    = flag.String("size", "lite", "zoo model size with -zoo: lite|full")
+		profileFlag = flag.Bool("profile", false, "with -run: print the per-op profile table")
+		traceOut    = flag.String("trace", "", "write a Chrome trace JSON file (compile spans; with -run also executor and simulated-timeline spans)")
 	)
 	flag.Parse()
 	if *lint {
 		runLint()
 		return
 	}
-	if *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "npc: -model is required")
+	if *zooName == "list" {
+		for _, n := range models.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *modelPath == "" && *zooName == "" {
+		fmt.Fprintln(os.Stderr, "npc: -model or -zoo is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	model, err := os.ReadFile(*modelPath)
-	fatal(err)
-	var weights []byte
-	if *weightsPath != "" {
-		weights, err = os.ReadFile(*weightsPath)
+	var mod *relay.Module
+	var err error
+	if *zooName != "" {
+		spec, gerr := models.Get(*zooName)
+		fatal(gerr)
+		size := models.SizeLite
+		if *sizeFlag == "full" {
+			size = models.SizeFull
+		}
+		mod, err = spec.Build(size)
 		fatal(err)
-	}
-
-	fw := core.Framework(*framework)
-	if fw == "" {
-		fw, err = core.DetectFramework(model)
+		fmt.Printf("npc: built zoo model %s (%s, %s): %d ops\n",
+			spec.Name, spec.Framework, *sizeFlag, relay.CountOps(mod.Main()))
+	} else {
+		model, rerr := os.ReadFile(*modelPath)
+		fatal(rerr)
+		var weights []byte
+		if *weightsPath != "" {
+			weights, err = os.ReadFile(*weightsPath)
+			fatal(err)
+		}
+		fw := core.Framework(*framework)
+		if fw == "" {
+			fw, err = core.DetectFramework(model)
+			fatal(err)
+		}
+		mod, err = core.Import(fw, model, weights)
 		fatal(err)
+		fmt.Printf("npc: imported %s model: %d ops\n", fw, relay.CountOps(mod.Main()))
 	}
-	mod, err := core.Import(fw, model, weights)
-	fatal(err)
-	fmt.Printf("npc: imported %s model: %d ops\n", fw, relay.CountOps(mod.Main()))
 
 	devices, err := parseTargets(*targets)
 	fatal(err)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
 	opts := runtime.BuildOptions{
 		OptLevel:   *optLevel,
 		UseNIR:     !*noNIR,
 		NIRDevices: devices,
 		Verify:     *verifyFlag,
+		Tracer:     tracer,
 	}
 	lib, err := core.Compile(mod, opts)
 	fatal(err)
@@ -107,8 +139,21 @@ func main() {
 	if *runFlag {
 		kind, err := runtime.ParseExecutorKind(*executor)
 		fatal(err)
-		fatal(runOnce(lib, mod, kind))
+		gm, err := runOnce(lib, mod, kind, *profileFlag || *traceOut != "")
+		fatal(err)
+		if *profileFlag {
+			fmt.Print(soc.OpTable(gm.LastProfile().Events()))
+		}
+		if *traceOut != "" {
+			fatal(writeTrace(*traceOut, tracer, gm))
+		}
 		return
+	}
+	if *traceOut != "" {
+		fatal(writeTrace(*traceOut, tracer, nil))
+		if *outPath == "" {
+			return
+		}
 	}
 	if *outPath == "" {
 		fmt.Fprintln(os.Stderr, "npc: -o is required unless -dump/-dot is given")
@@ -125,16 +170,17 @@ func main() {
 
 // runOnce executes one inference on a synthetic input through the selected
 // executor and prints the plan summary plus the simulated cost profile.
-func runOnce(lib *runtime.Lib, mod *relay.Module, kind runtime.ExecutorKind) error {
+func runOnce(lib *runtime.Lib, mod *relay.Module, kind runtime.ExecutorKind, profile bool) (*runtime.GraphModule, error) {
 	gm := runtime.NewGraphModule(lib)
 	gm.SetExecutor(kind)
+	gm.SetProfiling(profile)
 	names := gm.InputNames()
 	if len(names) != 1 {
-		return fmt.Errorf("npc: -run requires a single-input model, have %d inputs", len(names))
+		return nil, fmt.Errorf("npc: -run requires a single-input model, have %d inputs", len(names))
 	}
 	gm.SetInput(names[0], models.RandomInput(mod, 1))
 	if err := gm.Run(); err != nil {
-		return err
+		return nil, err
 	}
 	if kind != runtime.ExecutorInterp {
 		if plan, err := lib.Plan(); err == nil {
@@ -146,6 +192,37 @@ func runOnce(lib *runtime.Lib, mod *relay.Module, kind runtime.ExecutorKind) err
 	fmt.Printf("npc: executor=%s, %d output(s), simulated inference %s\n",
 		kind, gm.NumOutputs(), gm.LastProfile().Total())
 	fmt.Printf("npc: profile: %s\n", gm.LastProfile())
+	return gm, nil
+}
+
+// writeTrace merges the compile-time tracer spans with (when gm ran profiled)
+// the executor's wall-clock node spans and the simulated-clock event layout,
+// and writes one Chrome trace JSON file — each clock domain renders as its
+// own Perfetto process.
+func writeTrace(path string, tracer *obs.Tracer, gm *runtime.GraphModule) error {
+	spans, names := tracer.Snapshot()
+	if gm != nil {
+		exec := gm.TraceSpans()
+		spans = append(spans, exec...)
+		for _, sp := range exec {
+			names[obs.Thread{PID: obs.PIDExec, TID: sp.TID}] = fmt.Sprintf("lane %d", sp.TID-1)
+		}
+		if prof := gm.LastProfile(); prof != nil && prof.EventsEnabled() {
+			spans = append(spans, soc.EventSpans(prof.Events())...)
+			for th, n := range soc.SimThreadNames() {
+				names[th] = n
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, spans, names); err != nil {
+		return err
+	}
+	fmt.Printf("npc: wrote trace %s (%d spans)\n", path, len(spans))
 	return nil
 }
 

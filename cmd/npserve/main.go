@@ -16,6 +16,8 @@
 //	curl -s -X POST localhost:8080/v1/infer -d '{"model":"emotion","seed":7}'
 //	curl -s -X POST localhost:8080/v1/showcase -d '{"frames":2}'
 //	curl -s localhost:8080/statsz
+//	curl -s localhost:8080/metricsz          # Prometheus text exposition
+//	curl -s localhost:8080/tracez > t.json   # worker spans, Perfetto-loadable
 package main
 
 import (
@@ -103,6 +105,8 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	fmt.Printf("npserve: serving %v on %s\n", srv.Models(), *addr)
+	fmt.Printf("npserve: observability at %s/statsz, %s/metricsz (Prometheus), %s/tracez (Perfetto)\n",
+		*addr, *addr, *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

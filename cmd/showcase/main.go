@@ -9,6 +9,7 @@
 //	showcase -frames 10 -faces 2 -objects 2
 //	showcase -frames 20 -pipeline        # also report the §5.2 pipeline comparison
 //	showcase -executor=interp            # force the reference interpreter
+//	showcase -frames 20 -trace=out.json  # Chrome trace of the pipelined timeline
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/app"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runtime"
 	"repro/internal/soc"
@@ -33,8 +35,12 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "scene seed")
 		pipeFlag = flag.Bool("pipeline", false, "compare sequential vs pipelined scheduling")
 		executor = flag.String("executor", "auto", "executor for all three models: plan|interp|auto")
+		traceOut = flag.String("trace", "", "write the live pipelined timeline as Chrome trace JSON (implies -pipeline)")
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		*pipeFlag = true
+	}
 
 	kind, err := runtime.ParseExecutorKind(*executor)
 	fatal(err)
@@ -92,7 +98,28 @@ func main() {
 		fmt.Printf("  sequential work: %s\n  pipelined makespan: %s (%.2fx)\n",
 			live.SequentialTime, live.Makespan, live.Speedup())
 		fmt.Print(live.Timeline.Gantt(100))
+
+		if *traceOut != "" {
+			fatal(writeTimelineTrace(*traceOut, live.Timeline))
+		}
 	}
+}
+
+// writeTimelineTrace exports the live pipeline's simulated timeline as a
+// Chrome trace: one row per device, so the exclusive-use gaps between the
+// three models (the paper's Figure 5 picture) are visible in Perfetto.
+func writeTimelineTrace(path string, tl *soc.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans := soc.TimelineSpans(tl)
+	if err := obs.WriteChromeTrace(f, spans, soc.SimThreadNames()); err != nil {
+		return err
+	}
+	fmt.Printf("showcase: wrote trace %s (%d spans)\n", path, len(spans))
+	return nil
 }
 
 func fatal(err error) {

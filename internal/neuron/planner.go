@@ -240,11 +240,12 @@ func (cm *CompiledModel) Estimate(prof *soc.Profile) soc.Seconds {
 				continue
 			}
 			if crossesLink(producer[in], dev) {
-				prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(cm.Model, in)))
+				prof.AddDMANamed(cm.SoC.APULink.TransferTime(operandBytes(cm.Model, in)), cm.Model.Name)
 			}
 		}
 		d := cm.SoC.Device(dev)
-		prof.AddOp(dev, d.OpTime(fusedWork(cm.Model, op), efficiency(dev)))
+		prof.AddOpNamed(dev, d.OpTime(fusedWork(cm.Model, op), efficiency(dev)),
+			cm.Model.Name+":"+opDisplayName(cm.Model, op))
 		for _, out := range op.Outputs {
 			producer[out] = dev
 		}
@@ -252,10 +253,23 @@ func (cm *CompiledModel) Estimate(prof *soc.Profile) soc.Seconds {
 	// Results must return to host memory.
 	for _, out := range cm.Model.Outputs {
 		if crossesLink(producer[out], soc.KindCPU) {
-			prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(cm.Model, out)))
+			prof.AddDMANamed(cm.SoC.APULink.TransferTime(operandBytes(cm.Model, out)), cm.Model.Name)
 		}
 	}
 	return prof.Total()
+}
+
+// opDisplayName names one (possibly fused) operation for profile events and
+// the plan report: the anchor opcode plus its absorbed epilogue stages.
+func opDisplayName(m *Model, op Operation) string {
+	name := op.Code.String()
+	if act := op.Attrs.Str(FusedActivationAttr, ""); act != "" {
+		name += "+" + act
+	}
+	if op.Attrs.Bool(FusedRequantAttr, false) {
+		name += "+requant"
+	}
+	return name
 }
 
 // PlanReport renders the compiled plan as a table: one row per operation
@@ -270,14 +284,7 @@ func (cm *CompiledModel) PlanReport() string {
 		w := fusedWork(cm.Model, op)
 		dev := cm.Plan[i]
 		t := cm.SoC.Device(dev).OpTime(w, efficiency(dev))
-		name := op.Code.String()
-		if act := op.Attrs.Str(FusedActivationAttr, ""); act != "" {
-			name += "+" + act
-		}
-		if op.Attrs.Bool(FusedRequantAttr, false) {
-			name += "+requant"
-		}
-		appendf("%-4d %-24s %-6s %12d %10s\n", i, name, dev, w.MACs, t)
+		appendf("%-4d %-24s %-6s %12d %10s\n", i, opDisplayName(cm.Model, op), dev, w.MACs, t)
 	}
 	return string(b)
 }

@@ -49,7 +49,7 @@ func (cm *CompiledModel) Execute(inputs []*tensor.Tensor, prof *soc.Profile) ([]
 			}
 			args[ai] = values[in]
 			if prof != nil && !m.Operands[in].IsConst() && crossesLink(producer[in], dev) {
-				prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(m, in)))
+				prof.AddDMANamed(cm.SoC.APULink.TransferTime(operandBytes(m, in)), m.Name)
 			}
 		}
 		res, err := runOperation(m, op, args)
@@ -59,7 +59,8 @@ func (cm *CompiledModel) Execute(inputs []*tensor.Tensor, prof *soc.Profile) ([]
 		values[op.Outputs[0]] = res
 		if prof != nil {
 			d := cm.SoC.Device(dev)
-			prof.AddOp(dev, d.OpTime(fusedWork(m, op), efficiency(dev)))
+			prof.AddOpNamed(dev, d.OpTime(fusedWork(m, op), efficiency(dev)),
+				m.Name+":"+opDisplayName(m, op))
 		}
 		for _, out := range op.Outputs {
 			producer[out] = dev
@@ -73,7 +74,7 @@ func (cm *CompiledModel) Execute(inputs []*tensor.Tensor, prof *soc.Profile) ([]
 		}
 		outs[i] = values[idx]
 		if prof != nil && crossesLink(producer[idx], soc.KindCPU) {
-			prof.AddDMA(cm.SoC.APULink.TransferTime(operandBytes(m, idx)))
+			prof.AddDMANamed(cm.SoC.APULink.TransferTime(operandBytes(m, idx)), m.Name)
 		}
 	}
 	return outs, nil

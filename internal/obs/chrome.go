@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one trace_event record in the Chrome/Perfetto JSON format:
+// "X" complete events for spans, "M" metadata events for process and thread
+// names. Field order follows the trace_event spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// processNames labels the clock-domain processes in the exported trace.
+var processNames = map[int]string{
+	PIDWall: "wall clock",
+	PIDSim:  "simulated clock",
+	PIDExec: "executor (wall clock)",
+}
+
+// WriteChromeTrace serializes spans as Chrome trace_event JSON
+// ({"traceEvents": [...]}), the format chrome://tracing and Perfetto load
+// directly. threadNames (optional) labels trace rows; unnamed rows keep
+// their numeric thread ID. Output is deterministic: metadata first, then
+// spans sorted by (pid, tid, start, name).
+func WriteChromeTrace(w io.Writer, spans []Span, threadNames map[Thread]string) error {
+	sorted := append([]Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Name < b.Name
+	})
+
+	var events []chromeEvent
+	pids := map[int]bool{}
+	threads := map[Thread]bool{}
+	for _, s := range sorted {
+		pids[s.PID] = true
+		threads[Thread{PID: s.PID, TID: s.TID}] = true
+	}
+	for _, pid := range sortedInts(pids) {
+		name := processNames[pid]
+		if name == "" {
+			name = fmt.Sprintf("process %d", pid)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, th := range sortedThreads(threads) {
+		name, ok := threadNames[th]
+		if !ok {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: th.PID, TID: th.TID,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range sorted {
+		dur := s.Dur
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.Start, Dur: &dur, PID: s.PID, TID: s.TID,
+		}
+		if len(s.Args) > 0 {
+			ev.Args = make(map[string]any, len(s.Args))
+			for _, a := range s.Args {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedThreads(set map[Thread]bool) []Thread {
+	out := make([]Thread, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// TreeDump renders spans as an indented plain-text tree, one section per
+// trace row, nesting spans by interval containment — the terminal-friendly
+// counterpart of the Chrome export.
+func TreeDump(spans []Span, threadNames map[Thread]string) string {
+	perThread := map[Thread][]Span{}
+	for _, s := range spans {
+		th := Thread{PID: s.PID, TID: s.TID}
+		perThread[th] = append(perThread[th], s)
+	}
+	var b strings.Builder
+	for _, th := range sortedThreadKeys(perThread) {
+		label := threadNames[th]
+		if label == "" {
+			label = fmt.Sprintf("pid %d tid %d", th.PID, th.TID)
+		}
+		fmt.Fprintf(&b, "[%s]\n", label)
+		rows := perThread[th]
+		sort.SliceStable(rows, func(i, j int) bool {
+			if rows[i].Start != rows[j].Start {
+				return rows[i].Start < rows[j].Start
+			}
+			// Equal starts: the longer span is the parent.
+			return rows[i].Dur > rows[j].Dur
+		})
+		// Containment stack: a span nests under the nearest predecessor
+		// whose interval encloses it.
+		var stack []Span
+		for _, s := range rows {
+			for len(stack) > 0 && s.Start >= stack[len(stack)-1].End() {
+				stack = stack[:len(stack)-1]
+			}
+			fmt.Fprintf(&b, "  %s%-*s %s\n",
+				strings.Repeat("  ", len(stack)),
+				44-2*len(stack), s.Name,
+				spanSuffix(s))
+			stack = append(stack, s)
+		}
+	}
+	return b.String()
+}
+
+func spanSuffix(s Span) string {
+	out := fmt.Sprintf("%8.3fms @%.3fms", float64(s.Dur)/1e3, float64(s.Start)/1e3)
+	for _, a := range s.Args {
+		out += fmt.Sprintf(" %s=%v", a.Key, a.Val)
+	}
+	return out
+}
+
+func sortedThreadKeys(m map[Thread][]Span) []Thread {
+	set := make(map[Thread]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return sortedThreads(set)
+}

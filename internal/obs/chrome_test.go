@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpans is a deterministic two-clock-domain trace: a compile span and
+// a serving span on wall-clock tracks, plus two device rows on the simulated
+// clock. Deliberately appended out of order to pin the export's sorting.
+func goldenSpans() ([]Span, map[Thread]string) {
+	spans := []Span{
+		{Name: "apu op", Cat: "sim", PID: PIDSim, TID: 2, Start: 100, Dur: 700},
+		{Name: "FuseOps", Cat: "pass", PID: PIDWall, TID: 0, Start: 10, Dur: 40,
+			Args: []Arg{A("ops_before", 12), A("ops_after", 9)}},
+		{Name: "cpu op", Cat: "sim", PID: PIDSim, TID: 1, Start: 0, Dur: 100},
+		{Name: "execute:emotion", Cat: "serve", PID: PIDWall, TID: 1, Start: 200, Dur: 300},
+	}
+	names := map[Thread]string{
+		{PID: PIDWall, TID: 0}: "compile",
+		{PID: PIDWall, TID: 1}: "emotion/worker0",
+		{PID: PIDSim, TID: 1}:  "cpu",
+		{PID: PIDSim, TID: 2}:  "apu",
+	}
+	return spans, names
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	spans, names := goldenSpans()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, names); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test -run Golden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceStructure(t *testing.T) {
+	spans, names := goldenSpans()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, names); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("output is not valid JSON")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Dur == nil {
+				t.Errorf("complete event %q has no dur", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 2 process_name + 4 thread_name metadata records, then the 4 spans.
+	if meta != 6 || complete != 4 {
+		t.Errorf("got %d metadata + %d complete events, want 6 + 4", meta, complete)
+	}
+	// Spans are sorted (pid, tid, start) after the metadata block.
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.PID != PIDSim || last.Name != "apu op" {
+		t.Errorf("last event = %q pid %d, want the apu span on pid %d", last.Name, last.PID, PIDSim)
+	}
+	// Args survive the round trip.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "FuseOps" {
+			if ev.Args["ops_before"] != float64(12) || ev.Args["ops_after"] != float64(9) {
+				t.Errorf("FuseOps args = %v", ev.Args)
+			}
+		}
+	}
+}
+
+func TestTreeDump(t *testing.T) {
+	spans := []Span{
+		{Name: "parent", Cat: "test", PID: PIDWall, TID: 0, Start: 0, Dur: 100},
+		{Name: "child", Cat: "test", PID: PIDWall, TID: 0, Start: 10, Dur: 20},
+		{Name: "sibling", Cat: "test", PID: PIDWall, TID: 0, Start: 40, Dur: 30},
+		{Name: "after", Cat: "test", PID: PIDWall, TID: 0, Start: 200, Dur: 10},
+	}
+	out := TreeDump(spans, map[Thread]string{{PID: PIDWall, TID: 0}: "main"})
+	if !strings.Contains(out, "[main]") {
+		t.Errorf("dump missing thread header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	indent := map[string]int{}
+	for _, ln := range lines[1:] {
+		name := strings.Fields(ln)[0]
+		indent[name] = len(ln) - len(strings.TrimLeft(ln, " "))
+	}
+	if indent["child"] <= indent["parent"] || indent["sibling"] <= indent["parent"] {
+		t.Errorf("children not nested under parent:\n%s", out)
+	}
+	if indent["after"] != indent["parent"] {
+		t.Errorf("span outside parent's interval should not nest:\n%s", out)
+	}
+}

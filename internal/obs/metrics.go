@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics half of the package: a dependency-free registry of counters,
+// gauges and fixed-bucket histograms with Prometheus text exposition
+// (npserve's /metricsz). Instruments are lock-free on the update path
+// (atomics only); the registry mutex guards registration and exposition.
+
+// Label is one name="value" pair of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// Labels is an ordered label set.
+type Labels []Label
+
+// L builds a label set from alternating key, value strings.
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs.L: odd key/value count")
+	}
+	out := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// String renders the label set in exposition syntax ({} for empty).
+func (ls Labels) String() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	sorted := append(Labels(nil), ls...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	parts := make([]string, len(sorted))
+	for i, l := range sorted {
+		// %q escapes backslash, quote and newline exactly as the Prometheus
+		// exposition format requires.
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// metric is anything a family can hold.
+type metric interface {
+	expose(w io.Writer, name, labels string)
+}
+
+// family groups the series of one metric name under a shared help string
+// and type.
+type family struct {
+	name, help, typ string
+	series          map[string]metric
+	order           []string // insertion-ordered series keys
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// lookup returns (creating if needed) the series of one name+labels cell,
+// enforcing one metric type per name.
+func (r *Registry) lookup(name, help, typ string, labels Labels, make func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]metric{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := labels.String()
+	m, ok := f.series[key]
+	if !ok {
+		m = make()
+		f.series[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// Counter returns the counter series for name+labels, registering it on
+// first use. Counters only go up.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, "counter", labels, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge series for name+labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, "gauge", labels, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram series for name+labels with the given
+// upper bucket bounds (used only on first registration of the series).
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	return r.lookup(name, help, "histogram", labels, func() metric { return NewHistogram(buckets) }).(*Histogram)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (families in registration order, series in registration order).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range f.order {
+			f.series[key].expose(w, f.name, key)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- counter
+
+// Counter is a monotonically increasing float64, safe for concurrent use.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v (v must be >= 0).
+func (c *Counter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(c.Value()))
+}
+
+// ------------------------------------------------------------------ gauge
+
+// Gauge is a settable float64, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increases (or with negative v decreases) the gauge.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// -------------------------------------------------------------- histogram
+
+// Histogram counts observations into fixed upper-bound buckets (an
+// observation v lands in the first bucket with v <= bound, Prometheus "le"
+// semantics) and tracks sum, count and max for summary statistics.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing upper
+// bounds. An implicit +Inf bucket catches everything beyond the last bound.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n exponential upper bounds start, start*factor,
+// start*factor², … — the fixed layout serve's latency histograms use.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Mean returns the average observed value (0 before any observation).
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank; ranks falling in
+// the +Inf bucket return Max. The estimate's resolution is the bucket
+// layout — exact enough for the p50/p95/p99 summaries /statsz reports.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i == len(h.bounds) {
+				return h.Max()
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if max := h.Max(); max < hi {
+				hi = max // no observation exceeds the max
+			}
+			frac := (rank - cum) / n
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+func (h *Histogram) expose(w io.Writer, name, labels string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, spliceLabel(labels, "le", formatFloat(b)), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, spliceLabel(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// spliceLabel appends one key="value" pair to a rendered label string.
+func spliceLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + pair + "}"
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

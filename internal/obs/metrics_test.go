@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("Value = %g, want 3.5", got)
+	}
+}
+
+// Counters must be exact under concurrent increments (run with -race).
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("Value = %g, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("Value = %g, want 7", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("ExpBuckets with invalid args did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestNewHistogramPanicsOnNonIncreasing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1, 2})
+}
+
+// Bucket boundaries follow Prometheus le semantics: an observation equal to
+// a bound lands in that bound's bucket, just above it spills to the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1)    // == bound 0 -> bucket 0
+	h.Observe(1.5)  // -> bucket 1
+	h.Observe(2)    // == bound 1 -> bucket 1
+	h.Observe(2.01) // -> bucket 2
+	h.Observe(4)    // == bound 2 -> bucket 2
+	h.Observe(100)  // beyond last bound -> +Inf bucket
+
+	want := []uint64{1, 2, 2, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 1+1.5+2+2.01+4+100.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %g, want 100", h.Max())
+	}
+	if got, want := h.Mean(), (1+1.5+2+2.01+4+100.0)/6; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 6)) // 1 2 4 8 16 32
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("Quantile on empty histogram = %g, want 0", h.Quantile(0.5))
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(3) // all land in the (2,4] bucket
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 4 {
+		t.Errorf("p50 = %g, want within the (2,4] bucket", p50)
+	}
+	// The interpolation upper edge clamps to the observed max.
+	if p100 := h.Quantile(1); p100 > 3 {
+		t.Errorf("p100 = %g, want <= observed max 3", p100)
+	}
+	// A rank in the +Inf bucket reports the observed max.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 with +Inf observation = %g, want Max 1000", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 8))
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(v float64) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				h.Observe(v)
+			}
+		}(float64(i + 1))
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if h.Max() != workers {
+		t.Errorf("Max = %g, want %d", h.Max(), workers)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got := L().String(); got != "" {
+		t.Errorf("empty labels = %q, want \"\"", got)
+	}
+	// Rendering sorts keys, so registration order does not split series.
+	if got := L("b", "2", "a", "1").String(); got != `{a="1",b="2"}` {
+		t.Errorf("labels = %q, want {a=\"1\",b=\"2\"}`", got)
+	}
+	if got := L("k", "a\\b\nc").String(); got != `{k="a\\b\nc"}` {
+		t.Errorf("escaped labels = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("L with odd arg count did not panic")
+		}
+	}()
+	L("only-key")
+}
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("m", "1"))
+	b := r.Counter("x_total", "help", L("m", "1"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := r.Counter("x_total", "help", L("m", "2"))
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "help", nil)
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests", L("model", "emotion")).Add(5)
+	r.Gauge("up_seconds", "uptime", nil).Set(12.5)
+	h := r.Histogram("lat_seconds", "latency", L("model", "emotion"), []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	want := `# HELP req_total requests
+# TYPE req_total counter
+req_total{model="emotion"} 5
+# HELP up_seconds uptime
+# TYPE up_seconds gauge
+up_seconds 12.5
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{model="emotion",le="0.1"} 1
+lat_seconds_bucket{model="emotion",le="0.5"} 2
+lat_seconds_bucket{model="emotion",le="+Inf"} 3
+lat_seconds_sum{model="emotion"} 2.35
+lat_seconds_count{model="emotion"} 3
+`
+	if got != want {
+		t.Errorf("WritePrometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

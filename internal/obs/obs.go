@@ -1,0 +1,220 @@
+// Package obs is the observability layer of the stack: a low-overhead span
+// tracer and a dependency-free metrics registry, shared by the compiler
+// (per-pass spans), the executors (per-node spans and per-op simulated-time
+// attribution) and the serving layer (queue/execute spans feeding latency
+// histograms). Traces export as Chrome trace_event JSON — loadable in
+// chrome://tracing or Perfetto — or as a plain-text tree; metrics export in
+// Prometheus text format (npserve's /metricsz).
+//
+// Two clock domains coexist in one trace, separated as processes: wall-clock
+// spans (what this host actually did) and simulated-clock spans derived from
+// soc.Timeline events or soc.Profile attributions (what the modeled SoC did).
+// See DESIGN.md §9 for how to read a showcase trace.
+//
+// The package deliberately imports nothing from the rest of the repository,
+// so every layer — including internal/soc — can depend on it.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Process IDs partition one exported trace into Perfetto "processes", one per
+// clock domain (plus one for the executor's per-node spans, whose track IDs
+// are wavefront lanes rather than tracer tracks).
+const (
+	// PIDWall is the wall-clock domain of tracer tracks (compile passes,
+	// serving workers).
+	PIDWall = 1
+	// PIDSim is the simulated clock domain: spans derived from soc.Timeline
+	// intervals or sequential soc.Profile attributions. Timestamps are
+	// virtual seconds, not host time.
+	PIDSim = 2
+	// PIDExec is the wall-clock domain of per-node executor spans; its track
+	// IDs are wavefront lanes, so concurrently executed nodes render on
+	// separate rows.
+	PIDExec = 3
+)
+
+// Arg is one span annotation (Chrome trace "args" entry).
+type Arg struct {
+	Key string
+	Val any
+}
+
+// A(key, val) builds one span annotation.
+func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+
+// Span is one timed event. Start and Dur are microseconds in the clock
+// domain selected by PID: offsets from the tracer epoch for wall-clock
+// spans, virtual microseconds for simulated-clock spans.
+type Span struct {
+	Name  string
+	Cat   string
+	PID   int
+	TID   int
+	Start int64 // µs
+	Dur   int64 // µs
+	Args  []Arg
+}
+
+// End returns the span's end timestamp in microseconds.
+func (s Span) End() int64 { return s.Start + s.Dur }
+
+// Thread identifies one row of a trace (a Perfetto thread).
+type Thread struct {
+	PID int
+	TID int
+}
+
+// Tracer owns a set of ring-buffered tracks sharing one wall-clock epoch.
+// Each concurrent writer (a serving worker, the compile pipeline) holds its
+// own Track, so appends never contend across goroutines; the per-track ring
+// bounds memory however long the process traces.
+type Tracer struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	capacity int
+	tracks   []*Track
+}
+
+// NewTracer returns a tracer whose tracks hold the most recent capacity
+// spans each (default 1024 when capacity <= 0). The epoch — timestamp zero
+// of every wall-clock span — is the call time.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{epoch: time.Now(), capacity: capacity}
+}
+
+// Epoch returns the tracer's timestamp zero.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
+// NewTrack adds a named track. Tracks are meant to be goroutine-private:
+// one per worker, so span appends are uncontended.
+func (t *Tracer) NewTrack(name string) *Track {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tk := &Track{tracer: t, name: name, tid: len(t.tracks), ring: make([]Span, 0, t.capacity)}
+	t.tracks = append(t.tracks, tk)
+	return tk
+}
+
+// Snapshot copies every track's retained spans (oldest first per track) and
+// the track-name map for export.
+func (t *Tracer) Snapshot() ([]Span, map[Thread]string) {
+	t.mu.Lock()
+	tracks := append([]*Track(nil), t.tracks...)
+	t.mu.Unlock()
+	var spans []Span
+	names := make(map[Thread]string, len(tracks))
+	for _, tk := range tracks {
+		names[Thread{PID: PIDWall, TID: tk.tid}] = tk.name
+		spans = append(spans, tk.snapshot()...)
+	}
+	return spans, names
+}
+
+// Reset drops every track's retained spans (the tracks themselves and the
+// epoch stay).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	tracks := append([]*Track(nil), t.tracks...)
+	t.mu.Unlock()
+	for _, tk := range tracks {
+		tk.mu.Lock()
+		tk.ring = tk.ring[:0]
+		tk.next = 0
+		tk.wrapped = false
+		tk.mu.Unlock()
+	}
+}
+
+// Track is one writer's span ring. All methods are safe on a nil receiver
+// (no-ops), so instrumented code paths need no "tracing enabled?" branches.
+type Track struct {
+	tracer *Tracer
+	name   string
+	tid    int
+
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	wrapped bool
+}
+
+// Mark is an open span: Begin captures the start, End writes the record.
+// It is a value, so Begin/End pairs allocate nothing beyond the span's Args.
+type Mark struct {
+	name  string
+	cat   string
+	start time.Time
+}
+
+// Begin opens a span at the current wall clock.
+func (tk *Track) Begin(name, cat string) Mark {
+	return Mark{name: name, cat: cat, start: time.Now()}
+}
+
+// End closes a span opened by Begin.
+func (tk *Track) End(m Mark, args ...Arg) {
+	if tk == nil {
+		return
+	}
+	tk.Emit(m.name, m.cat, m.start, time.Since(m.start), args...)
+}
+
+// Emit records a span retroactively from an absolute start time — used for
+// intervals measured elsewhere (a request's time-in-queue, a pass already
+// timed by its runner).
+func (tk *Track) Emit(name, cat string, start time.Time, dur time.Duration, args ...Arg) {
+	if tk == nil {
+		return
+	}
+	sp := Span{
+		Name:  name,
+		Cat:   cat,
+		PID:   PIDWall,
+		TID:   tk.tid,
+		Start: start.Sub(tk.tracer.epoch).Microseconds(),
+		Dur:   dur.Microseconds(),
+		Args:  args,
+	}
+	tk.mu.Lock()
+	if len(tk.ring) < cap(tk.ring) {
+		tk.ring = append(tk.ring, sp)
+	} else {
+		// Ring full: overwrite the oldest span.
+		tk.ring[tk.next] = sp
+		tk.wrapped = true
+	}
+	tk.next = (tk.next + 1) % cap(tk.ring)
+	tk.mu.Unlock()
+}
+
+// Len reports how many spans the track currently retains.
+func (tk *Track) Len() int {
+	if tk == nil {
+		return 0
+	}
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	return len(tk.ring)
+}
+
+// snapshot copies the retained spans oldest-first.
+func (tk *Track) snapshot() []Span {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	out := make([]Span, 0, len(tk.ring))
+	if tk.wrapped {
+		out = append(out, tk.ring[tk.next:]...)
+	}
+	out = append(out, tk.ring[:tk.next]...)
+	if !tk.wrapped && tk.next == 0 {
+		out = append(out, tk.ring...)
+	}
+	return out
+}

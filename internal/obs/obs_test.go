@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTrackBeginEnd(t *testing.T) {
+	tr := NewTracer(8)
+	tk := tr.NewTrack("main")
+	m := tk.Begin("work", "test")
+	time.Sleep(200 * time.Microsecond)
+	tk.End(m, A("k", 7))
+
+	spans, names := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "work" || s.Cat != "test" {
+		t.Errorf("span = %q/%q, want work/test", s.Name, s.Cat)
+	}
+	if s.PID != PIDWall || s.TID != 0 {
+		t.Errorf("span at pid=%d tid=%d, want pid=%d tid=0", s.PID, s.TID, PIDWall)
+	}
+	if s.Dur <= 0 {
+		t.Errorf("Dur = %dµs, want > 0", s.Dur)
+	}
+	if s.Start < 0 {
+		t.Errorf("Start = %dµs, want >= 0 (after epoch)", s.Start)
+	}
+	if s.End() != s.Start+s.Dur {
+		t.Errorf("End() = %d, want Start+Dur = %d", s.End(), s.Start+s.Dur)
+	}
+	if len(s.Args) != 1 || s.Args[0].Key != "k" || s.Args[0].Val != 7 {
+		t.Errorf("Args = %v, want [{k 7}]", s.Args)
+	}
+	if got := names[Thread{PID: PIDWall, TID: 0}]; got != "main" {
+		t.Errorf("thread name = %q, want main", got)
+	}
+}
+
+func TestTrackEmitRetroactive(t *testing.T) {
+	tr := NewTracer(8)
+	tk := tr.NewTrack("t")
+	start := tr.Epoch().Add(5 * time.Millisecond)
+	tk.Emit("queued", "serve", start, 3*time.Millisecond)
+
+	spans, _ := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Start != 5000 || spans[0].Dur != 3000 {
+		t.Errorf("span = start %dµs dur %dµs, want 5000/3000", spans[0].Start, spans[0].Dur)
+	}
+}
+
+// The ring must retain the most recent capacity spans, oldest first.
+func TestTrackRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	tk := tr.NewTrack("ring")
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for i, n := range names {
+		tk.Emit(n, "test", tr.Epoch().Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	if tk.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (capacity)", tk.Len())
+	}
+	spans, _ := tr.Snapshot()
+	want := []string{"c", "d", "e", "f"} // the oldest two fell out
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(want))
+	}
+	for i, w := range want {
+		if spans[i].Name != w {
+			t.Errorf("span[%d] = %q, want %q (oldest first)", i, spans[i].Name, w)
+		}
+	}
+}
+
+// A ring filled to exactly its capacity (no overwrites yet) must snapshot
+// every span exactly once.
+func TestTrackRingExactlyFull(t *testing.T) {
+	tr := NewTracer(3)
+	tk := tr.NewTrack("full")
+	for _, n := range []string{"a", "b", "c"} {
+		tk.Emit(n, "test", tr.Epoch(), time.Millisecond)
+	}
+	spans, _ := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i, w := range []string{"a", "b", "c"} {
+		if spans[i].Name != w {
+			t.Errorf("span[%d] = %q, want %q", i, spans[i].Name, w)
+		}
+	}
+}
+
+func TestTracerMultipleTracks(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.NewTrack("alpha")
+	b := tr.NewTrack("beta")
+	a.Emit("x", "test", tr.Epoch(), time.Millisecond)
+	b.Emit("y", "test", tr.Epoch(), time.Millisecond)
+
+	spans, names := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if names[Thread{PID: PIDWall, TID: 0}] != "alpha" || names[Thread{PID: PIDWall, TID: 1}] != "beta" {
+		t.Errorf("track names = %v, want alpha@0 beta@1", names)
+	}
+	tids := map[int]string{}
+	for _, s := range spans {
+		tids[s.TID] = s.Name
+	}
+	if tids[0] != "x" || tids[1] != "y" {
+		t.Errorf("spans per tid = %v, want x@0 y@1", tids)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(8)
+	tk := tr.NewTrack("t")
+	tk.Emit("a", "test", tr.Epoch(), time.Millisecond)
+	tr.Reset()
+	if tk.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", tk.Len())
+	}
+	spans, names := tr.Snapshot()
+	if len(spans) != 0 {
+		t.Errorf("got %d spans after Reset, want 0", len(spans))
+	}
+	// The track itself survives a reset and keeps recording.
+	if len(names) != 1 {
+		t.Errorf("got %d track names after Reset, want 1", len(names))
+	}
+	tk.Emit("b", "test", tr.Epoch(), time.Millisecond)
+	if tk.Len() != 1 {
+		t.Errorf("Len after post-Reset Emit = %d, want 1", tk.Len())
+	}
+}
+
+// Instrumented code paths hold possibly-nil Tracks; every method must be a
+// safe no-op on nil.
+func TestNilTrackSafe(t *testing.T) {
+	var tk *Track
+	m := tk.Begin("x", "y")
+	tk.End(m)
+	tk.Emit("x", "y", time.Now(), time.Millisecond)
+	if tk.Len() != 0 {
+		t.Errorf("nil Track Len = %d, want 0", tk.Len())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	tk := tr.NewTrack("t")
+	for i := 0; i < 2000; i++ {
+		tk.Emit("s", "test", tr.Epoch(), time.Microsecond)
+	}
+	if tk.Len() != 1024 {
+		t.Errorf("Len = %d, want default capacity 1024", tk.Len())
+	}
+}

@@ -7,7 +7,9 @@ package passes
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relay"
 )
 
@@ -26,6 +28,12 @@ type Context struct {
 	// over verify.ModuleErr (internal/verify cannot be imported from here
 	// without a cycle through internal/nir).
 	VerifyAfterEachPass func(m *relay.Module, pass string) error
+	// Trace, when non-nil, receives one wall-clock span per executed pass
+	// (including the initial type inference), with the main function's op
+	// count before and after in the span args — the compile-time half of
+	// the observability layer. A nil track is a no-op, so instrumented
+	// pipelines cost nothing when tracing is off.
+	Trace *obs.Track
 }
 
 // NewContext returns a context at the given opt level.
@@ -51,9 +59,11 @@ func Sequential(m *relay.Module, ctx *Context, ps ...Pass) (*relay.Module, error
 	if ctx == nil {
 		ctx = NewContext(3)
 	}
+	inferStart := time.Now()
 	if err := relay.InferModule(m); err != nil {
 		return nil, fmt.Errorf("passes: initial type inference: %w", err)
 	}
+	ctx.tracePass("InferType", inferStart, m, m)
 	if err := ctx.verifyAfter(m, "InferType"); err != nil {
 		return nil, err
 	}
@@ -61,6 +71,7 @@ func Sequential(m *relay.Module, ctx *Context, ps ...Pass) (*relay.Module, error
 		if !ctx.Enabled(p) {
 			continue
 		}
+		passStart := time.Now()
 		nm, err := p.Run(m, ctx)
 		if err != nil {
 			return nil, fmt.Errorf("passes: %s: %w", p.Name, err)
@@ -68,12 +79,24 @@ func Sequential(m *relay.Module, ctx *Context, ps ...Pass) (*relay.Module, error
 		if err := relay.InferModule(nm); err != nil {
 			return nil, fmt.Errorf("passes: type inference after %s: %w", p.Name, err)
 		}
+		ctx.tracePass(p.Name, passStart, m, nm)
 		if err := ctx.verifyAfter(nm, p.Name); err != nil {
 			return nil, err
 		}
 		m = nm
 	}
 	return m, nil
+}
+
+// tracePass emits one compile-time span for an executed pass. Op counts are
+// computed only when a trace track is installed.
+func (c *Context) tracePass(name string, start time.Time, before, after *relay.Module) {
+	if c.Trace == nil {
+		return
+	}
+	c.Trace.Emit(name, "pass", start, time.Since(start),
+		obs.A("ops_before", relay.CountOps(before.Main())),
+		obs.A("ops_after", relay.CountOps(after.Main())))
 }
 
 // verifyAfter runs the VerifyAfterEachPass hook, naming the pass whose

@@ -1,0 +1,85 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/relay"
+)
+
+// A traced Sequential records one span per executed pass — including the
+// initial type inference — with op counts before and after in the args;
+// skipped passes record nothing.
+func TestSequentialTracesExecutedPasses(t *testing.T) {
+	tracer := obs.NewTracer(0)
+	ctx := NewContext(3)
+	ctx.Trace = tracer.NewTrack("compile")
+	ctx.Disabled["FuseOps"] = true
+
+	if _, err := Sequential(convBNReLU(), ctx, DefaultPipeline()...); err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := tracer.Snapshot()
+	byName := map[string]obs.Span{}
+	for _, s := range spans {
+		if s.Cat != "pass" {
+			t.Errorf("span %q has cat %q, want pass", s.Name, s.Cat)
+		}
+		byName[s.Name] = s
+	}
+	if _, ok := byName["InferType"]; !ok {
+		t.Errorf("no InferType span in %v", names(spans))
+	}
+	if _, ok := byName["SimplifyInference"]; !ok {
+		t.Errorf("no SimplifyInference span in %v", names(spans))
+	}
+	if _, ok := byName["FuseOps"]; ok {
+		t.Error("disabled FuseOps still recorded a span")
+	}
+	for name, s := range byName {
+		args := map[string]any{}
+		for _, a := range s.Args {
+			args[a.Key] = a.Val
+		}
+		before, okB := args["ops_before"].(int)
+		after, okA := args["ops_after"].(int)
+		if !okB || !okA || before <= 0 || after <= 0 {
+			t.Errorf("pass %s args = %v, want positive ops_before/ops_after", name, s.Args)
+		}
+	}
+	// SimplifyInference decomposes batch_norm into elementwise ops, so its
+	// op count must actually change — the args reflect the rewrite.
+	si := byName["SimplifyInference"]
+	var before, after int
+	for _, a := range si.Args {
+		if a.Key == "ops_before" {
+			before = a.Val.(int)
+		}
+		if a.Key == "ops_after" {
+			after = a.Val.(int)
+		}
+	}
+	if after == before {
+		t.Errorf("SimplifyInference ops_before=%d ops_after=%d, want a change", before, after)
+	}
+}
+
+// An untraced context (Trace == nil) must run identically — the no-op path
+// every production build without -trace takes.
+func TestSequentialUntraced(t *testing.T) {
+	out, err := Sequential(convBNReLU(), NewContext(3), DefaultPipeline()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := relay.CountOps(out.Main(), "nn.batch_norm"); n != 0 {
+		t.Errorf("pipeline result differs without tracing: %d batch_norm left", n)
+	}
+}
+
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

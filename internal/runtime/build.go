@@ -29,9 +29,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/neuron"
 	"repro/internal/nir"
+	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/relay"
 	"repro/internal/soc"
@@ -61,6 +63,10 @@ type BuildOptions struct {
 	// final module and every compiled NeuroPilot artifact are verified
 	// regardless of this flag.
 	Verify bool
+	// Tracer, when non-nil, receives compile-time wall-clock spans on a
+	// "compile" track: one per optimization pass, one for partition_for_nir,
+	// and one per external-region conversion and Neuron compile (npc -trace).
+	Tracer *obs.Tracer
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
@@ -108,6 +114,11 @@ func Build(m *relay.Module, opts BuildOptions) (*Lib, error) {
 	opts = opts.withDefaults()
 	mod := m.Clone()
 	ctx := passes.NewContext(opts.OptLevel)
+	var track *obs.Track
+	if opts.Tracer != nil {
+		track = opts.Tracer.NewTrack("compile")
+		ctx.Trace = track
+	}
 	for _, p := range opts.DisablePasses {
 		ctx.Disabled[p] = true
 	}
@@ -127,10 +138,13 @@ func Build(m *relay.Module, opts BuildOptions) (*Lib, error) {
 	}
 
 	if opts.UseNIR {
+		partStart := time.Now()
 		mod, err = nir.PartitionForNIR(mod, opts.Partition, opts.NIRDevices...)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: partition_for_nir failed: %w", err)
 		}
+		track.Emit("partition_for_nir", "pass", partStart, time.Since(partStart),
+			obs.A("regions", len(mod.ExternalFuncs(nir.CompilerName))))
 	}
 
 	mod, err = passes.Sequential(mod, ctx, passes.FuseOps())
@@ -146,7 +160,7 @@ func Build(m *relay.Module, opts BuildOptions) (*Lib, error) {
 
 	lib := &Lib{Module: mod, External: map[string]*neuron.CompiledModel{}, SoC: opts.SoC, Opts: opts}
 	if opts.UseNIR {
-		ext, err := nir.Codegen(mod, opts.SoC, opts.NIRDevices)
+		ext, err := nir.CodegenTraced(mod, opts.SoC, opts.NIRDevices, track)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: external codegen failed: %w", err)
 		}

@@ -142,7 +142,7 @@ func (ex *executor) evalOpCall(c *relay.Call, charge bool) (value, error) {
 	if charge && ex.prof != nil {
 		cpu := ex.lib.SoC.CPU
 		w := soc.WorkOf(c)
-		ex.prof.AddOp(soc.KindCPU, cpu.OpTime(w, soc.TVMEff(w)))
+		ex.prof.AddOpNamed(soc.KindCPU, cpu.OpTime(w, soc.TVMEff(w)), c.Op.Name)
 	}
 	return res, nil
 }
@@ -157,7 +157,11 @@ func (ex *executor) evalPrimitive(fn *relay.Function, args []value) (value, erro
 	if ex.prof != nil {
 		w := soc.FunctionWork(fn)
 		cpu := ex.lib.SoC.CPU
-		ex.prof.AddOp(soc.KindCPU, cpu.OpTime(w, soc.TVMEff(w)))
+		name := "(op)"
+		if ex.prof.EventsEnabled() {
+			name = primLabel(fn) // the walk only pays off when events record it
+		}
+		ex.prof.AddOpNamed(soc.KindCPU, cpu.OpTime(w, soc.TVMEff(w)), name)
 	}
 	return res, nil
 }
@@ -195,7 +199,7 @@ func (ex *executor) evalExternal(fn *relay.Function, args []value) (value, error
 		ins[i] = t
 	}
 	if ex.prof != nil {
-		ex.prof.AddSubgraph()
+		ex.prof.AddSubgraphNamed(sym)
 	}
 	outs, err := cm.Execute(ins, ex.prof)
 	if err != nil {

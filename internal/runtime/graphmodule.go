@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relay"
 	"repro/internal/soc"
 	"repro/internal/tensor"
@@ -68,12 +70,13 @@ func ParseExecutorKind(s string) (ExecutorKind, error) {
 // tensors every Run, so code that must hold results without cloning can
 // SetExecutor(ExecutorInterp)).
 type GraphModule struct {
-	lib      *Lib
-	inputs   map[string]*tensor.Tensor
-	outputs  []*tensor.Tensor
-	profile  *soc.Profile
-	executor ExecutorKind
-	state    *planState // lazily bound arena + slot state (planned path)
+	lib       *Lib
+	inputs    map[string]*tensor.Tensor
+	outputs   []*tensor.Tensor
+	profile   *soc.Profile
+	executor  ExecutorKind
+	state     *planState // lazily bound arena + slot state (planned path)
+	profiling bool
 }
 
 // NewGraphModule wraps a built library.
@@ -89,6 +92,32 @@ func (g *GraphModule) SetExecutor(k ExecutorKind) { g.executor = k }
 
 // Executor returns the currently selected execution strategy.
 func (g *GraphModule) Executor() ExecutorKind { return g.executor }
+
+// SetProfiling toggles per-node profiling for subsequent Runs: labeled
+// simulated-cost events on LastProfile (the per-op table) and, on the planned
+// path, wall-clock spans retrievable via TraceSpans. With profiling off — the
+// default — Run records neither, and the planned hot path stays free of the
+// timing calls and span/event allocations profiling adds.
+func (g *GraphModule) SetProfiling(on bool) {
+	g.profiling = on
+	if g.state != nil {
+		g.state.setProfiling(on)
+	}
+}
+
+// Profiling reports whether per-node profiling is enabled.
+func (g *GraphModule) Profiling() bool { return g.profiling }
+
+// TraceSpans returns the wall-clock per-node spans of the most recent
+// profiled planned Run (nil when profiling is off or the module ran on the
+// interpreter). Spans live on the PIDExec clock with the node's wavefront
+// lane as the thread row.
+func (g *GraphModule) TraceSpans() []obs.Span {
+	if g.state == nil {
+		return nil
+	}
+	return g.state.traceSpans()
+}
 
 // InputNames returns the model's input names in declaration order.
 func (g *GraphModule) InputNames() []string {
@@ -167,6 +196,13 @@ func (g *GraphModule) planState() (*planState, error) {
 
 func (g *GraphModule) runPlanned(st *planState) error {
 	prof := soc.NewProfile()
+	if g.profiling {
+		if st.trace == nil {
+			st.setProfiling(true) // state may postdate SetProfiling(true)
+		}
+		st.setEpoch(time.Now())
+		prof.EnableEvents()
+	}
 	if err := st.run(g.inputs, prof); err != nil {
 		return err
 	}
@@ -181,6 +217,9 @@ func (g *GraphModule) runPlanned(st *planState) error {
 func (g *GraphModule) runInterp() error {
 	main := g.lib.Module.Main()
 	prof := soc.NewProfile()
+	if g.profiling {
+		prof.EnableEvents()
+	}
 	ex := newExecutor(g.lib, prof)
 	for _, p := range main.Params {
 		ex.env[p] = g.inputs[p.Name]

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/neuron"
 	"repro/internal/relay"
@@ -56,6 +57,11 @@ type planNode struct {
 	id    int
 	kind  planNodeKind
 	level int // wavefront dependency level
+	lane  int // index within the level — the trace row concurrent nodes render on
+
+	// label names the node for profile events and trace spans: the op name,
+	// the fused kernel's op chain, or the external region's global symbol.
+	label string
 
 	// nodeOp fields.
 	opName string
@@ -72,6 +78,9 @@ type planNode struct {
 	// nodeExternal fields.
 	sym string
 	cm  *neuron.CompiledModel
+	// devSummary renders the Execution Planner's device placement for trace
+	// spans ("apu:12 cpu:3"), precomputed so profiled runs don't re-derive it.
+	devSummary string
 
 	// charge is the precomputed TVM-engine cost of this node (op and
 	// primitive nodes). External nodes charge through cm.Estimate instead.
@@ -334,6 +343,7 @@ func (b *planBuilder) evalOpCall(c *relay.Call) (pval, error) {
 	b.addNode(&planNode{
 		kind:   nodeOp,
 		opName: c.Op.Name,
+		label:  c.Op.Name,
 		attrs:  c.Attrs,
 		outTy:  outTy,
 		args:   args,
@@ -341,6 +351,43 @@ func (b *planBuilder) evalOpCall(c *relay.Call) (pval, error) {
 		charge: b.lib.SoC.CPU.OpTime(w, soc.TVMEff(w)),
 	})
 	return pval{slot: out}, nil
+}
+
+// planSummary renders a compiled model's per-device operation counts in
+// device order ("apu:12 cpu:3").
+func planSummary(cm *neuron.CompiledModel) string {
+	counts := cm.PlanCounts()
+	kinds := make([]soc.DeviceKind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := ""
+	for _, k := range kinds {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", k, counts[k])
+	}
+	return out
+}
+
+// primLabel names a fused kernel by its operator chain ("fused:conv2d+relu").
+func primLabel(fn *relay.Function) string {
+	var ops []string
+	relay.PostOrderVisit(fn.Body, func(e relay.Expr) {
+		if c, ok := e.(*relay.Call); ok && c.Op != nil {
+			ops = append(ops, c.Op.Name)
+		}
+	})
+	if len(ops) == 0 {
+		return "fused:identity"
+	}
+	out := "fused:" + ops[0]
+	for _, o := range ops[1:] {
+		out += "+" + o
+	}
+	return out
 }
 
 // evalPrimitive lowers a fused kernel: the body becomes a serial sub-plan
@@ -378,6 +425,7 @@ func (b *planBuilder) evalPrimitive(c *relay.Call, fn *relay.Function) (pval, er
 	b.addNode(&planNode{
 		kind:   nodePrim,
 		fn:     fn,
+		label:  primLabel(fn),
 		sub:    sub,
 		outTy:  outTy,
 		args:   args,
@@ -474,7 +522,8 @@ func (b *planBuilder) evalExternal(c *relay.Call, fn *relay.Function) (pval, err
 	if err != nil {
 		return pval{}, err
 	}
-	node := &planNode{kind: nodeExternal, sym: sym, cm: cm, args: args}
+	node := &planNode{kind: nodeExternal, sym: sym, label: sym, cm: cm, args: args,
+		devSummary: planSummary(cm)}
 	switch ty := c.CheckedType().(type) {
 	case *relay.TensorType:
 		node.out = []int{b.addSlot(ty)}
@@ -525,6 +574,7 @@ func (b *planBuilder) finish() {
 	}
 	p.levels = make([][]int, maxLevel+1)
 	for _, n := range p.nodes {
+		n.lane = len(p.levels[n.level])
 		p.levels[n.level] = append(p.levels[n.level], n.id)
 	}
 

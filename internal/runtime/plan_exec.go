@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/soc"
 	"repro/internal/tensor"
@@ -30,6 +32,67 @@ type planState struct {
 	args  [][]*tensor.Tensor // per-node argument scratch
 	errs  []error            // per-node error scratch for wavefront execution
 	subs  []*planState       // per-node sub-state (primitive nodes only)
+
+	// trace, when non-nil (profiling enabled), receives one wall-clock span
+	// per executed node, indexed by node id — concurrent wavefront nodes write
+	// disjoint entries, so no synchronization is needed. Nil keeps the hot
+	// path free of timing calls and allocations.
+	trace      []obs.Span
+	traceEpoch time.Time
+}
+
+// setProfiling switches per-node span recording on or off, including the
+// sub-states of fused primitive nodes.
+func (st *planState) setProfiling(on bool) {
+	if on && st.trace == nil {
+		st.trace = make([]obs.Span, len(st.plan.nodes))
+	} else if !on {
+		st.trace = nil
+	}
+	for _, sub := range st.subs {
+		if sub != nil {
+			sub.setProfiling(on)
+		}
+	}
+}
+
+// setEpoch sets the wall-clock zero for span timestamps on this state and
+// every primitive sub-state.
+func (st *planState) setEpoch(t time.Time) {
+	st.traceEpoch = t
+	for _, sub := range st.subs {
+		if sub != nil {
+			sub.setEpoch(t)
+		}
+	}
+}
+
+// traceSpans collects the spans of the most recent profiled run: one span per
+// executed node on the PIDExec clock, with each node's wavefront lane as the
+// thread row, and the sub-spans of fused kernels folded onto their parent's
+// row (Perfetto nests them by containment).
+func (st *planState) traceSpans() []obs.Span {
+	if st.trace == nil {
+		return nil
+	}
+	var out []obs.Span
+	for i, sp := range st.trace {
+		if sp.Name == "" {
+			continue
+		}
+		out = append(out, sp)
+		if sub := st.subs[i]; sub != nil && sub.trace != nil {
+			for _, ssp := range sub.trace {
+				if ssp.Name == "" {
+					continue
+				}
+				ssp.TID = sp.TID
+				ssp.Cat = "fused-op"
+				out = append(out, ssp)
+			}
+		}
+	}
+	return out
 }
 
 // newPlanState allocates the arena and binds every statically known slot.
@@ -120,8 +183,37 @@ func (st *planState) run(inputs map[string]*tensor.Tensor, prof *soc.Profile) er
 	return nil
 }
 
-// exec runs one node's numerics.
+// exec runs one node's numerics, recording a wall-clock span when profiling
+// is enabled.
 func (st *planState) exec(ni int) error {
+	if st.trace == nil {
+		return st.execNode(ni)
+	}
+	start := time.Now()
+	err := st.execNode(ni)
+	dur := time.Since(start)
+	n := st.plan.nodes[ni]
+	args := []obs.Arg{obs.A("level", n.level)}
+	if len(n.out) > 0 && st.plan.slots[n.out[0]].Storage >= 0 {
+		args = append(args, obs.A("storage", st.plan.slots[n.out[0]].Storage))
+	}
+	if n.kind == nodeExternal {
+		args = append(args, obs.A("devices", n.devSummary))
+	}
+	st.trace[ni] = obs.Span{
+		Name:  n.label,
+		Cat:   n.kind.String(),
+		PID:   obs.PIDExec,
+		TID:   n.lane + 1,
+		Start: start.Sub(st.traceEpoch).Microseconds(),
+		Dur:   dur.Microseconds(),
+		Args:  args,
+	}
+	return err
+}
+
+// execNode runs one node's numerics.
+func (st *planState) execNode(ni int) error {
 	n := st.plan.nodes[ni]
 	args := st.args[ni]
 	for i, s := range n.args {
@@ -178,9 +270,9 @@ func (st *planState) charge(prof *soc.Profile) {
 	for _, n := range st.plan.nodes {
 		switch n.kind {
 		case nodeOp, nodePrim:
-			prof.AddOp(soc.KindCPU, n.charge)
+			prof.AddOpNamed(soc.KindCPU, n.charge, n.label)
 		case nodeExternal:
-			prof.AddSubgraph()
+			prof.AddSubgraphNamed(n.sym)
 			n.cm.Estimate(prof)
 		}
 	}

@@ -1,0 +1,254 @@
+package runtime_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/soc"
+)
+
+func buildEmotion(t testing.TB, opts runtime.BuildOptions) (*runtime.Lib, *runtime.GraphModule) {
+	t.Helper()
+	spec, err := models.Get("emotion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := spec.Build(models.SizeLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := runtime.Build(mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := runtime.NewGraphModule(lib)
+	gm.SetInput(gm.InputNames()[0], models.RandomInput(mod, 1))
+	return lib, gm
+}
+
+// The -profile acceptance property: on a BYOC-partitioned model, the
+// recorded events partition the simulated total exactly — for both
+// executors — and external regions are attributed to Execution-Planner
+// devices (the APU for the emotion model's conv regions).
+func TestProfiledEventsSumToTotal(t *testing.T) {
+	for _, kind := range []runtime.ExecutorKind{runtime.ExecutorPlanned, runtime.ExecutorInterp} {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, gm := buildEmotion(t, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+			gm.SetExecutor(kind)
+			gm.SetProfiling(true)
+			if err := gm.Run(); err != nil {
+				t.Fatal(err)
+			}
+			prof := gm.LastProfile()
+			events := prof.Events()
+			if len(events) == 0 {
+				t.Fatal("profiled run recorded no events")
+			}
+			var sum soc.Seconds
+			var apuOps, dispatches int
+			for _, ev := range events {
+				sum += ev.Time
+				if ev.Kind == soc.EventOp && ev.Device == soc.KindAPU {
+					apuOps++
+				}
+				if ev.Kind == soc.EventDispatch {
+					dispatches++
+					if !strings.HasPrefix(ev.Name, "nir_") {
+						t.Errorf("dispatch event named %q, want a nir_ region", ev.Name)
+					}
+				}
+			}
+			// The events and the aggregate accumulate in different orders, so
+			// allow float rounding noise — far inside the ±1% criterion.
+			if total := prof.Total(); math.Abs(float64(sum-total)) > 1e-9*float64(total) {
+				t.Errorf("event sum %v != simulated total %v", sum, total)
+			}
+			if apuOps == 0 {
+				t.Error("no op events attributed to the APU despite BYOC partitioning")
+			}
+			if dispatches == 0 {
+				t.Error("no dispatch events for the partitioned regions")
+			}
+		})
+	}
+}
+
+// Both executors must agree on the aggregated per-op table, not just the
+// totals: same rows, same counts, same self-times.
+func TestProfiledTableMatchesAcrossExecutors(t *testing.T) {
+	tables := map[runtime.ExecutorKind]string{}
+	for _, kind := range []runtime.ExecutorKind{runtime.ExecutorPlanned, runtime.ExecutorInterp} {
+		_, gm := buildEmotion(t, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+		gm.SetExecutor(kind)
+		gm.SetProfiling(true)
+		if err := gm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		tables[kind] = soc.OpTable(gm.LastProfile().Events())
+	}
+	if tables[runtime.ExecutorPlanned] != tables[runtime.ExecutorInterp] {
+		t.Errorf("per-op tables differ:\n--- planned ---\n%s--- interp ---\n%s",
+			tables[runtime.ExecutorPlanned], tables[runtime.ExecutorInterp])
+	}
+}
+
+// The planned executor records one wall-clock span per node, laid out on
+// wavefront lanes; the interpreter has no node plan and reports none.
+func TestTraceSpans(t *testing.T) {
+	_, gm := buildEmotion(t, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	gm.SetExecutor(runtime.ExecutorPlanned)
+	if gm.TraceSpans() != nil {
+		t.Error("TraceSpans non-nil before any run")
+	}
+	gm.SetProfiling(true)
+	if err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := gm.TraceSpans()
+	if len(spans) == 0 {
+		t.Fatal("profiled planned run produced no executor spans")
+	}
+	var external int
+	for _, s := range spans {
+		if s.PID != obs.PIDExec {
+			t.Errorf("span %q on pid %d, want executor domain %d", s.Name, s.PID, obs.PIDExec)
+		}
+		if s.TID < 1 {
+			t.Errorf("span %q on lane tid %d, want >= 1", s.Name, s.TID)
+		}
+		if s.Cat == "external" {
+			external++
+			var hasDevices bool
+			for _, a := range s.Args {
+				if a.Key == "devices" {
+					hasDevices = true
+				}
+			}
+			if !hasDevices {
+				t.Errorf("external span %q missing the devices arg", s.Name)
+			}
+		}
+	}
+	if external == 0 {
+		t.Error("no external-dispatch spans despite BYOC partitioning")
+	}
+
+	// Interpreter path: no node spans.
+	_, gi := buildEmotion(t, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	gi.SetExecutor(runtime.ExecutorInterp)
+	gi.SetProfiling(true)
+	if err := gi.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := gi.TraceSpans(); len(got) != 0 {
+		t.Errorf("interpreter reported %d executor spans, want 0", len(got))
+	}
+}
+
+// Disabling profiling must leave the planned hot path allocation-free: a
+// module that was profiled and then switched off allocates exactly as much
+// per Run as one that never profiled.
+func TestProfilingOffAddsZeroAllocs(t *testing.T) {
+	_, never := buildEmotion(t, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	never.SetExecutor(runtime.ExecutorPlanned)
+	if err := never.Run(); err != nil { // warm up plan state + arena
+		t.Fatal(err)
+	}
+	baseline := testing.AllocsPerRun(10, func() {
+		if err := never.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	_, toggled := buildEmotion(t, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+	toggled.SetExecutor(runtime.ExecutorPlanned)
+	toggled.SetProfiling(true)
+	if err := toggled.Run(); err != nil {
+		t.Fatal(err)
+	}
+	toggled.SetProfiling(false)
+	off := testing.AllocsPerRun(10, func() {
+		if err := toggled.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if off > baseline {
+		t.Errorf("SetProfiling(false) run allocates %v/op, never-profiled baseline %v/op", off, baseline)
+	}
+}
+
+// Compile-time instrumentation: a Build with a Tracer records one span per
+// optimization pass plus the partitioning and per-region codegen spans, all
+// on the "compile" track.
+func TestBuildCompileSpans(t *testing.T) {
+	tracer := obs.NewTracer(0)
+	spec, err := models.Get("emotion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := spec.Build(models.SizeLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runtime.Build(mod, runtime.BuildOptions{OptLevel: 3, UseNIR: true, Tracer: tracer}); err != nil {
+		t.Fatal(err)
+	}
+	spans, names := tracer.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("traced build recorded no spans")
+	}
+	var compileTrack bool
+	for _, n := range names {
+		if n == "compile" {
+			compileTrack = true
+		}
+	}
+	if !compileTrack {
+		t.Errorf("no compile track in %v", names)
+	}
+	byCat := map[string][]string{}
+	for _, s := range spans {
+		byCat[s.Cat] = append(byCat[s.Cat], s.Name)
+	}
+	if len(byCat["pass"]) < 3 {
+		t.Errorf("want >= 3 pass spans (InferType, FuseOps, ...), got %v", byCat["pass"])
+	}
+	var hasFuse, hasPartition, hasConvert, hasCompile bool
+	for _, n := range byCat["pass"] {
+		if n == "FuseOps" {
+			hasFuse = true
+		}
+		if n == "partition_for_nir" {
+			hasPartition = true
+		}
+	}
+	for _, n := range byCat["codegen"] {
+		if strings.HasPrefix(n, "ConvertFunction:") {
+			hasConvert = true
+		}
+		if strings.HasPrefix(n, "neuron.Compile:") {
+			hasCompile = true
+		}
+	}
+	if !hasFuse || !hasPartition || !hasConvert || !hasCompile {
+		t.Errorf("missing expected compile spans (FuseOps %v, partition %v, convert %v, neuron %v): %v",
+			hasFuse, hasPartition, hasConvert, hasCompile, byCat)
+	}
+	// Pass spans carry op-count args.
+	for _, s := range spans {
+		if s.Cat != "pass" || s.Name == "partition_for_nir" {
+			continue
+		}
+		keys := map[string]bool{}
+		for _, a := range s.Args {
+			keys[a.Key] = true
+		}
+		if !keys["ops_before"] || !keys["ops_after"] {
+			t.Errorf("pass span %q missing ops_before/ops_after args: %v", s.Name, s.Args)
+		}
+	}
+}

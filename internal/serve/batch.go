@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/soc"
 	"repro/internal/tensor"
 )
@@ -12,24 +13,36 @@ import (
 // gather a micro-batch behind it, execute the batch under the model's
 // exclusive device reservation, and fan results back out. On drain the
 // worker finishes whatever is still queued (answering expired requests with
-// their deadline error) and exits.
-func (e *endpoint) worker() {
+// their deadline error) and exits. Every worker records its serving phases
+// (coalesce, lock-wait, execute, per-request queue-wait) as wall-clock spans
+// on its own tracer track, exported by /tracez.
+func (e *endpoint) worker(tk *obs.Track) {
 	defer e.wg.Done()
 	for {
 		select {
 		case req := <-e.queue:
-			e.runBatch(e.gather(req))
+			e.serveOne(req, tk)
 		case <-e.server.drainCh:
 			for {
 				select {
 				case req := <-e.queue:
-					e.runBatch(e.gather(req))
+					e.serveOne(req, tk)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// serveOne gathers a batch behind the head request and runs it, tracing the
+// coalesce window.
+func (e *endpoint) serveOne(first *request, tk *obs.Track) {
+	gatherStart := time.Now()
+	batch := e.gather(first)
+	tk.Emit("coalesce:"+e.name, "serve", gatherStart, time.Since(gatherStart),
+		obs.A("batch", len(batch)))
+	e.runBatch(batch, tk)
 }
 
 // gather coalesces same-model requests behind first: it holds the batch open
@@ -69,7 +82,7 @@ func (e *endpoint) gather(first *request) []*request {
 // exclusive device locks. Requests whose context expired while queued (or
 // while the batch window was open) are answered with their context error
 // without executing.
-func (e *endpoint) runBatch(batch []*request) {
+func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 	live := make([]*request, 0, len(batch))
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
@@ -89,8 +102,10 @@ func (e *endpoint) runBatch(batch []*request) {
 
 	// Checkout order is fixed (pool, then device locks) across all workers
 	// and endpoints, so the two acquisitions cannot deadlock.
+	lockStart := time.Now()
 	gm := <-e.pool
 	e.server.locks.Lock(e.opts.Devices)
+	tk.Emit("lock-wait:"+e.name, "serve", lockStart, time.Since(lockStart))
 	defer func() {
 		e.server.locks.Unlock(e.opts.Devices)
 		e.pool <- gm
@@ -105,6 +120,8 @@ func (e *endpoint) runBatch(batch []*request) {
 			r.respond(nil, fmt.Errorf("serve: %s: expired before execution: %w", e.name, err))
 			continue
 		}
+		queueWait := runStart.Sub(r.enqueued)
+		tk.Emit("queue-wait:"+e.name, "serve", r.enqueued, queueWait)
 		start := time.Now()
 		for name, t := range r.inputs {
 			gm.SetInput(name, t)
@@ -128,15 +145,18 @@ func (e *endpoint) runBatch(batch []*request) {
 		}
 		sim := gm.LastProfile().Total()
 		batchSim += sim
-		e.stats.completed(time.Since(r.enqueued), sim)
+		execWall := time.Since(start)
+		e.stats.completed(time.Since(r.enqueued), queueWait, execWall, sim)
 		r.respond(&Result{
 			Outputs:   outs,
 			BatchSize: len(live),
-			QueueWait: runStart.Sub(r.enqueued),
-			Wall:      time.Since(start),
+			QueueWait: queueWait,
+			Wall:      execWall,
 			SimTime:   sim,
 		}, nil)
 	}
+	tk.Emit("execute:"+e.name, "serve", runStart, time.Since(runStart),
+		obs.A("batch", len(live)))
 	// Account the whole reservation on the shared virtual timeline: the
 	// batch occupied its device set exclusively for its summed simulated
 	// cost (this is what /statsz reports as per-device busy time).

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/relay"
 	"repro/internal/soc"
 	"repro/internal/tensor"
@@ -23,6 +24,8 @@ import (
 //	POST /v1/showcase {"frames":2,"faces":1,"objects":1,"seed":9} → per-frame verdicts
 //	GET  /healthz                                                 → liveness + drain state
 //	GET  /statsz                                                  → per-model counters, device busy time
+//	GET  /metricsz                                                → Prometheus text exposition
+//	GET  /tracez                                                  → Chrome trace JSON (Perfetto-loadable)
 
 // InferRequest is the /v1/infer body. Exactly one of Inputs or Seed drives
 // the input tensors: Inputs binds explicit per-input data (row-major real
@@ -59,6 +62,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/showcase", s.handleShowcase)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/statsz", s.handleStats)
+	mux.HandleFunc("/metricsz", s.handleMetrics)
+	mux.HandleFunc("/tracez", s.handleTrace)
 	return mux
 }
 
@@ -365,4 +370,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.DeviceMs[k.String()] = s.timeline.BusyTime(k).Ms()
 	}
 	writeJSON(w, resp)
+}
+
+// handleMetrics renders the server's instrument registry in Prometheus text
+// exposition format. Point-in-time gauges (draining, uptime, per-device
+// simulated busy time) are refreshed at scrape time; counters and histograms
+// accrue continuously on the serving path.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Gauge("serve_uptime_seconds", "Wall-clock time since server start.", obs.L()).
+		Set(time.Since(s.start).Seconds())
+	drain := 0.0
+	if s.Draining() {
+		drain = 1
+	}
+	s.metrics.Gauge("serve_draining", "1 while graceful shutdown is in progress.", obs.L()).
+		Set(drain)
+	for _, k := range soc.AllDeviceKinds() {
+		s.metrics.Gauge("serve_device_busy_sim_seconds",
+			"Simulated exclusive busy time per device.", obs.L("device", k.String())).
+			Set(float64(s.timeline.BusyTime(k)))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// handleTrace exports the tracer's span rings as Chrome trace_event JSON —
+// load the response in Perfetto (ui.perfetto.dev) or chrome://tracing to see
+// each worker's coalesce / lock-wait / execute phases on its own row.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans, names := s.tracer.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteChromeTrace(w, spans, names); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+	}
 }

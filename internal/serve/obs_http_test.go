@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion", lib, ModelOptions{Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Serve a couple of requests so counters and histograms have samples.
+	for seed := 0; seed < 3; seed++ {
+		resp, body := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "emotion", Seed: uint64(seed)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	resp, body := getBody(t, ts.URL+"/metricsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the Prometheus text exposition type", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`# TYPE serve_requests_total counter`,
+		`serve_requests_total{model="emotion",outcome="completed"} 3`,
+		`# TYPE serve_queue_wait_seconds histogram`,
+		`serve_queue_wait_seconds_bucket{model="emotion",le="+Inf"} 3`,
+		`serve_exec_seconds_count{model="emotion"} 3`,
+		`serve_latency_seconds_sum{model="emotion"}`,
+		`# TYPE serve_uptime_seconds gauge`,
+		`serve_device_busy_sim_seconds{device="apu"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Every non-comment line must be "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestHTTPTraceEndpoint(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion", lib, ModelOptions{Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, body := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "emotion", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := getBody(t, ts.URL+"/tracez")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, body)
+	}
+	var workerNamed, execSpan bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			workerNamed = true
+		}
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "execute:emotion") {
+			execSpan = true
+		}
+	}
+	if !workerNamed || !execSpan {
+		t.Errorf("trace missing worker thread names (%v) or execute span (%v): %d events",
+			workerNamed, execSpan, len(doc.TraceEvents))
+	}
+}
+
+// /statsz stays backward compatible: every pre-existing key survives, and
+// the new queue-wait/exec split is additive.
+func TestStatszJSONKeys(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion", lib, ModelOptions{Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, body := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "emotion", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+	}
+	resp, body := getBody(t, ts.URL+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Models []map[string]any `json:"models"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Models) != 1 {
+		t.Fatalf("got %d models in statsz, want 1: %s", len(doc.Models), body)
+	}
+	m := doc.Models[0]
+	for _, key := range []string{
+		// The seed-era contract.
+		"model", "admitted", "completed", "rejected", "expired", "failed",
+		"batches", "max_batch", "mean_batch", "sim_ms", "latency",
+		// PR 5 additions.
+		"queue_wait_ms", "exec_ms", "queue_wait", "exec",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("statsz model entry missing key %q: %v", key, m)
+		}
+	}
+	if m["completed"] != float64(1) {
+		t.Errorf("completed = %v, want 1", m["completed"])
+	}
+	// The split is consistent: queue wait and exec each bound the latency.
+	lat := m["latency"].(map[string]any)
+	if lat["mean_ms"].(float64) <= 0 {
+		t.Errorf("latency mean_ms = %v, want > 0", lat["mean_ms"])
+	}
+	if m["exec_ms"].(float64) <= 0 || m["exec_ms"].(float64) > lat["mean_ms"].(float64) {
+		t.Errorf("exec_ms = %v, want in (0, mean latency %v]", m["exec_ms"], lat["mean_ms"])
+	}
+}

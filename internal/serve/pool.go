@@ -19,7 +19,7 @@ type endpoint struct {
 	queue chan *request
 	pool  chan *runtime.GraphModule
 	wg    sync.WaitGroup
-	stats statsCollector
+	stats *statsCollector
 
 	// inputNames is the model's declared input set, cached at registration:
 	// pooled modules retain SetInput bindings across requests, so admission
@@ -36,6 +36,7 @@ func newEndpoint(name string, lib *runtime.Lib, opts ModelOptions, s *Server) (*
 		server:     s,
 		queue:      make(chan *request, opts.QueueDepth),
 		pool:       make(chan *runtime.GraphModule, opts.Pool),
+		stats:      newStatsCollector(s.metrics, name),
 		inputNames: runtime.NewGraphModule(lib).InputNames(),
 	}
 	// Build the pool eagerly and pay the plan lowering + arena bind up
@@ -52,7 +53,8 @@ func newEndpoint(name string, lib *runtime.Lib, opts ModelOptions, s *Server) (*
 func (e *endpoint) startWorkers() {
 	e.wg.Add(e.opts.Pool)
 	for i := 0; i < e.opts.Pool; i++ {
-		go e.worker()
+		tk := e.server.tracer.NewTrack(fmt.Sprintf("%s/worker%d", e.name, i))
+		go e.worker(tk)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runtime"
 	"repro/internal/soc"
@@ -156,6 +157,8 @@ type Server struct {
 	locks     *pipeline.DeviceLocks
 	timeline  *soc.Timeline
 	start     time.Time
+	metrics   *obs.Registry
+	tracer    *obs.Tracer
 
 	showMu   sync.Mutex
 	showcase *showcaseEndpoint
@@ -169,12 +172,23 @@ func NewServer() *Server {
 		locks:     &pipeline.DeviceLocks{},
 		timeline:  soc.NewTimeline(),
 		start:     time.Now(),
+		metrics:   obs.NewRegistry(),
+		tracer:    obs.NewTracer(0),
 	}
 }
 
 // Timeline exposes the shared virtual timeline (per-device busy accounting
 // for /statsz).
 func (s *Server) Timeline() *soc.Timeline { return s.timeline }
+
+// Metrics exposes the server's instrument registry (/metricsz renders it in
+// Prometheus text exposition).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer exposes the server's wall-clock span tracer: every worker records
+// queue-wait, batch-coalesce, device-lock-wait, and execute spans on its own
+// track, and /tracez exports the ring as Chrome trace JSON.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Register creates an endpoint named name over a built library and starts
 // its worker pool.

@@ -1,18 +1,16 @@
 package serve
 
 import (
-	"sort"
-	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/soc"
 )
 
-// latencyWindow is how many recent end-to-end latencies the quantile
-// summary is computed over (a fixed ring, so stats stay O(1) per request).
-const latencyWindow = 512
-
-// ModelStats is a point-in-time snapshot of one endpoint's counters.
+// ModelStats is a point-in-time snapshot of one endpoint's counters. All
+// fields present before the observability layer keep their JSON names; the
+// queue-wait/execution split (QueueWaitMs, ExecMs, QueueWait, Exec) is
+// strictly additive.
 type ModelStats struct {
 	Model string `json:"model"`
 	// Admitted counts requests accepted into the queue; Rejected counts
@@ -30,13 +28,21 @@ type ModelStats struct {
 	MeanBatch float64 `json:"mean_batch"`
 	MaxBatch  int     `json:"max_batch"`
 	// SimMs is total simulated device time charged; Latency summarizes
-	// recent end-to-end wall-clock latencies (queue + execution).
+	// end-to-end wall-clock latencies (queue + execution).
 	SimMs   float64        `json:"sim_ms"`
 	Latency LatencySummary `json:"latency"`
+	// QueueWaitMs and ExecMs split the mean end-to-end latency into its
+	// queued and executing parts; QueueWait and Exec carry the full
+	// distributions.
+	QueueWaitMs float64        `json:"queue_wait_ms"`
+	ExecMs      float64        `json:"exec_ms"`
+	QueueWait   LatencySummary `json:"queue_wait"`
+	Exec        LatencySummary `json:"exec"`
 }
 
-// LatencySummary reports quantiles over the recent-latency window, in
-// milliseconds.
+// LatencySummary reports a latency distribution in milliseconds. Count, mean,
+// and max are exact; the quantiles are interpolated within the fixed
+// exponential histogram buckets backing /metricsz.
 type LatencySummary struct {
 	Count  uint64  `json:"count"`
 	MeanMs float64 `json:"mean_ms"`
@@ -46,112 +52,109 @@ type LatencySummary struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
-// statsCollector accumulates one endpoint's counters; all methods are
-// goroutine-safe.
+// latencyBuckets covers 100µs .. ~52s in powers of two — the exponential grid
+// every serve latency histogram shares.
+func latencyBuckets() []float64 { return obs.ExpBuckets(100e-6, 2, 20) }
+
+// statsCollector accumulates one endpoint's counters on the server's metrics
+// registry: the same instruments back both the /statsz JSON snapshot and the
+// /metricsz Prometheus exposition. All methods are goroutine-safe (the
+// instruments are lock-free).
 type statsCollector struct {
-	mu        sync.Mutex
-	admit     uint64
-	complete  uint64
-	reject    uint64
-	expire    uint64
-	fail      uint64
-	batches   uint64
-	maxBatch  int
-	simTotal  soc.Seconds
-	sumMs     float64
-	maxMs     float64
-	ring      [latencyWindow]float64
-	ringLen   int
-	ringNext  int
-	latencies uint64
+	admit    *obs.Counter
+	complete *obs.Counter
+	reject   *obs.Counter
+	expire   *obs.Counter
+	fail     *obs.Counter
+	batches  *obs.Counter
+	sim      *obs.Counter
+
+	lat       *obs.Histogram
+	queueWait *obs.Histogram
+	exec      *obs.Histogram
+	batchSize *obs.Histogram
 }
 
-func (c *statsCollector) admitted() {
-	c.mu.Lock()
-	c.admit++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) rejected() {
-	c.mu.Lock()
-	c.reject++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) expired() {
-	c.mu.Lock()
-	c.expire++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) failed() {
-	c.mu.Lock()
-	c.fail++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) completed(latency time.Duration, sim soc.Seconds) {
-	ms := float64(latency) / float64(time.Millisecond)
-	c.mu.Lock()
-	c.complete++
-	c.simTotal += sim
-	c.latencies++
-	c.sumMs += ms
-	if ms > c.maxMs {
-		c.maxMs = ms
+func newStatsCollector(reg *obs.Registry, model string) *statsCollector {
+	outcome := func(o string) *obs.Counter {
+		return reg.Counter("serve_requests_total",
+			"Requests by model and admission outcome.",
+			obs.L("model", model, "outcome", o))
 	}
-	c.ring[c.ringNext] = ms
-	c.ringNext = (c.ringNext + 1) % latencyWindow
-	if c.ringLen < latencyWindow {
-		c.ringLen++
+	lm := obs.L("model", model)
+	return &statsCollector{
+		admit:    outcome("admitted"),
+		complete: outcome("completed"),
+		reject:   outcome("rejected"),
+		expire:   outcome("expired"),
+		fail:     outcome("failed"),
+		batches: reg.Counter("serve_batches_total",
+			"Device reservations (micro-batches) executed.", lm),
+		sim: reg.Counter("serve_sim_seconds_total",
+			"Total simulated device time charged.", lm),
+		lat: reg.Histogram("serve_latency_seconds",
+			"End-to-end request latency (queue + execution).", lm, latencyBuckets()),
+		queueWait: reg.Histogram("serve_queue_wait_seconds",
+			"Time from admission to batch execution start.", lm, latencyBuckets()),
+		exec: reg.Histogram("serve_exec_seconds",
+			"Wall-clock execution time of one request's Run.", lm, latencyBuckets()),
+		batchSize: reg.Histogram("serve_batch_size",
+			"Coalesced micro-batch sizes.", lm, obs.ExpBuckets(1, 2, 8)),
 	}
-	c.mu.Unlock()
+}
+
+func (c *statsCollector) admitted() { c.admit.Inc() }
+func (c *statsCollector) rejected() { c.reject.Inc() }
+func (c *statsCollector) expired()  { c.expire.Inc() }
+func (c *statsCollector) failed()   { c.fail.Inc() }
+
+func (c *statsCollector) completed(latency, queueWait, exec time.Duration, sim soc.Seconds) {
+	c.complete.Inc()
+	c.sim.Add(float64(sim))
+	c.lat.Observe(latency.Seconds())
+	c.queueWait.Observe(queueWait.Seconds())
+	c.exec.Observe(exec.Seconds())
 }
 
 func (c *statsCollector) batchDone(size int, wall time.Duration) {
-	c.mu.Lock()
-	c.batches++
-	if size > c.maxBatch {
-		c.maxBatch = size
-	}
-	c.mu.Unlock()
+	c.batches.Inc()
+	c.batchSize.Observe(float64(size))
 }
 
 func (c *statsCollector) snapshot(model string) ModelStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := ModelStats{
 		Model:     model,
-		Admitted:  c.admit,
-		Completed: c.complete,
-		Rejected:  c.reject,
-		Expired:   c.expire,
-		Failed:    c.fail,
-		Batches:   c.batches,
-		MaxBatch:  c.maxBatch,
-		SimMs:     c.simTotal.Ms(),
+		Admitted:  uint64(c.admit.Value()),
+		Completed: uint64(c.complete.Value()),
+		Rejected:  uint64(c.reject.Value()),
+		Expired:   uint64(c.expire.Value()),
+		Failed:    uint64(c.fail.Value()),
+		Batches:   uint64(c.batches.Value()),
+		MaxBatch:  int(c.batchSize.Max()),
+		SimMs:     soc.Seconds(c.sim.Value()).Ms(),
+		Latency:   summarize(c.lat),
+		QueueWait: summarize(c.queueWait),
+		Exec:      summarize(c.exec),
 	}
-	if c.batches > 0 {
-		s.MeanBatch = float64(c.complete) / float64(c.batches)
+	if b := c.batches.Value(); b > 0 {
+		s.MeanBatch = c.complete.Value() / b
 	}
-	s.Latency.Count = c.latencies
-	if c.ringLen > 0 {
-		s.Latency.MeanMs = c.sumMs / float64(c.latencies)
-		s.Latency.MaxMs = c.maxMs
-		window := append([]float64(nil), c.ring[:c.ringLen]...)
-		sort.Float64s(window)
-		s.Latency.P50Ms = quantile(window, 0.50)
-		s.Latency.P95Ms = quantile(window, 0.95)
-		s.Latency.P99Ms = quantile(window, 0.99)
-	}
+	s.QueueWaitMs = s.QueueWait.MeanMs
+	s.ExecMs = s.Exec.MeanMs
 	return s
 }
 
-// quantile reads the q-th quantile from a sorted window (nearest-rank).
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
+// summarize renders one latency histogram (seconds) as a millisecond summary.
+func summarize(h *obs.Histogram) LatencySummary {
+	const ms = 1e3
+	out := LatencySummary{Count: h.Count()}
+	if out.Count == 0 {
+		return out
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	out.MeanMs = h.Mean() * ms
+	out.P50Ms = h.Quantile(0.50) * ms
+	out.P95Ms = h.Quantile(0.95) * ms
+	out.P99Ms = h.Quantile(0.99) * ms
+	out.MaxMs = h.Max() * ms
+	return out
 }

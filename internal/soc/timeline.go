@@ -88,18 +88,32 @@ func (tl *Timeline) Now() Seconds {
 	return m
 }
 
-// Events returns a copy of the recorded intervals sorted by start time.
+// Events returns a copy of the recorded intervals in a stable order: sorted
+// by start time, then device, with schedule order breaking remaining ties —
+// the deterministic sequence trace export and the pipeline reports rely on.
 func (tl *Timeline) Events() []Interval {
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
 	out := append([]Interval(nil), tl.events...)
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
 		return out[i].Device < out[j].Device
 	})
 	return out
+}
+
+// Reset returns the timeline to virtual time zero, dropping every recorded
+// interval and device availability — so one timeline can be reused across
+// measurement windows.
+func (tl *Timeline) Reset() {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.events = tl.events[:0]
+	for k := range tl.avail {
+		delete(tl.avail, k)
+	}
 }
 
 // BusyTime returns the total occupied time of one device.
@@ -180,6 +194,10 @@ type Profile struct {
 	DispatchTime Seconds
 	Launches     map[DeviceKind]int
 	Subgraphs    int // external (NeuroPilot) subgraph invocations
+
+	// events, when non-nil (EnableEvents), records one labeled entry per
+	// charge — the raw material of the per-op profile table (see trace.go).
+	events []ProfileEvent
 }
 
 // SubgraphDispatchOverhead is the host cost of one external-runtime
@@ -191,28 +209,21 @@ func NewProfile() *Profile {
 	return &Profile{DeviceTime: map[DeviceKind]Seconds{}, Launches: map[DeviceKind]int{}}
 }
 
-// AddOp charges one kernel launch.
+// AddOp charges one kernel launch (unattributed; AddOpNamed records the op
+// name into the event stream when profiling is enabled).
 func (p *Profile) AddOp(dev DeviceKind, t Seconds) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.DeviceTime[dev] += t
-	p.Launches[dev]++
+	p.AddOpNamed(dev, t, "(op)")
 }
 
 // AddDMA charges one boundary transfer.
 func (p *Profile) AddDMA(t Seconds) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.DMATime += t
+	p.AddDMANamed(t, "(dma)")
 }
 
 // AddSubgraph counts one external subgraph invocation and charges its
 // dispatch overhead.
 func (p *Profile) AddSubgraph() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.Subgraphs++
-	p.DispatchTime += SubgraphDispatchOverhead
+	p.AddSubgraphNamed("(dispatch)")
 }
 
 // Total returns the summed sequential inference time (per-device time plus
