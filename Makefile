@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race lint bench trace-demo
+.PHONY: check build fmt vet test race lint npvet analyze bench trace-demo
 
 # check is the tier-1 gate: build + formatting + vet + race-enabled tests +
-# cross-registry lint. CI and pre-commit hooks should run exactly this.
-check: build fmt vet race lint
+# cross-registry lint + the custom npvet analyzers + the dataflow analyses
+# over the model zoo. CI and pre-commit hooks should run exactly this.
+check: build fmt vet race lint npvet analyze
 
 build:
 	$(GO) build ./...
@@ -25,12 +26,22 @@ race:
 lint:
 	$(GO) run ./cmd/npc -lint
 
+# npvet runs the repo-invariant analyzers (hotpath no-alloc, obs span
+# pairing, DeviceLocks ordering) over all first-party Go source.
+npvet:
+	$(GO) run ./cmd/npvet ./cmd ./internal ./examples
+
+# analyze runs the dataflow analyses — plan safety, quantization ranges,
+# device-transfer legality, dead code — over every model-zoo entry.
+analyze:
+	$(GO) run ./cmd/npc -zoo all -analyze
+
 # bench writes the machine-readable run log to BENCH_PR4.json (test2json
 # event stream, one JSON object per line) while echoing the human-readable
 # benchmark lines to stdout. Override BENCHTIME for a quick smoke run
 # (e.g. make bench BENCHTIME=1x).
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR6.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | \
 		tee $(BENCHOUT) | \

@@ -14,15 +14,19 @@
 //	npc -zoo emotion -run -profile           # per-op profile table for a zoo model
 //	npc -zoo emotion -run -trace=out.json    # Chrome trace (load in Perfetto)
 //	npc -lint                                # cross-check the operator registries
+//	npc -zoo emotion -analyze                # dataflow analyses over one zoo model
+//	npc -zoo all -analyze                    # analyze every zoo model
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/neuron"
@@ -48,6 +52,7 @@ func main() {
 		stats       = flag.Bool("stats", false, "print per-op statistics of the partitioned module")
 		verifyFlag  = flag.Bool("verify", false, "run the IR verifier after every optimization pass")
 		lint        = flag.Bool("lint", false, "cross-check the relay-op / NIR-handler / TOPI-kernel / Neuron registries and exit")
+		analyzeFlag = flag.Bool("analyze", false, "run the dataflow analyses (plan safety, quant ranges, device legality, dead code) over the compiled module")
 		runFlag     = flag.Bool("run", false, "execute one inference on a synthetic input and print the simulated profile")
 		executor    = flag.String("executor", "auto", "executor for -run: plan|interp|auto")
 		zooName     = flag.String("zoo", "", "build a model-zoo model by name instead of importing -model (\"list\" prints names)")
@@ -64,6 +69,20 @@ func main() {
 		for _, n := range models.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+	if *zooName == "all" {
+		if !*analyzeFlag {
+			fmt.Fprintln(os.Stderr, "npc: -zoo all is only meaningful with -analyze")
+			os.Exit(2)
+		}
+		devices, err := parseTargets(*targets)
+		fatal(err)
+		analyzeZoo(*sizeFlag, runtime.BuildOptions{
+			OptLevel:   *optLevel,
+			UseNIR:     !*noNIR,
+			NIRDevices: devices,
+		})
 		return
 	}
 	if *modelPath == "" && *zooName == "" {
@@ -124,6 +143,18 @@ func main() {
 		fmt.Println("npc: IR verification clean after every pass")
 	}
 
+	if *analyzeFlag {
+		label := *zooName
+		if label == "" {
+			label = *modelPath
+		}
+		if !runAnalyze(label, lib) {
+			os.Exit(1)
+		}
+		if *outPath == "" {
+			return
+		}
+	}
 	if *dump {
 		fmt.Print(relay.PrintModule(lib.Module))
 		return
@@ -268,6 +299,74 @@ func printStats(lib *runtime.Lib) {
 	}
 }
 
+// analyzeLib runs the full internal/analysis suite over a compiled library:
+// the independent plan-safety checker over the global ExecPlan, quantization
+// range analysis, per-region device-transfer legality, and dead-code
+// detection. All four emit verify.Diagnostic, so the output reads exactly
+// like -lint and -verify findings.
+func analyzeLib(lib *runtime.Lib) *verify.Result {
+	res := &verify.Result{}
+	if plan, err := lib.Plan(); err == nil {
+		res.Merge(analysis.PlanSafety(plan.View()))
+	} else {
+		res.Diags = append(res.Diags, verify.Diagnostic{
+			Sev:   verify.SevWarning,
+			Check: "plan-unavailable",
+			Msg:   fmt.Sprintf("module not plannable, plan safety skipped: %v", err),
+		})
+	}
+	res.Merge(analysis.QuantRanges(lib.Module))
+	regions := make([]string, 0, len(lib.External))
+	for name := range lib.External {
+		regions = append(regions, name)
+	}
+	sort.Strings(regions)
+	for _, name := range regions {
+		res.Merge(analysis.DeviceLegality(name, lib.External[name]))
+	}
+	res.Merge(analysis.DeadCode(lib.Module))
+	return res
+}
+
+// runAnalyze prints every diagnostic and reports whether the library is free
+// of error-severity findings.
+func runAnalyze(label string, lib *runtime.Lib) bool {
+	res := analyzeLib(lib)
+	for _, d := range res.Diags {
+		fmt.Println("npc:", d)
+	}
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "npc: analyze %s: %d error(s)\n", label, len(res.Errors()))
+		return false
+	}
+	fmt.Printf("npc: analyze %s: clean (%d warning(s))\n", label, len(res.Diags))
+	return true
+}
+
+// analyzeZoo compiles and analyzes every model-zoo entry, exiting non-zero
+// if any model produces an error-severity finding.
+func analyzeZoo(sizeFlag string, opts runtime.BuildOptions) {
+	size := models.SizeLite
+	if sizeFlag == "full" {
+		size = models.SizeFull
+	}
+	ok := true
+	for _, n := range models.Names() {
+		spec, err := models.Get(n)
+		fatal(err)
+		m, err := spec.Build(size)
+		fatal(err)
+		lib, err := core.Compile(m, opts)
+		fatal(err)
+		if !runAnalyze(n, lib) {
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
 // runLint cross-checks the operator registries: every relay op with an NIR
 // handler must be registered, every TOPI kernel must implement a registered
 // op, and every Neuron opcode must resolve to real kernels and at least one
@@ -302,9 +401,21 @@ func parseTargets(s string) ([]soc.DeviceKind, error) {
 	return out, nil
 }
 
+// fatal exits non-zero on error. A *verify.Error is unwrapped into its
+// individual diagnostics so -verify failures print one structured finding
+// per line, in the same shape -lint and -analyze use.
 func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "npc:", err)
+	if err == nil {
+		return
+	}
+	var verr *verify.Error
+	if errors.As(err, &verr) {
+		for _, d := range verr.Diags {
+			fmt.Fprintln(os.Stderr, "npc:", d)
+		}
+		fmt.Fprintf(os.Stderr, "npc: verification failed with %d diagnostic(s)\n", len(verr.Diags))
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "npc:", err)
+	os.Exit(1)
 }

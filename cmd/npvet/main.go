@@ -1,0 +1,47 @@
+// Command npvet runs the repo's custom Go-source analyzers (see
+// internal/analysis/npvet): hot-path allocation freedom, obs span pairing,
+// and DeviceLocks discipline. It prints findings in the familiar
+// file:line:col form and exits nonzero when there are any, so `make check`
+// and CI gate on it exactly like go vet.
+//
+// Usage:
+//
+//	npvet [root ...]    analyze the Go trees under the roots (default: .)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/npvet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range npvet.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	diags, err := npvet.Run(roots, npvet.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "npvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import "fmt"
+
+// This file is the framework half of the package: a small directed-graph
+// type and a generic worklist fixpoint solver. Analyses describe themselves
+// as a Problem — an initial fact per node, a transfer function combining
+// dependency facts, and an equality test bounding the iteration — and Solve
+// drives them to a fixpoint in either direction. The transfer function
+// receives the facts of all dependencies explicitly (predecessors for
+// forward problems, successors for backward ones) rather than a single
+// pre-joined fact, so analyses that need per-edge information (argument
+// positions, operand order) fit the same engine as classic join-based ones.
+
+// Digraph is a dense directed graph over nodes [0, n). Edge insertion order
+// is preserved per node: Preds and Succs return neighbors in the order the
+// edges were added, which analyses rely on to align dependency facts with
+// argument positions.
+type Digraph struct {
+	succs [][]int
+	preds [][]int
+}
+
+// NewDigraph returns a graph with n nodes and no edges.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{succs: make([][]int, n), preds: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Digraph) NumNodes() int { return len(g.succs) }
+
+// NumEdges returns the edge count.
+func (g *Digraph) NumEdges() int {
+	n := 0
+	for _, s := range g.succs {
+		n += len(s)
+	}
+	return n
+}
+
+// AddNode appends a node and returns its id.
+func (g *Digraph) AddNode() int {
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return len(g.succs) - 1
+}
+
+// AddEdge inserts a directed edge. Parallel edges are kept: a consumer
+// reading the same value twice sees its fact twice, at the right positions.
+func (g *Digraph) AddEdge(from, to int) {
+	if from < 0 || from >= len(g.succs) || to < 0 || to >= len(g.succs) {
+		panic(fmt.Sprintf("analysis: edge (%d,%d) out of range [0,%d)", from, to, len(g.succs)))
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+// Succs returns the successors of n in insertion order. The slice is owned
+// by the graph; callers must not mutate it.
+func (g *Digraph) Succs(n int) []int { return g.succs[n] }
+
+// Preds returns the predecessors of n in insertion order.
+func (g *Digraph) Preds(n int) []int { return g.preds[n] }
+
+// Direction selects which way facts flow.
+type Direction int
+
+const (
+	// Forward propagates facts from predecessors to successors (reaching
+	// definitions, value ranges, device residency).
+	Forward Direction = iota
+	// Backward propagates from successors to predecessors (liveness,
+	// needed-ness).
+	Backward
+)
+
+// Problem describes one dataflow analysis over fact type F.
+type Problem[F any] struct {
+	// Dir selects the propagation direction.
+	Dir Direction
+	// Init produces node n's starting fact (the lattice bottom, or a
+	// boundary fact for entry/exit nodes).
+	Init func(n int) F
+	// Transfer computes node n's new fact from its dependencies' current
+	// facts: the facts of Preds(n) for forward problems, Succs(n) for
+	// backward ones, in edge-insertion order. It must be monotone for the
+	// solve to terminate, and must not retain or mutate deps.
+	Transfer func(n int, deps []F) F
+	// Equal reports whether two facts are equal; the solve stops changing a
+	// node when its transfer output is Equal to the stored fact.
+	Equal func(a, b F) bool
+	// MaxIter bounds the total number of transfer applications; 0 selects a
+	// generous default scaled to the graph size. Exceeding the bound aborts
+	// the solve with an error instead of spinning — the engine's guard
+	// against a non-monotone transfer on a cyclic graph.
+	MaxIter int
+}
+
+// Solve runs the worklist algorithm to a fixpoint and returns the final
+// fact of every node. Every node's transfer runs at least once. The error
+// is non-nil only when the iteration bound is exceeded.
+func Solve[F any](g *Digraph, p Problem[F]) ([]F, error) {
+	n := g.NumNodes()
+	facts := make([]F, n)
+	for i := 0; i < n; i++ {
+		facts[i] = p.Init(i)
+	}
+	if n == 0 {
+		return facts, nil
+	}
+
+	deps, outs := g.preds, g.succs
+	if p.Dir == Backward {
+		deps, outs = g.succs, g.preds
+	}
+
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		// Monotone problems over a finite lattice change each node at most
+		// height-many times; (n+edges+64)*(n+1) covers every practical
+		// height without letting a buggy transfer run unbounded.
+		maxIter = (n + g.NumEdges() + 64) * (n + 1)
+	}
+
+	// Seed every node in dependency-friendly order so DAG problems converge
+	// in one sweep when node ids are topologically ordered (the plan and
+	// relay builders emit them that way).
+	queue := make([]int, 0, n)
+	inQueue := make([]bool, n)
+	if p.Dir == Forward {
+		for i := 0; i < n; i++ {
+			queue = append(queue, i)
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			queue = append(queue, i)
+		}
+	}
+	for i := range inQueue {
+		inQueue[i] = true
+	}
+
+	var depBuf []F
+	iters := 0
+	for head := 0; head < len(queue); head++ {
+		nd := queue[head]
+		inQueue[nd] = false
+		if iters++; iters > maxIter {
+			return nil, fmt.Errorf("analysis: fixpoint did not converge after %d transfer applications "+
+				"(non-monotone transfer function or unbounded lattice?)", maxIter)
+		}
+		depBuf = depBuf[:0]
+		for _, d := range deps[nd] {
+			depBuf = append(depBuf, facts[d])
+		}
+		nf := p.Transfer(nd, depBuf)
+		if p.Equal(facts[nd], nf) {
+			continue
+		}
+		facts[nd] = nf
+		for _, s := range outs[nd] {
+			if !inQueue[s] {
+				inQueue[s] = true
+				queue = append(queue, s)
+			}
+		}
+		// Compact the drained prefix so long solves do not grow the queue
+		// without bound.
+		if head > n && head*2 > len(queue) {
+			queue = append(queue[:0], queue[head+1:]...)
+			head = -1
+		}
+	}
+	return facts, nil
+}
+
+// BitSet is a fixed-capacity bit vector — the workhorse fact type for
+// set-valued analyses (live slots, needed nodes).
+type BitSet []uint64
+
+// NewBitSet returns a set with capacity for n elements, all clear.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds element i.
+func (b BitSet) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Clear removes element i.
+func (b BitSet) Clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+// Has reports whether element i is present.
+func (b BitSet) Has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Clone returns an independent copy.
+func (b BitSet) Clone() BitSet { return append(BitSet(nil), b...) }
+
+// UnionWith adds every element of o to b (capacities must match).
+func (b BitSet) UnionWith(o BitSet) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Equal reports element-wise equality.
+func (b BitSet) Equal(o BitSet) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set elements.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds 0 → {1,2} → 3.
+func diamond() *Digraph {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestForwardLevels(t *testing.T) {
+	levels, err := Solve(diamond(), Problem[int]{
+		Dir:  Forward,
+		Init: func(int) int { return 0 },
+		Transfer: func(n int, deps []int) int {
+			lvl := 0
+			for _, d := range deps {
+				if d+1 > lvl {
+					lvl = d + 1
+				}
+			}
+			return lvl
+		},
+		Equal: func(a, b int) bool { return a == b },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i, w := range want {
+		if levels[i] != w {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], w)
+		}
+	}
+}
+
+func TestBackwardReachability(t *testing.T) {
+	// 0 → 1 → 2, plus an island 3: only nodes reaching 2 are "needed".
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	needed, err := Solve(g, Problem[bool]{
+		Dir:  Backward,
+		Init: func(n int) bool { return n == 2 },
+		Transfer: func(n int, deps []bool) bool {
+			if n == 2 {
+				return true
+			}
+			for _, d := range deps {
+				if d {
+					return true
+				}
+			}
+			return false
+		},
+		Equal: func(a, b bool) bool { return a == b },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, true, false}
+	for i, w := range want {
+		if needed[i] != w {
+			t.Errorf("needed[%d] = %v, want %v", i, needed[i], w)
+		}
+	}
+}
+
+// TestDepOrder checks the engine's core contract: Transfer sees dependency
+// facts in edge-insertion order, including duplicates for parallel edges.
+func TestDepOrder(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(2, 3) // inserted first → position 0
+	g.AddEdge(0, 3)
+	g.AddEdge(2, 3) // parallel edge: node 2's fact appears twice
+	g.AddEdge(1, 3)
+	var seen []int
+	_, err := Solve(g, Problem[int]{
+		Dir:  Forward,
+		Init: func(n int) int { return n * 10 },
+		Transfer: func(n int, deps []int) int {
+			if n == 3 {
+				seen = append([]int(nil), deps...)
+			}
+			return n * 10
+		},
+		Equal: func(a, b int) bool { return a == b },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{20, 0, 20, 10}
+	if len(seen) != len(want) {
+		t.Fatalf("deps = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("deps = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestCyclicConvergence(t *testing.T) {
+	// A 3-cycle with a monotone max-transfer converges to the max seed.
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	facts, err := Solve(g, Problem[int]{
+		Dir:  Forward,
+		Init: func(n int) int { return n },
+		Transfer: func(n int, deps []int) int {
+			v := n
+			for _, d := range deps {
+				if d > v {
+					v = d
+				}
+			}
+			return v
+		},
+		Equal: func(a, b int) bool { return a == b },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range facts {
+		if f != 2 {
+			t.Errorf("fact[%d] = %d, want 2", i, f)
+		}
+	}
+}
+
+func TestNonConvergenceAborts(t *testing.T) {
+	// A non-monotone transfer on a cycle (always increments) must hit the
+	// iteration guard, not spin.
+	g := NewDigraph(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	_, err := Solve(g, Problem[int]{
+		Dir:  Forward,
+		Init: func(int) int { return 0 },
+		Transfer: func(n int, deps []int) int {
+			v := 0
+			for _, d := range deps {
+				v = d + 1
+			}
+			return v
+		},
+		Equal:   func(a, b int) bool { return a == b },
+		MaxIter: 100,
+	})
+	if err == nil || !strings.Contains(err.Error(), "did not converge") {
+		t.Fatalf("err = %v, want non-convergence", err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	facts, err := Solve(NewDigraph(0), Problem[int]{
+		Dir:      Forward,
+		Init:     func(int) int { return 0 },
+		Transfer: func(int, []int) int { return 0 },
+		Equal:    func(a, b int) bool { return a == b },
+	})
+	if err != nil || len(facts) != 0 {
+		t.Fatalf("facts = %v, err = %v", facts, err)
+	}
+}
+
+func TestLongChainCompaction(t *testing.T) {
+	// A long chain whose edges run against the seeding order forces facts
+	// to ripple one node per pass, exercising the queue-compaction path;
+	// the result must still be exact.
+	const n = 5000
+	g := NewDigraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i+1, i)
+	}
+	dist, err := Solve(g, Problem[int]{
+		Dir:  Forward, // seeds 0..n-1, but facts flow n-1 → 0
+		Init: func(int) int { return 0 },
+		Transfer: func(nd int, deps []int) int {
+			v := 0
+			for _, d := range deps {
+				if d+1 > v {
+					v = d + 1
+				}
+			}
+			return v
+		},
+		Equal: func(a, b int) bool { return a == b },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != n-1 || dist[n-1] != 0 {
+		t.Fatalf("dist[0] = %d, dist[%d] = %d; want %d and 0", dist[0], n-1, dist[n-1], n-1)
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	b := NewBitSet(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Has(0) || !b.Has(64) || !b.Has(129) || b.Has(1) {
+		t.Fatal("Set/Has broken")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	c := b.Clone()
+	c.Clear(64)
+	if b.Equal(c) || !b.Has(64) {
+		t.Fatal("Clone is not independent")
+	}
+	c.UnionWith(b)
+	if !c.Equal(b) {
+		t.Fatal("UnionWith/Equal broken")
+	}
+}

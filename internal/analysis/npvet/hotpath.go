@@ -1,0 +1,78 @@
+package npvet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotPath flags allocation-introducing constructs inside functions whose
+// doc comment carries the //np:hotpath marker — the per-inference code the
+// planned executor runs thousands of times per second, where a stray append
+// or closure turns into GC pressure that shows up as tail latency in the
+// serving benchmarks. The check is syntactic (no escape analysis): a
+// construct that is provably fine gets an //np:alloc-ok waiver on its line,
+// which keeps every exception visible and greppable.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "report allocation-introducing constructs in //np:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	p.funcDecls(func(_ *ast.File, fd *ast.FuncDecl) {
+		// Scan the raw comment list: //np:hotpath is a directive comment,
+		// which CommentGroup.Text() deliberately strips.
+		marked := false
+		if fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				if strings.Contains(c.Text, "np:hotpath") {
+					marked = true
+					break
+				}
+			}
+		}
+		if !marked {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok {
+					switch id.Name {
+					case "make", "new", "append":
+						if !p.Waived(x.Pos()) {
+							p.Reportf(x.Pos(), "hot path %s calls %s, which allocates", fd.Name.Name, id.Name)
+						}
+					}
+				}
+			case *ast.FuncLit:
+				if !p.Waived(x.Pos()) {
+					p.Reportf(x.Pos(), "hot path %s builds a closure, which allocates", fd.Name.Name)
+				}
+			case *ast.GoStmt:
+				if !p.Waived(x.Pos()) {
+					p.Reportf(x.Pos(), "hot path %s spawns a goroutine", fd.Name.Name)
+				}
+			case *ast.CompositeLit:
+				switch t := x.Type.(type) {
+				case *ast.ArrayType:
+					if t.Len == nil && !p.Waived(x.Pos()) { // []T{...}; [N]T{...} stays on the stack
+						p.Reportf(x.Pos(), "hot path %s builds a slice literal, which allocates", fd.Name.Name)
+					}
+				case *ast.MapType:
+					if !p.Waived(x.Pos()) {
+						p.Reportf(x.Pos(), "hot path %s builds a map literal, which allocates", fd.Name.Name)
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if _, ok := x.X.(*ast.CompositeLit); ok && !p.Waived(x.Pos()) {
+						p.Reportf(x.Pos(), "hot path %s takes the address of a composite literal, which escapes", fd.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	})
+}

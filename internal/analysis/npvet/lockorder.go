@@ -1,0 +1,89 @@
+package npvet
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"sort"
+)
+
+// LockOrder enforces the pipeline.DeviceLocks discipline. The type stays
+// deadlock-free by sorting device kinds inside one Lock([]DeviceKind) call;
+// callers that hold one acquisition while opening another reintroduce the
+// ordering problem the sort exists to remove. The analyzer flattens each
+// function declaration (closures included, in source order — the repo's
+// stage goroutines run their bodies sequentially per item) into a list of
+// Lock/Unlock events and checks two things: no Lock while another set is
+// still held, and every acquisition released in the same declaration.
+//
+// DeviceLocks methods take exactly one argument (the device slice), which
+// distinguishes them from sync.Mutex's zero-argument Lock/Unlock — the
+// analyzer ignores the latter entirely.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report DeviceLocks acquisitions that nest or leak within a function",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	p.funcDecls(func(_ *ast.File, fd *ast.FuncDecl) {
+		type event struct {
+			lock bool
+			key  string // "recv(arg)" — the lock set identity, textually
+			node ast.Node
+		}
+		var events []event
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || len(c.Args) != 1 {
+				return true
+			}
+			sel, ok := c.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+				return true
+			}
+			key := exprText(p, sel.X) + "(" + exprText(p, c.Args[0]) + ")"
+			events = append(events, event{lock: sel.Sel.Name == "Lock", key: key, node: c})
+			return true
+		})
+		// ast.Inspect is depth-first but sibling closures can interleave
+		// with trailing statements; order events by position so "before"
+		// means source order.
+		sort.SliceStable(events, func(i, j int) bool { return events[i].node.Pos() < events[j].node.Pos() })
+
+		var held []event
+		for _, ev := range events {
+			if ev.lock {
+				if len(held) > 0 {
+					p.Reportf(ev.node.Pos(),
+						"%s acquires %s while still holding %s; DeviceLocks orders kinds within one call — "+
+							"merge both sets into a single Lock", fd.Name.Name, ev.key, held[len(held)-1].key)
+				}
+				held = append(held, ev)
+				continue
+			}
+			released := false
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].key == ev.key {
+					held = append(held[:i], held[i+1:]...)
+					released = true
+					break
+				}
+			}
+			if !released {
+				p.Reportf(ev.node.Pos(), "%s releases %s, which this function never acquired", fd.Name.Name, ev.key)
+			}
+		}
+		for _, ev := range held {
+			p.Reportf(ev.node.Pos(), "%s acquires %s but never releases it in this function", fd.Name.Name, ev.key)
+		}
+	})
+}
+
+func exprText(p *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,186 @@
+// Package npvet is the Go-source half of the static-analysis layer: a small
+// go/ast analyzer framework in the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf), self-contained on the standard library so the
+// zero-dependency build holds. It exists for the three repo invariants stock
+// go vet cannot express:
+//
+//	hotpath    functions marked //np:hotpath must not allocate — no make/
+//	           new/append, no closure or slice/map literals, no go
+//	           statements. //np:alloc-ok on (or just above) a line waives
+//	           it for audited exceptions.
+//	obspair    an obs span assigned from Begin must be passed to End within
+//	           the same function declaration; a discarded span is a hole in
+//	           every trace.
+//	lockorder  pipeline.DeviceLocks discipline: one Lock call per scope
+//	           (the method sorts kinds internally to stay deadlock-free;
+//	           holding one set while acquiring another defeats it), every
+//	           acquisition released in the same function.
+//
+// cmd/npvet is the command-line driver; `make check` runs it over the tree.
+package npvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a parsed directory of Go files.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers is the default suite, in reporting order.
+func Analyzers() []*Analyzer { return []*Analyzer{HotPath, ObsPair, LockOrder} }
+
+// A Pass hands one analyzer the parsed files of one directory (one package
+// in this repo's layout) plus the reporting sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Dir      string
+	Files    []*ast.File
+
+	diags  *[]Diagnostic
+	waived map[string]map[int]bool // file → lines carrying an //np:alloc-ok
+}
+
+// Diagnostic is one finding, pre-positioned for printing.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Msg)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Waived reports whether the line holding pos (or the line just above it)
+// carries an //np:alloc-ok waiver comment.
+func (p *Pass) Waived(pos token.Pos) bool {
+	where := p.Fset.Position(pos)
+	lines := p.waived[where.Filename]
+	return lines[where.Line] || lines[where.Line-1]
+}
+
+// Run parses every Go source directory under the roots (skipping testdata,
+// vendor, and hidden directories, unless the root itself is one — the test
+// fixtures rely on that) and applies the analyzers. Findings come back
+// sorted by position; the error covers I/O and parse failures only.
+func Run(roots []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if path != root && skipDir(d.Name()) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	for _, dir := range sorted {
+		files, waived, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Dir: dir, Files: files, diags: &diags, waived: waived})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, map[string]map[int]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	waived := map[string]map[int]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		lines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "np:alloc-ok") {
+					lines[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		waived[path] = lines
+	}
+	return files, waived, nil
+}
+
+// funcDecls yields every function declaration with a body, across the
+// pass's files, in source order.
+func (p *Pass) funcDecls(fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}

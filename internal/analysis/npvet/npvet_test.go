@@ -1,0 +1,89 @@
+package npvet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// finding identifies one expected diagnostic by analyzer, file and line.
+type finding struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+func TestSeededViolations(t *testing.T) {
+	diags, err := Run([]string{filepath.Join("testdata", "src")}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []finding{
+		{"hotpath", "hot.go", 8},  // make
+		{"hotpath", "hot.go", 9},  // append
+		{"hotpath", "hot.go", 10}, // map literal
+		{"hotpath", "hot.go", 11}, // slice literal
+		{"hotpath", "hot.go", 12}, // &composite
+		{"hotpath", "hot.go", 13}, // closure
+		{"hotpath", "hot.go", 14}, // go statement
+		{"obspair", "spans.go", 11},
+		{"obspair", "spans.go", 16},
+		{"obspair", "spans.go", 17},
+		{"lockorder", "locks.go", 14},
+		{"lockorder", "locks.go", 20},
+		{"lockorder", "locks.go", 24},
+	}
+
+	got := map[finding]int{}
+	for _, d := range diags {
+		got[finding{d.Analyzer, filepath.Base(d.Pos.Filename), d.Pos.Line}]++
+	}
+	for _, w := range want {
+		if got[w] == 0 {
+			t.Errorf("missing expected finding %s at %s:%d", w.analyzer, w.file, w.line)
+		}
+		delete(got, w)
+	}
+	for f, n := range got {
+		t.Errorf("unexpected finding %s at %s:%d (x%d)", f.analyzer, f.file, f.line, n)
+	}
+}
+
+// TestRepoIsClean runs the full suite over the repository itself: the
+// production tree must stay free of findings (waivers included), or `make
+// check` breaks for everyone.
+func TestRepoIsClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	diags, err := Run([]string{
+		filepath.Join(root, "cmd"),
+		filepath.Join(root, "internal"),
+		filepath.Join(root, "examples"),
+	}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

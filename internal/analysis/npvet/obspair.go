@@ -1,0 +1,76 @@
+package npvet
+
+import (
+	"go/ast"
+)
+
+// ObsPair enforces span pairing on the obs tracing API: a Mark returned by
+// Track.Begin must reach a matching End(mark) within the same function
+// declaration (deferred closures count — ast.Inspect sees them). A span
+// that begins and never ends is worse than no span: the trace shows an
+// operation that apparently never finished, and the ring slot is wasted.
+//
+// The heuristic keys on the method names Begin/End with Begin's
+// two-argument (name, category) shape, so unrelated Begin methods with
+// other arities stay invisible to it.
+var ObsPair = &Analyzer{
+	Name: "obspair",
+	Doc:  "report obs spans that Begin without a matching End in the same function",
+	Run:  runObsPair,
+}
+
+func runObsPair(p *Pass) {
+	p.funcDecls(func(_ *ast.File, fd *ast.FuncDecl) {
+		type begin struct {
+			name string
+			pos  ast.Node
+		}
+		var begins []begin
+		ended := map[string]bool{}
+
+		isBegin := func(c *ast.CallExpr) bool {
+			sel, ok := c.Fun.(*ast.SelectorExpr)
+			return ok && sel.Sel.Name == "Begin" && len(c.Args) == 2
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Rhs) != 1 || len(x.Lhs) != 1 {
+					return true
+				}
+				c, ok := x.Rhs[0].(*ast.CallExpr)
+				if !ok || !isBegin(c) {
+					return true
+				}
+				id, ok := x.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == "_" {
+					p.Reportf(x.Pos(), "%s discards the span mark from Begin; the span can never End", fd.Name.Name)
+					return true
+				}
+				begins = append(begins, begin{name: id.Name, pos: x})
+			case *ast.ExprStmt:
+				if c, ok := x.X.(*ast.CallExpr); ok && isBegin(c) {
+					p.Reportf(x.Pos(), "%s drops the span mark from Begin; the span can never End", fd.Name.Name)
+				}
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if ok && sel.Sel.Name == "End" && len(x.Args) >= 1 {
+					if id, ok := x.Args[0].(*ast.Ident); ok {
+						ended[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+
+		for _, b := range begins {
+			if !ended[b.name] {
+				p.Reportf(b.pos.Pos(), "%s begins span %q but never passes it to End in this function", fd.Name.Name, b.name)
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+// Package fixture seeds one violation per construct the analyzers must
+// catch; npvet_test asserts the exact (analyzer, line) pairs. Line numbers
+// matter — adjust the expectations when editing.
+package fixture
+
+//np:hotpath
+func hotBad(xs []int) []int {
+	buf := make([]int, 8)       // line 8: make
+	buf = append(buf, xs...)    // line 9: append
+	m := map[string]int{"k": 1} // line 10: map literal
+	s := []int{1, 2, 3}         // line 11: slice literal
+	p := &point{1, 2}           // line 12: &composite
+	f := func() { _ = m }       // line 13: closure
+	go f()                      // line 14: goroutine
+	_ = s
+	_ = p
+	return buf
+}
+
+//np:hotpath
+func hotWaived() []int {
+	//np:alloc-ok preallocated spare, audited
+	buf := make([]int, 4)
+	arr := [4]int{1, 2, 3, 4} // fixed-size array: no allocation, no finding
+	_ = arr
+	return buf
+}
+
+// No marker: the same constructs are fine here.
+func cold() []int {
+	return append(make([]int, 0, 4), 1, 2, 3)
+}
+
+type point struct{ x, y int }

@@ -1,0 +1,46 @@
+package fixture
+
+import "sync"
+
+type kind int
+
+type devLocks struct{}
+
+func (*devLocks) Lock(devs []kind)   {}
+func (*devLocks) Unlock(devs []kind) {}
+
+func lockNested(l *devLocks, a, b []kind) {
+	l.Lock(a)
+	l.Lock(b) // line 14: nested acquisition
+	l.Unlock(b)
+	l.Unlock(a)
+}
+
+func lockLeak(l *devLocks, a []kind) {
+	l.Lock(a) // line 20: never released
+}
+
+func lockStray(l *devLocks, a []kind) {
+	l.Unlock(a) // line 24: never acquired
+}
+
+func lockOK(l *devLocks, a, b []kind) {
+	l.Lock(a)
+	defer l.Unlock(a)
+}
+
+func lockSequentialOK(l *devLocks, a, b []kind) {
+	l.Lock(a)
+	l.Unlock(a)
+	l.Lock(b)
+	l.Unlock(b)
+}
+
+// sync.Mutex's zero-argument Lock/Unlock never trips the analyzer, nested
+// or not.
+func mutexOK(mu, inner *sync.Mutex) {
+	mu.Lock()
+	inner.Lock()
+	inner.Unlock()
+	mu.Unlock()
+}

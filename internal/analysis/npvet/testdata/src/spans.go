@@ -1,0 +1,25 @@
+package fixture
+
+type mark struct{ i int }
+
+type track struct{}
+
+func (*track) Begin(name, cat string) mark { return mark{} }
+func (*track) End(m mark)                  {}
+
+func spanLeak(tk *track) {
+	m := tk.Begin("work", "cat") // line 11: never ended
+	_ = m
+}
+
+func spanDiscard(tk *track) {
+	_ = tk.Begin("work", "cat") // line 16: discarded
+	tk.Begin("work", "cat")     // line 17: dropped
+}
+
+func spanOK(tk *track) {
+	m := tk.Begin("work", "cat")
+	defer func() { tk.End(m) }() // deferred closure still pairs
+	n := tk.Begin("inner", "cat")
+	tk.End(n)
+}

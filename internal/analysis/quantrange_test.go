@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// constRange builds a float32 constant whose values span [lo, hi].
+func constRange(lo, hi float32, n int) *relay.Constant {
+	t := tensor.New(tensor.Float32, tensor.Shape{n})
+	for i := 0; i < n; i++ {
+		t.SetF(i, float64(lo)+float64(hi-lo)*float64(i)/float64(n-1))
+	}
+	return relay.Const(t)
+}
+
+// quantizeOf wraps e in a qnn.quantize with the given affine parameters.
+func quantizeOf(e relay.Expr, scale float64, zp int) *relay.Module {
+	q := relay.NewCall(relay.OpQnnQuantize, []relay.Expr{e}, relay.Attrs{
+		"output_scale":      scale,
+		"output_zero_point": zp,
+		"out_dtype":         "uint8",
+	})
+	return relay.NewModule(relay.NewFunc(nil, q))
+}
+
+func TestQuantRangesGoodBoundary(t *testing.T) {
+	// Values in [-1, 1] quantized with the calibration rule scale =
+	// 2*absMax/255, zp = 128: exactly the intended use, no findings.
+	m := quantizeOf(constRange(-1, 1, 64), 2.0/255, 128)
+	res := QuantRanges(m)
+	if len(res.Diags) != 0 {
+		t.Fatalf("clean boundary produced diagnostics: %v", res.Diags)
+	}
+}
+
+func TestQuantBadScale(t *testing.T) {
+	for _, scale := range []float64{0, -0.5} {
+		m := quantizeOf(constRange(-1, 1, 8), scale, 128)
+		if res := QuantRanges(m); !res.Has("quant-bad-scale") {
+			t.Errorf("scale %g not flagged: %v", scale, res.Diags)
+		}
+	}
+}
+
+func TestQuantBadZeroPoint(t *testing.T) {
+	m := quantizeOf(constRange(-1, 1, 8), 2.0/255, 300)
+	if res := QuantRanges(m); !res.Has("quant-bad-zero-point") {
+		t.Fatalf("zero point 300 not flagged: %v", res.Diags)
+	}
+}
+
+func TestQuantSaturate(t *testing.T) {
+	// Values span [-10, 10] but the affine map only represents ~[-1, 1].
+	m := quantizeOf(constRange(-10, 10, 64), 2.0/255, 128)
+	res := QuantRanges(m)
+	if !res.Has("quant-saturate") {
+		t.Fatalf("saturating boundary not flagged: %v", res.Diags)
+	}
+	if !res.OK() {
+		t.Errorf("saturation should be a warning, got errors: %v", res.Errors())
+	}
+}
+
+func TestQuantLowCoverage(t *testing.T) {
+	// Values span [-0.01, 0.01] under a map sized for [-1, 1]: under 1% of
+	// the domain used.
+	m := quantizeOf(constRange(-0.01, 0.01, 64), 2.0/255, 128)
+	if res := QuantRanges(m); !res.Has("quant-low-coverage") {
+		t.Fatalf("wasteful scale not flagged: %v", res.Diags)
+	}
+}
+
+func TestQuantAccOverflow(t *testing.T) {
+	qty := &relay.TensorType{Shape: tensor.Shape{1, 14, 14, 512}, DType: tensor.UInt8,
+		Quant: &tensor.QuantParams{Scale: 0.02, ZeroPoint: 128}}
+	data := relay.NewVar("data", qty)
+	// K = 512*9*9 = 41472; worst-case int32 accumulation 41472*255*255
+	// ≈ 2.70e9 exceeds MaxInt32 ≈ 2.15e9.
+	wty := &relay.TensorType{Shape: tensor.Shape{8, 512, 9, 9}, DType: tensor.UInt8,
+		Quant: &tensor.QuantParams{Scale: 0.01, ZeroPoint: 128}}
+	weight := relay.NewVar("w", wty)
+	conv := relay.NewCall(relay.OpQnnConv2D, []relay.Expr{data, weight}, relay.Attrs{
+		"input_scale": 0.02, "input_zero_point": 128,
+		"kernel_scale": 0.01, "kernel_zero_point": 128,
+		"padding": []int{4, 4},
+	})
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{data, weight}, conv))
+	res := QuantRanges(m)
+	if !res.Has("quant-acc-overflow") {
+		t.Fatalf("overflowing reduction not flagged: %v", res.Diags)
+	}
+	if res.OK() {
+		t.Error("accumulator overflow must be error severity")
+	}
+}
+
+func TestQuantAccNoOverflowSmallK(t *testing.T) {
+	qty := &relay.TensorType{Shape: tensor.Shape{1, 14, 14, 32}, DType: tensor.UInt8,
+		Quant: &tensor.QuantParams{Scale: 0.02, ZeroPoint: 128}}
+	data := relay.NewVar("data", qty)
+	wty := &relay.TensorType{Shape: tensor.Shape{8, 32, 3, 3}, DType: tensor.UInt8,
+		Quant: &tensor.QuantParams{Scale: 0.01, ZeroPoint: 128}}
+	weight := relay.NewVar("w", wty)
+	conv := relay.NewCall(relay.OpQnnConv2D, []relay.Expr{data, weight}, relay.Attrs{
+		"input_scale": 0.02, "input_zero_point": 128,
+		"kernel_scale": 0.01, "kernel_zero_point": 128,
+		"padding": []int{1, 1},
+	})
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{data, weight}, conv))
+	if res := QuantRanges(m); res.Has("quant-acc-overflow") {
+		t.Fatalf("K=288 flagged spuriously: %v", res.Diags)
+	}
+}
+
+// TestQuantRangePropagation checks the transfer functions steer the audit:
+// a relu ahead of the boundary halves the incoming range, flipping a
+// saturating quantization into a clean one.
+func TestQuantRangePropagation(t *testing.T) {
+	c := constRange(-2, 1, 64)
+	relu := relay.NewCall(relay.OpReLU, []relay.Expr{c}, nil)
+	// Map sized for [0, ~1.004] at scale 1/255, zp 0 — fine after relu
+	// clips the negative half, saturating without it.
+	q := relay.NewCall(relay.OpQnnQuantize, []relay.Expr{relu}, relay.Attrs{
+		"output_scale": 1.0 / 255, "output_zero_point": 0, "out_dtype": "uint8",
+	})
+	m := relay.NewModule(relay.NewFunc(nil, q))
+	if res := QuantRanges(m); res.Has("quant-saturate") {
+		t.Fatalf("relu-clipped range flagged spuriously: %v", res.Diags)
+	}
+
+	direct := quantizeOf(constRange(-2, 1, 64), 1.0/255, 0)
+	if res := QuantRanges(direct); !res.Has("quant-saturate") {
+		t.Fatalf("unclipped range not flagged: %v", res.Diags)
+	}
+}
+
+// TestQuantIntervalAlgebra pins the Interval lattice operations.
+func TestQuantIntervalAlgebra(t *testing.T) {
+	a := Interval{-2, 3, true}
+	b := Interval{1, 4, true}
+	if h := a.Hull(b); h.Lo != -2 || h.Hi != 4 || !h.Exact {
+		t.Errorf("Hull = %v", h)
+	}
+	if s := a.Add(b); s.Lo != -1 || s.Hi != 7 {
+		t.Errorf("Add = %v", s)
+	}
+	if p := a.Mul(b); p.Lo != -8 || p.Hi != 12 {
+		t.Errorf("Mul = %v", p)
+	}
+	if x := a.Intersect(Interval{0, 10, true}); x.Lo != 0 || x.Hi != 3 {
+		t.Errorf("Intersect = %v", x)
+	}
+	if x := a.Intersect(Interval{5, 10, true}); x.Lo != 5 || x.Hi != 5 {
+		t.Errorf("disjoint Intersect = %v, want pinned to edge", x)
+	}
+	if !a.Bounded() || unbounded().Bounded() {
+		t.Error("Bounded broken")
+	}
+	inexact := Interval{0, 1, false}
+	if a.Hull(inexact).Exact || a.Add(inexact).Exact || a.Mul(inexact).Exact {
+		t.Error("exactness must not survive mixing with an inexact interval")
+	}
+}

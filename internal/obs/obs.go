@@ -154,11 +154,15 @@ type Mark struct {
 }
 
 // Begin opens a span at the current wall clock.
+//
+//np:hotpath
 func (tk *Track) Begin(name, cat string) Mark {
 	return Mark{name: name, cat: cat, start: time.Now()}
 }
 
 // End closes a span opened by Begin.
+//
+//np:hotpath
 func (tk *Track) End(m Mark, args ...Arg) {
 	if tk == nil {
 		return
@@ -169,6 +173,8 @@ func (tk *Track) End(m Mark, args ...Arg) {
 // Emit records a span retroactively from an absolute start time — used for
 // intervals measured elsewhere (a request's time-in-queue, a pass already
 // timed by its runner).
+//
+//np:hotpath
 func (tk *Track) Emit(name, cat string, start time.Time, dur time.Duration, args ...Arg) {
 	if tk == nil {
 		return
@@ -184,7 +190,7 @@ func (tk *Track) Emit(name, cat string, start time.Time, dur time.Duration, args
 	}
 	tk.mu.Lock()
 	if len(tk.ring) < cap(tk.ring) {
-		tk.ring = append(tk.ring, sp)
+		tk.ring = append(tk.ring, sp) //np:alloc-ok within preallocated ring capacity
 	} else {
 		// Ring full: overwrite the oldest span.
 		tk.ring[tk.next] = sp

@@ -20,7 +20,7 @@ func ToDOT(m *Module) string {
 		if c := fn.Attr(FnAttrCompiler); c != "" {
 			label += " [Compiler=" + c + "]"
 		}
-		fmt.Fprintf(&b, "    label=%q;\n", label)
+		fmt.Fprintf(&b, "    label=%s;\n", dotQuote(label))
 		if fn.Attr(FnAttrCompiler) != "" {
 			b.WriteString("    style=filled; color=lightgrey;\n")
 		}
@@ -48,10 +48,10 @@ func writeDOTBody(b *strings.Builder, fn *Function, prefix string) {
 		ids[e] = id
 		switch n := e.(type) {
 		case *Var:
-			fmt.Fprintf(b, "    %s [label=%q shape=ellipse];\n", id, "%"+n.Name)
+			fmt.Fprintf(b, "    %s [label=%s shape=ellipse];\n", id, dotQuote("%"+n.Name))
 		case *Constant:
-			fmt.Fprintf(b, "    %s [label=%q shape=note fontsize=8];\n", id,
-				fmt.Sprintf("const %s%s", n.Value.DType, n.Value.Shape))
+			fmt.Fprintf(b, "    %s [label=%s shape=note fontsize=8];\n", id,
+				dotQuote(fmt.Sprintf("const %s%s", n.Value.DType, n.Value.Shape)))
 		case *Call:
 			label := n.OpName()
 			if n.Fn != nil {
@@ -64,8 +64,10 @@ func writeDOTBody(b *strings.Builder, fn *Function, prefix string) {
 						label = "call fn"
 					}
 				}
+			} else if len(n.Attrs) > 0 {
+				label += "\n" + attrSummary(n.Attrs)
 			}
-			fmt.Fprintf(b, "    %s [label=%q shape=box];\n", id, label)
+			fmt.Fprintf(b, "    %s [label=%s shape=box];\n", id, dotQuote(label))
 			for _, a := range n.Args {
 				fmt.Fprintf(b, "    %s -> %s;\n", visit(a), id)
 			}
@@ -75,7 +77,7 @@ func writeDOTBody(b *strings.Builder, fn *Function, prefix string) {
 				fmt.Fprintf(b, "    %s -> %s;\n", visit(f), id)
 			}
 		case *TupleGetItem:
-			fmt.Fprintf(b, "    %s [label=%q shape=diamond];\n", id, fmt.Sprintf(".%d", n.Index))
+			fmt.Fprintf(b, "    %s [label=\".%d\" shape=diamond];\n", id, n.Index)
 			fmt.Fprintf(b, "    %s -> %s;\n", visit(n.Tuple), id)
 		case *Function:
 			// Inline function value (already summarized by the caller).
@@ -87,6 +89,55 @@ func writeDOTBody(b *strings.Builder, fn *Function, prefix string) {
 	retID := fresh()
 	fmt.Fprintf(b, "    %s [label=\"output\" shape=ellipse style=dashed];\n", retID)
 	fmt.Fprintf(b, "    %s -> %s;\n", out, retID)
+}
+
+// dotQuote renders s as a Graphviz double-quoted string. Go's %q is the
+// wrong tool here: the DOT language only understands \" and \n-style line
+// breaks inside quoted strings, so Go escapes like \t or \x1b would reach
+// the renderer verbatim — and a crafted op attr containing a quote or
+// newline must not be able to terminate the attribute early.
+// Quotes and backslashes are escaped, newlines become DOT line breaks,
+// and remaining control characters are replaced with '?'. HTML
+// metacharacters (<, >, &) need no rewriting inside a quoted string —
+// quoting itself keeps them out of HTML-like label position — so they are
+// passed through and render literally.
+func dotQuote(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			b.WriteString(`\"`)
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r == '\n':
+			b.WriteString(`\n`)
+		case r == '\r' || r == '\t':
+			b.WriteByte(' ')
+		case r < 0x20 || r == 0x7f:
+			b.WriteByte('?')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// attrSummary renders call attributes as "k=v" pairs in sorted key order,
+// so DOT output is deterministic regardless of map iteration.
+func attrSummary(attrs Attrs) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, attrs[k]))
+	}
+	return strings.Join(parts, " ")
 }
 
 // primitiveOps summarizes the op names inside a fused primitive.

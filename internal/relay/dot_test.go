@@ -1,0 +1,90 @@
+package relay
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestDOTEscaping feeds hostile names and attrs through ToDOT and checks
+// the emitted document cannot be broken out of: quotes stay balanced, raw
+// control characters never reach the output, and newlines arrive as DOT
+// line breaks rather than literal breaks in the middle of an attribute.
+func TestDOTEscaping(t *testing.T) {
+	evil := "x\"];\nevil [label=\"pwned"
+	v := NewVar(evil, TType(tensor.Float32, 4))
+	call := NewCall(GetOp("add"), []Expr{v, v}, Attrs{
+		"note":  "line1\nline2\t<b>&\"quoted\"</b>\\path",
+		"bell":  "\a\x1b",
+		"plain": 7,
+	})
+	m := NewModule(NewFunc([]*Var{v}, call))
+	dot := ToDOT(m)
+
+	if strings.Contains(dot, "pwned [") || strings.Contains(dot, `"];`+"\n"+"evil") {
+		t.Fatalf("crafted name broke out of its label:\n%s", dot)
+	}
+	for _, r := range dot {
+		if r != '\n' && (r < 0x20 || r == 0x7f) {
+			t.Fatalf("raw control character %q in DOT output", r)
+		}
+	}
+	// Every quote is either an attribute delimiter or escaped; unescaped
+	// quotes must come in pairs on each line.
+	for _, line := range strings.Split(dot, "\n") {
+		unescaped := 0
+		for i := 0; i < len(line); i++ {
+			if line[i] == '"' && (i == 0 || line[i-1] != '\\') {
+				unescaped++
+			}
+		}
+		if unescaped%2 != 0 {
+			t.Fatalf("unbalanced quotes on line %q", line)
+		}
+	}
+	if !strings.Contains(dot, `\n`) {
+		t.Error("newline in attr not rendered as a DOT line break")
+	}
+	if !strings.Contains(dot, "<b>&") {
+		t.Error("HTML metacharacters should survive inside the quoted label")
+	}
+}
+
+// TestDOTAttrOrderDeterministic pins sorted attr rendering: two maps with
+// identical contents must serialize identically.
+func TestDOTAttrOrderDeterministic(t *testing.T) {
+	build := func() string {
+		v := NewVar("x", TType(tensor.Float32, 4))
+		c := NewCall(GetOp("add"), []Expr{v, v}, Attrs{
+			"alpha": 1, "beta": 2, "gamma": 3, "delta": 4, "epsilon": 5,
+		})
+		return ToDOT(NewModule(NewFunc([]*Var{v}, c)))
+	}
+	a := build()
+	for i := 0; i < 8; i++ {
+		if b := build(); b != a {
+			t.Fatal("attr order varies across renders")
+		}
+	}
+	if !strings.Contains(a, "alpha=1 beta=2 delta=4 epsilon=5 gamma=3") {
+		t.Errorf("attrs not in sorted key order:\n%s", a)
+	}
+}
+
+func TestDOTQuoteTable(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `"plain"`},
+		{`has "quotes"`, `"has \"quotes\""`},
+		{"two\nlines", `"two\nlines"`},
+		{`back\slash`, `"back\\slash"`},
+		{"tab\there", `"tab here"`},
+		{"bell\a", `"bell?"`},
+		{"<html>&", `"<html>&"`},
+	}
+	for _, tc := range cases {
+		if got := dotQuote(tc.in); got != tc.want {
+			t.Errorf("dotQuote(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/neuron"
 	"repro/internal/relay"
 	"repro/internal/soc"
@@ -194,6 +195,12 @@ func BuildPlan(lib *Lib) (*ExecPlan, error) {
 	b.finish()
 	if err := VerifyPlan(b.plan).Err(); err != nil {
 		return nil, fmt.Errorf("runtime: built plan failed verification: %w", err)
+	}
+	// Second, independent gate: the dataflow safety checker re-derives
+	// levels and liveness from the node list alone and audits the storage
+	// assignment against them (see internal/analysis).
+	if err := analysis.PlanSafety(b.plan.View()).Err(); err != nil {
+		return nil, fmt.Errorf("runtime: built plan failed safety analysis: %w", err)
 	}
 	return b.plan, nil
 }

@@ -213,6 +213,8 @@ func (st *planState) exec(ni int) error {
 }
 
 // execNode runs one node's numerics.
+//
+//np:hotpath
 func (st *planState) execNode(ni int) error {
 	n := st.plan.nodes[ni]
 	args := st.args[ni]
@@ -243,6 +245,8 @@ func (st *planState) execNode(ni int) error {
 // runPrim executes a fused kernel's sub-plan serially within this node's
 // wavefront task. Each primitive node owns a private sub-state, so two fused
 // kernels scheduled on the same level never share sub-arena buffers.
+//
+//np:hotpath
 func (st *planState) runPrim(ni int, n *planNode, args []*tensor.Tensor) error {
 	sub := st.subs[ni]
 	for i, s := range n.sub.params {
@@ -266,6 +270,8 @@ func (st *planState) runPrim(ni int, n *planNode, args []*tensor.Tensor) error {
 // the precomputed TVM-engine time per op/primitive node, and the Execution
 // Planner estimate (dispatch + per-op + boundary DMA) per external region —
 // the exact sequence the interpreting executor emits.
+//
+//np:hotpath
 func (st *planState) charge(prof *soc.Profile) {
 	for _, n := range st.plan.nodes {
 		switch n.kind {

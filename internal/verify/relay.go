@@ -353,6 +353,11 @@ func exprWhere(fnName string, e relay.Expr) string {
 	return "@" + fnName + ": " + summarize(e)
 }
 
+// Summarize renders a compact one-line description of an expression for
+// diagnostic Where fields; internal/analysis shares it so `npc -analyze`
+// findings read like `-verify` ones.
+func Summarize(e relay.Expr) string { return summarize(e) }
+
 func summarize(e relay.Expr) string {
 	switch n := e.(type) {
 	case *relay.Var:
