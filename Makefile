@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race lint npvet analyze bench trace-demo
+.PHONY: check build fmt vet test race lint npvet analyze bench bench-compare trace-demo
 
 # check is the tier-1 gate: build + formatting + vet + race-enabled tests +
 # cross-registry lint + the custom npvet analyzers + the dataflow analyses
@@ -36,16 +36,24 @@ npvet:
 analyze:
 	$(GO) run ./cmd/npc -zoo all -analyze
 
-# bench writes the machine-readable run log to BENCH_PR4.json (test2json
+# bench writes the machine-readable run log to BENCH_PR7.json (test2json
 # event stream, one JSON object per line) while echoing the human-readable
 # benchmark lines to stdout. Override BENCHTIME for a quick smoke run
 # (e.g. make bench BENCHTIME=1x).
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR6.json
+BENCHOUT ?= BENCH_PR7.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | \
 		tee $(BENCHOUT) | \
 		sed -n 's/.*"Output":"\(.*\)\\n"}$$/\1/p' | sed -e 's/\\t/\t/g' -e 's/\\u003e/>/g'
+
+# bench-compare diffs a fresh bench run against the committed baseline and
+# exits nonzero on a >10% ns/op or allocs/op regression. CI runs it
+# non-blocking (machine noise on shared runners is real); use it locally to
+# spot-check a perf-sensitive change.
+BENCHBASE ?= BENCH_PR7.json
+bench-compare:
+	$(GO) run ./cmd/npbench -compare $(BENCHBASE) bench-new.json
 
 # trace-demo compiles and runs the lite emotion model with profiling on and
 # writes demo-trace.json — a Chrome/Perfetto trace with all three clock

@@ -308,6 +308,57 @@ func BenchmarkKernelQnnConv2D(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelFusedQnnConv2D measures the single-launch fused quantized
+// convolution (conv → bias → fixed-point requantize → activation LUT)
+// against the equivalent staged chain of individual kernel launches.
+func BenchmarkKernelFusedQnnConv2D(b *testing.B) {
+	q := tensor.QuantParams{Scale: 0.02, ZeroPoint: 128}
+	wq := tensor.QuantParams{Scale: 0.01, ZeroPoint: 128}
+	outQ := tensor.QuantParams{Scale: 0.04, ZeroPoint: 7}
+	data := tensor.New(tensor.UInt8, tensor.Shape{1, 56, 56, 64})
+	data.Quant = &q
+	weightF := tensor.New(tensor.Float32, tensor.Shape{64, 3, 3, 64})
+	weightF.FillUniform(tensor.NewRNG(2), -0.5, 0.5)
+	weight := weightF.QuantizeTo(tensor.UInt8, wq)
+	bias := tensor.New(tensor.Int32, tensor.Shape{64})
+	attrs := relay.Attrs{
+		"strides": []int{1, 1}, "padding": []int{1, 1},
+		"input_scale": q.Scale, "input_zero_point": 128,
+		"kernel_scale": wq.Scale, "kernel_zero_point": 128,
+		"requant_input_scale":       q.Scale * wq.Scale,
+		"requant_input_zero_point":  0,
+		"requant_output_scale":      outQ.Scale,
+		"requant_output_zero_point": int(outQ.ZeroPoint),
+		"fused_activation":          "relu",
+	}
+	outTy := &relay.TensorType{Shape: tensor.Shape{1, 56, 56, 64}, DType: tensor.UInt8, Quant: &outQ}
+	args := []*tensor.Tensor{data, weight, bias}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topi.Run("qnn.conv2d_fused", args, attrs, outTy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelDense measures the cache-blocked register-tiled f32 GEMM
+// backing nn.dense (MobileNet-style classifier head shape).
+func BenchmarkKernelDense(b *testing.B) {
+	data := tensor.New(tensor.Float32, tensor.Shape{8, 1024})
+	data.FillUniform(tensor.NewRNG(1), -1, 1)
+	weight := tensor.New(tensor.Float32, tensor.Shape{1000, 1024})
+	weight.FillUniform(tensor.NewRNG(2), -1, 1)
+	attrs := relay.Attrs{"units": 1000}
+	outTy := relay.TType(tensor.Float32, 8, 1000)
+	b.SetBytes(int64(data.Bytes() + weight.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topi.Run("nn.dense", []*tensor.Tensor{data, weight}, attrs, outTy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationParallelKernels measures goroutine tile parallelism in
 // the convolution kernel (serial vs all cores), wall clock.
 func BenchmarkAblationParallelKernels(b *testing.B) {

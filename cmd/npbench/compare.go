@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// compareRuns implements `npbench -compare old.json new.json`: both files
+// are `go test -json` event streams as written by `make bench`
+// (BENCH_PR*.json). It prints per-benchmark ns/op and allocs/op deltas and
+// reports whether any benchmark regressed by more than regressionPct on
+// either axis — CI runs it as a non-blocking step, so a regression flags
+// the job step without failing the build.
+const regressionPct = 10.0
+
+type benchResult struct {
+	nsOp      float64
+	allocsOp  float64
+	hasAlloc  bool
+	bytesOp   float64
+	hasBytes  bool
+	seenOrder int
+}
+
+// benchLine matches a testing.B result line after test2json reassembly.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// parseBenchJSON reassembles the Output events of a test2json stream and
+// extracts benchmark result lines. test2json splits one benchmark line
+// across several events (the name flushes before the timing columns), so
+// the Output payloads are concatenated first and split on real newlines.
+func parseBenchJSON(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate trailing non-JSON noise
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := map[string]benchResult{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := normalizeBenchName(m[1])
+		res := benchResult{seenOrder: len(out)}
+		res.nsOp, _ = strconv.ParseFloat(m[2], 64)
+		for _, metric := range strings.Split(m[3], "\t") {
+			metric = strings.TrimSpace(metric)
+			switch {
+			case strings.HasSuffix(metric, " allocs/op"):
+				res.allocsOp, _ = strconv.ParseFloat(strings.TrimSuffix(metric, " allocs/op"), 64)
+				res.hasAlloc = true
+			case strings.HasSuffix(metric, " B/op"):
+				res.bytesOp, _ = strconv.ParseFloat(strings.TrimSuffix(metric, " B/op"), 64)
+				res.hasBytes = true
+			}
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// normalizeBenchName drops the trailing -GOMAXPROCS suffix so runs from
+// machines with different core counts compare by benchmark identity.
+func normalizeBenchName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// compareRuns prints the delta table and returns the number of benchmarks
+// that regressed beyond the threshold.
+func compareRuns(oldPath, newPath string) (int, error) {
+	oldRes, err := parseBenchJSON(oldPath)
+	if err != nil {
+		return 0, fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	newRes, err := parseBenchJSON(newPath)
+	if err != nil {
+		return 0, fmt.Errorf("parse %s: %w", newPath, err)
+	}
+	if len(oldRes) == 0 {
+		return 0, fmt.Errorf("%s contains no benchmark results", oldPath)
+	}
+	if len(newRes) == 0 {
+		return 0, fmt.Errorf("%s contains no benchmark results", newPath)
+	}
+
+	// Stable report order: old file's appearance order, then new-only names.
+	names := make([]string, 0, len(oldRes))
+	for n := range oldRes {
+		names = append(names, n)
+	}
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if oldRes[names[j]].seenOrder < oldRes[names[i]].seenOrder {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+
+	regressions := 0
+	fmt.Printf("%-64s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	for _, n := range names {
+		o := oldRes[n]
+		nw, ok := newRes[n]
+		if !ok {
+			fmt.Printf("%-64s %14.0f %14s\n", n, o.nsOp, "(gone)")
+			continue
+		}
+		nsPct := pctDelta(o.nsOp, nw.nsOp)
+		allocCols := fmt.Sprintf("%10s %10s %8s", "-", "-", "-")
+		allocPct := 0.0
+		if o.hasAlloc && nw.hasAlloc {
+			allocPct = pctDelta(o.allocsOp, nw.allocsOp)
+			allocCols = fmt.Sprintf("%10.0f %10.0f %+7.1f%%", o.allocsOp, nw.allocsOp, allocPct)
+		}
+		marker := ""
+		if nsPct > regressionPct || allocPct > regressionPct {
+			regressions++
+			marker = "  << REGRESSION"
+		}
+		fmt.Printf("%-64s %14.0f %14.0f %+7.1f%% %s%s\n", n, o.nsOp, nw.nsOp, nsPct, allocCols, marker)
+	}
+	for n, res := range newRes {
+		if _, ok := oldRes[n]; !ok {
+			fmt.Printf("%-64s %14s %14.0f   (new)\n", n, "-", res.nsOp)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%%\n", regressions, regressionPct)
+	}
+	return regressions, nil
+}

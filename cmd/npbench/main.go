@@ -8,6 +8,14 @@
 //	npbench              # everything
 //	npbench -fig 4       # one figure
 //	npbench -table 1     # one table
+//
+// It also serves as the benchmark regression gate:
+//
+//	npbench -compare old.json new.json
+//
+// compares two `make bench` artifacts (go test -json streams) and exits
+// nonzero when any benchmark's ns/op or allocs/op regressed by more than
+// 10% — CI runs this as a non-blocking step against the committed baseline.
 package main
 
 import (
@@ -24,12 +32,25 @@ import (
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "regenerate one figure (4, 5 or 6); 0 = all")
-		table  = flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
-		frames = flag.Int("frames", 12, "frame count for the Figure 5 pipeline")
-		ext    = flag.Bool("ext", false, "also run the extension experiments (GPU backend, op-level scheduling)")
+		fig     = flag.Int("fig", 0, "regenerate one figure (4, 5 or 6); 0 = all")
+		table   = flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
+		frames  = flag.Int("frames", 12, "frame count for the Figure 5 pipeline")
+		ext     = flag.Bool("ext", false, "also run the extension experiments (GPU backend, op-level scheduling)")
+		compare = flag.Bool("compare", false, "compare two `make bench` JSON artifacts: npbench -compare old.json new.json")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: npbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := compareRuns(flag.Arg(0), flag.Arg(1))
+		fatal(err)
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	sc := soc.NewDimensity800()
 	all := *fig == 0 && *table == 0
 

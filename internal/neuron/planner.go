@@ -2,6 +2,7 @@ package neuron
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/soc"
 )
@@ -36,6 +37,15 @@ type CompiledModel struct {
 	// producerDev[operand] is the device whose memory holds the operand
 	// after it is produced (model inputs and constants live in host memory).
 	producerDev []soc.DeviceKind
+	// execState caches the per-Execute working set (runtime.go) so
+	// steady-state inference allocates only the escaping output tensors.
+	// A single atomically-claimed slot, not a sync.Pool: the serving layer
+	// gives each worker its own module instance, so Execute is effectively
+	// single-threaded per CompiledModel, and a pool's GC eviction would
+	// re-pay the full working-set allocation at unpredictable points
+	// (breaking the allocation pins). Concurrent callers that lose the
+	// claim build a fresh state and race benignly to put one back.
+	execState atomic.Pointer[execState]
 }
 
 // efficiency returns the NeuroPilot engine efficiency on a device.

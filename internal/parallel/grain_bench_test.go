@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkElemGrain measures the crossover between the serial loop and the
+// token-budget parallel split for a representative cheap elementwise body
+// (load, multiply, store). The elemGrain constant in parallel.go is derived
+// from this benchmark together with BenchmarkSpawnJoin: the parallel split
+// only pays once the per-helper slice of work comfortably exceeds the
+// spawn+join cost. The cap is pinned to 4 workers so the split mechanics are
+// measured even on a single-core runner (where the OS timeshares the
+// helpers). Re-run with
+//
+//	go test ./internal/parallel -bench 'ElemGrain|SpawnJoin' -benchtime 100ms
+//
+// when retuning the constant for a new target machine.
+func BenchmarkElemGrain(b *testing.B) {
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	for _, n := range []int{1 << 10, 4 << 10, 8 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		src := make([]float32, n)
+		dst := make([]float32, n)
+		body := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = src[i] * 1.5
+			}
+		}
+		b.Run(fmt.Sprintf("serial/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				body(0, n)
+			}
+		})
+		b.Run(fmt.Sprintf("forchunked/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ForChunked(n, body)
+			}
+		})
+		b.Run(fmt.Sprintf("forelems/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ForElems(n, body)
+			}
+		})
+	}
+}
+
+// BenchmarkSpawnJoin isolates the fixed cost of one helper-goroutine
+// spawn+join through the token budget — the overhead a too-low serial
+// threshold pays on every tiny kernel.
+func BenchmarkSpawnJoin(b *testing.B) {
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	for i := 0; i < b.N; i++ {
+		ForChunked(2, func(lo, hi int) {})
+	}
+}

@@ -1,8 +1,17 @@
 // Package parallel provides the goroutine work-splitting helpers used by the
 // TOPI CPU kernels and the planned executor's wavefront scheduler. Kernels
 // parallelize over their outermost independent dimension (batch×output-row
-// tiles for convolution, rows for dense), which keeps per-goroutine state
-// disjoint so no locking is needed.
+// tiles for convolution, N-panel tiles for GEMM), which keeps per-goroutine
+// state disjoint so no locking is needed.
+//
+// Inter-op (wavefront) and intra-op (kernel tile) parallelism share one
+// bounded budget: a global pool of MaxWorkers-1 "extra worker" tokens. Every
+// For/ForChunked/ForElems call runs part of the range on the calling
+// goroutine and spawns at most as many helper goroutines as tokens it could
+// acquire; tokens are returned when the call completes. Acquisition never
+// blocks — when the executor's wavefront has already claimed the budget, a
+// kernel nested inside one of its tasks simply runs serially instead of
+// oversubscribing GOMAXPROCS with a second layer of goroutines.
 package parallel
 
 import (
@@ -11,12 +20,24 @@ import (
 	"sync/atomic"
 )
 
-// maxWorkers caps kernel parallelism; GOMAXPROCS by default. It is read on
+// maxWorkers caps total parallelism; GOMAXPROCS by default. It is read on
 // every For/ForChunked call — possibly from concurrently executing kernels —
 // while tests and ablations write it, so access is atomic.
 var maxWorkers atomic.Int64
 
-func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+// tokens counts the extra-worker slots currently available (cap-1 when idle:
+// the calling goroutine itself is the implicit first worker and needs no
+// token). Helpers acquire with a CAS loop and release on completion; the
+// counter can dip below zero transiently while SetMaxWorkers shrinks the cap
+// under outstanding work, which simply starves acquisition until releases
+// catch up.
+var tokens atomic.Int64
+
+func init() {
+	n := int64(runtime.GOMAXPROCS(0))
+	maxWorkers.Store(n)
+	tokens.Store(n - 1)
+}
 
 // SetMaxWorkers overrides the worker cap (testing and the serial-kernel
 // ablation use 1). Returns the previous value. n < 1 is treated as 1.
@@ -24,16 +45,64 @@ func SetMaxWorkers(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	return int(maxWorkers.Swap(int64(n)))
+	old := maxWorkers.Swap(int64(n))
+	// Adjust the available budget by the cap delta. Concurrent calls
+	// telescope: each Swap observes the previous value exactly once, so the
+	// summed deltas always equal final-minus-initial.
+	tokens.Add(int64(n) - old)
+	return int(old)
 }
 
 // MaxWorkers returns the current worker cap.
 func MaxWorkers() int { return int(maxWorkers.Load()) }
 
+// AvailableTokens reports how many extra-worker slots are currently free.
+// Intended for tests and monitoring; the value is immediately stale.
+func AvailableTokens() int { return int(tokens.Load()) }
+
+// acquireTokens takes up to want extra-worker slots from the shared budget
+// without blocking, returning how many it got (possibly zero).
+func acquireTokens(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		avail := tokens.Load()
+		if avail <= 0 {
+			return 0
+		}
+		take := int64(want)
+		if take > avail {
+			take = avail
+		}
+		if tokens.CompareAndSwap(avail, avail-take) {
+			return int(take)
+		}
+	}
+}
+
+func releaseTokens(n int) {
+	if n > 0 {
+		tokens.Add(int64(n))
+	}
+}
+
+// elemGrain is the serial cutoff for ForElems, in elements of a cheap
+// (load/op/store) elementwise loop. Derived from BenchmarkSpawnJoin and
+// BenchmarkElemGrain in grain_bench_test.go: spawning and joining one helper
+// goroutine costs on the order of a microsecond, while a simple float32 map
+// loop runs at roughly 1 element/ns, so a helper must own several thousand
+// elements before the split pays for itself. 8k per worker gives the
+// coordination cost a ~4× margin and keeps small activation tensors (the
+// common case in the paper's mobile models: 56×56×8 tiles, softmax rows,
+// scalar epilogues) on the allocation-free serial path.
+const elemGrain = 8 << 10
+
 // For runs body(i) for every i in [0,n), splitting the range into contiguous
-// chunks across at most MaxWorkers goroutines. It runs serially when n is
-// small or only one worker is allowed, avoiding goroutine overhead on tiny
-// kernels.
+// chunks: one executed inline by the caller, the rest by helper goroutines —
+// at most as many as the shared budget has tokens. It runs serially when n
+// is small, only one worker is allowed, or the budget is exhausted (e.g.
+// when nested under a wavefront task that already owns the workers).
 func For(n int, body func(i int)) {
 	if n <= 0 {
 		return
@@ -56,7 +125,10 @@ func For(n int, body func(i int)) {
 
 // ForChunked splits [0,n) into contiguous [lo,hi) chunks, one per worker.
 // Use this form when the body can amortize per-chunk setup (e.g. scratch
-// buffers for im2col).
+// buffers for im2col). The caller always executes the first chunk itself;
+// helper goroutines are spawned only for tokens acquired from the shared
+// inter/intra-op budget, so nested calls degrade to serial instead of
+// oversubscribing.
 func ForChunked(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -65,13 +137,16 @@ func ForChunked(n int, body func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
+	if workers > 1 {
+		workers = 1 + acquireTokens(workers-1)
+	}
 	if workers <= 1 {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
@@ -82,5 +157,46 @@ func ForChunked(n int, body func(lo, hi int)) {
 			body(lo, hi)
 		}(lo, hi)
 	}
+	body(0, chunk) // caller is the first worker
 	wg.Wait()
+	releaseTokens(workers - 1)
+}
+
+// ForElems is ForChunked for cheap elementwise loops: ranges shorter than
+// the benchmark-derived elemGrain run serially with zero coordination, and
+// longer ranges never split finer than elemGrain elements per worker.
+func ForElems(n int, body func(lo, hi int)) {
+	if n < 2*elemGrain {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	workers := n / elemGrain
+	if mw := MaxWorkers(); workers > mw {
+		workers = mw
+	}
+	if workers > 1 {
+		workers = 1 + acquireTokens(workers-1)
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	body(0, chunk)
+	wg.Wait()
+	releaseTokens(workers - 1)
 }

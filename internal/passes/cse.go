@@ -3,7 +3,7 @@ package passes
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/relay"
 )
@@ -64,56 +64,96 @@ func cseBody(body relay.Expr) relay.Expr {
 
 // structuralKey builds a canonical string for CSE-able nodes. Only pure
 // operator calls and tuple plumbing participate; function calls (external
-// regions, primitives) are left alone.
+// regions, primitives) are left alone. Keys are assembled with strconv
+// appends — this runs for every node on every build, and reflective fmt
+// formatting showed up in compile-path profiles.
 func structuralKey(e relay.Expr, idOf func(relay.Expr) int) (string, bool) {
 	switch n := e.(type) {
 	case *relay.Call:
 		if n.Op == nil {
 			return "", false
 		}
-		var b strings.Builder
-		b.WriteString("call:")
-		b.WriteString(n.Op.Name)
-		b.WriteString("(")
+		buf := make([]byte, 0, 64)
+		buf = append(buf, "call:"...)
+		buf = append(buf, n.Op.Name...)
+		buf = append(buf, '(')
 		for i, a := range n.Args {
 			if i > 0 {
-				b.WriteByte(',')
+				buf = append(buf, ',')
 			}
-			fmt.Fprintf(&b, "%d", idOf(a))
+			buf = strconv.AppendInt(buf, int64(idOf(a)), 10)
 		}
-		b.WriteString(")[")
-		b.WriteString(attrsKey(n.Attrs))
-		b.WriteString("]")
-		return b.String(), true
+		buf = append(buf, ")["...)
+		buf = appendAttrsKey(buf, n.Attrs)
+		buf = append(buf, ']')
+		return string(buf), true
 	case *relay.Tuple:
-		var b strings.Builder
-		b.WriteString("tuple:(")
+		buf := make([]byte, 0, 32)
+		buf = append(buf, "tuple:("...)
 		for i, f := range n.Fields {
 			if i > 0 {
-				b.WriteByte(',')
+				buf = append(buf, ',')
 			}
-			fmt.Fprintf(&b, "%d", idOf(f))
+			buf = strconv.AppendInt(buf, int64(idOf(f)), 10)
 		}
-		b.WriteString(")")
-		return b.String(), true
+		buf = append(buf, ')')
+		return string(buf), true
 	case *relay.TupleGetItem:
-		return fmt.Sprintf("get:%d.%d", idOf(n.Tuple), n.Index), true
+		buf := make([]byte, 0, 24)
+		buf = append(buf, "get:"...)
+		buf = strconv.AppendInt(buf, int64(idOf(n.Tuple)), 10)
+		buf = append(buf, '.')
+		buf = strconv.AppendInt(buf, int64(n.Index), 10)
+		return string(buf), true
 	}
 	return "", false
 }
 
-func attrsKey(a relay.Attrs) string {
+func appendAttrsKey(buf []byte, a relay.Attrs) []byte {
 	if len(a) == 0 {
-		return ""
+		return buf
 	}
 	keys := make([]string, 0, len(a))
 	for k := range a {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	parts := make([]string, len(keys))
 	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%v", k, a[k])
+		if i > 0 {
+			buf = append(buf, ';')
+		}
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		buf = appendAttrValue(buf, a[k])
 	}
-	return strings.Join(parts, ";")
+	return buf
+}
+
+// appendAttrValue formats the attribute value kinds frontends actually emit
+// without reflection, falling back to fmt for anything exotic. The fallback
+// prints identically to the fast paths, so keys are stable either way.
+func appendAttrValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case string:
+		return append(buf, x...)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case []int:
+		buf = append(buf, '[')
+		for i, e := range x {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendInt(buf, int64(e), 10)
+		}
+		return append(buf, ']')
+	default:
+		return fmt.Appendf(buf, "%v", v)
+	}
 }

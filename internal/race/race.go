@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race reports whether the Go race detector is compiled into the
+// binary, mirroring the standard library's internal/race. Tests that pin
+// exact allocation counts consult it: the detector's shadow-memory
+// bookkeeping and altered GC timing make testing.AllocsPerRun
+// nondeterministic, so such pins only hold in non-race builds.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -15,13 +15,51 @@ type Expr interface {
 	// if the expression has not been type-checked yet.
 	CheckedType() Type
 	setCheckedType(Type)
+	stamp(ep uint64) bool
+	memoGet(ep uint64) (Expr, bool)
+	memoSet(ep uint64, r Expr)
 }
 
-// exprBase carries the checked type shared by all node kinds.
-type exprBase struct{ typ Type }
+// exprBase carries the checked type shared by all node kinds, plus the
+// traversal scratch used by visitor.go: an epoch stamp and a rewrite memo.
+// Interface-keyed memo maps (hash + incremental growth) dominated
+// compile-path profiles; a per-node epoch compare is a single load. Each
+// traversal draws a fresh epoch from a global counter, so stale stamps from
+// earlier traversals can never be mistaken for this one's. The cost is that
+// traversals over a shared expression graph are not safe to run
+// concurrently — the same contract as TVM's ExprVisitor/ExprMutator.
+type exprBase struct {
+	typ   Type
+	epoch uint64
+	memo  Expr
+}
 
 func (b *exprBase) CheckedType() Type     { return b.typ }
 func (b *exprBase) setCheckedType(t Type) { b.typ = t }
+
+// stamp marks the node as visited in epoch ep, reporting whether it already
+// was. Used by visit-only traversals (PostOrderVisit, FreeVars).
+func (b *exprBase) stamp(ep uint64) bool {
+	if b.epoch == ep {
+		return true
+	}
+	b.epoch = ep
+	return false
+}
+
+// memoGet/memoSet record a rewrite result for epoch ep. Rewrite uses these
+// instead of stamp so that a node's memo value is always paired with the
+// epoch that produced it.
+func (b *exprBase) memoGet(ep uint64) (Expr, bool) {
+	if b.epoch == ep {
+		return b.memo, true
+	}
+	return nil, false
+}
+
+func (b *exprBase) memoSet(ep uint64, r Expr) {
+	b.epoch, b.memo = ep, r
+}
 
 // Var is a function parameter or graph input. TypeAnnotation is the declared
 // type (required for function parameters so inference has a starting point).

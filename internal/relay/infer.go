@@ -9,16 +9,50 @@ import "fmt"
 //
 // It returns the type of e. Errors carry the textual form of the offending
 // call so frontend bugs are diagnosable.
+//
+// The stamped type doubles as the memo: operator calls, tuples, and
+// projections are immutable once built, so a node that already carries a
+// checked type — stamped at construction, or by the inference run after an
+// earlier pass — cannot have changed and is returned without revisiting its
+// subtree. Re-inference after a rewrite therefore costs O(new nodes), not
+// O(graph); the verifier's checkOpCall independently re-derives every call
+// type, so a pass that stamped a stale type is still caught.
+//
+// Two node kinds are excluded from the fast path: *Function (its Body and
+// FnAttrs are assigned in place by partitioning and by tests, so a stamp
+// proves nothing about the current body) and calls of function values (so a
+// mutated callee reachable only through a stamped call is still re-walked).
+// Each is re-derived at most once per InferTypes run, recorded in a
+// per-run memo: a node cannot be mutated mid-run, and without the memo a
+// DAG of fused-function calls (e.g. residual blocks, whose fused add takes
+// two args sharing the upstream chain) re-walks paths exponentially.
 func InferTypes(e Expr) (Type, error) {
 	var rerr error
+	// rederived memoizes this run's excluded-node results (see above).
+	var rederived map[Expr]Type
 	var infer func(Expr) Type
-	memo := map[Expr]Type{}
 	infer = func(e Expr) Type {
 		if rerr != nil {
 			return nil
 		}
-		if t, ok := memo[e]; ok {
-			return t
+		if t := e.CheckedType(); t != nil {
+			switch n := e.(type) {
+			case *Function:
+				if t, ok := rederived[e]; ok {
+					return t
+				}
+				// fall through: re-derive from the current body
+			case *Call:
+				if n.Fn == nil {
+					return t
+				}
+				if t, ok := rederived[e]; ok {
+					return t
+				}
+				// fall through: re-walk the callee
+			default:
+				return t
+			}
 		}
 		var t Type
 		switch n := e.(type) {
@@ -113,7 +147,20 @@ func InferTypes(e Expr) (Type, error) {
 			return nil
 		}
 		e.setCheckedType(t)
-		memo[e] = t
+		switch n := e.(type) {
+		case *Function:
+			if rederived == nil {
+				rederived = make(map[Expr]Type)
+			}
+			rederived[e] = t
+		case *Call:
+			if n.Fn != nil {
+				if rederived == nil {
+					rederived = make(map[Expr]Type)
+				}
+				rederived[e] = t
+			}
+		}
 		return t
 	}
 	t := infer(e)

@@ -242,6 +242,83 @@ func inferConcatenateShapeOnly(arg Type, attrs Attrs) (*TensorType, error) {
 	return &TensorType{Shape: ot.Shape, DType: stripped[0].(*TensorType).DType}, nil
 }
 
+// inferQnnFusedBias validates the optional absorbed bias operand of a fused
+// qnn anchor: a rank-1 int32 vector matching the output-channel count.
+func inferQnnFusedBias(arg Type, channels int, op string) error {
+	bias, err := AsTensorType(arg, op+" bias")
+	if err != nil {
+		return err
+	}
+	if bias.DType != tensor.Int32 {
+		return fmt.Errorf("%s bias must be int32, got %s", op, bias.DType)
+	}
+	if len(bias.Shape) != 1 || bias.Shape[0] != channels {
+		return fmt.Errorf("%s bias shape %s does not match %d output channels", op, bias.Shape, channels)
+	}
+	return nil
+}
+
+// inferQnnFusedOut narrows a fused anchor's int32 accumulator type to the
+// requantized output described by the absorbed requant_* attributes.
+func inferQnnFusedOut(acc *TensorType, attrs Attrs, op string) (Type, error) {
+	if attrs.Float("requant_input_scale", 0) <= 0 || attrs.Float("requant_output_scale", 0) <= 0 {
+		return nil, fmt.Errorf("%s requires positive requant_input_scale and requant_output_scale", op)
+	}
+	dt := tensor.UInt8
+	if s := attrs.Str("requant_out_dtype", ""); s != "" {
+		var err error
+		if dt, err = tensor.ParseDType(s); err != nil {
+			return nil, err
+		}
+	}
+	if !dt.IsQuantized() {
+		return nil, fmt.Errorf("%s requant_out_dtype must be int8/uint8, got %s", op, dt)
+	}
+	q := tensor.QuantParams{
+		Scale:     attrs.Float("requant_output_scale", 0),
+		ZeroPoint: int32(attrs.Int("requant_output_zero_point", 0)),
+	}
+	return &TensorType{Shape: acc.Shape, DType: dt, Quant: &q}, nil
+}
+
+// Fused anchors: qnn.conv2d / qnn.dense with the following bias_add,
+// requantize and activation absorbed into a single launch (the Neuron
+// fusion pass emits these; topi/fused.go holds the kernels). Output is the
+// requantized 8-bit tensor rather than the int32 accumulator.
+func inferQnnConv2DFused(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 2 && len(args) != 3 {
+		return nil, fmt.Errorf("qnn.conv2d_fused expects 2 or 3 args, got %d", len(args))
+	}
+	out, err := inferQnnConv2D(args[:2], attrs)
+	if err != nil {
+		return nil, err
+	}
+	acc := out.(*TensorType)
+	if len(args) == 3 {
+		if err := inferQnnFusedBias(args[2], acc.Shape[3], "qnn.conv2d_fused"); err != nil {
+			return nil, err
+		}
+	}
+	return inferQnnFusedOut(acc, attrs, "qnn.conv2d_fused")
+}
+
+func inferQnnDenseFused(args []Type, attrs Attrs) (Type, error) {
+	if len(args) != 2 && len(args) != 3 {
+		return nil, fmt.Errorf("qnn.dense_fused expects 2 or 3 args, got %d", len(args))
+	}
+	out, err := inferQnnDense(args[:2], attrs)
+	if err != nil {
+		return nil, err
+	}
+	acc := out.(*TensorType)
+	if len(args) == 3 {
+		if err := inferQnnFusedBias(args[2], acc.Shape[1], "qnn.dense_fused"); err != nil {
+			return nil, err
+		}
+	}
+	return inferQnnFusedOut(acc, attrs, "qnn.dense_fused")
+}
+
 var (
 	OpQnnQuantize    = RegisterOp("qnn.quantize", PatternElemWise, inferQnnQuantize)
 	OpQnnDequantize  = RegisterOp("qnn.dequantize", PatternElemWise, inferQnnDequantize)
@@ -250,4 +327,7 @@ var (
 	OpQnnDense       = RegisterOp("qnn.dense", PatternOutEWiseFusable, inferQnnDense)
 	OpQnnAdd         = RegisterOp("qnn.add", PatternBroadcast, inferQnnAdd)
 	OpQnnConcatenate = RegisterOp("qnn.concatenate", PatternInjective, inferQnnConcatenate)
+
+	OpQnnConv2DFused = RegisterOp("qnn.conv2d_fused", PatternOutEWiseFusable, inferQnnConv2DFused)
+	OpQnnDenseFused  = RegisterOp("qnn.dense_fused", PatternOutEWiseFusable, inferQnnDenseFused)
 )

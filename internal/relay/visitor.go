@@ -1,19 +1,53 @@
 package relay
 
+import "sync/atomic"
+
 // This file provides the AST traversal infrastructure the paper's Listing 1
 // is built on: a memoized post-order DFS visitor (TVM's ExprVisitor) and a
 // bottom-up rewriter (TVM's ExprMutator).
+//
+// Visited-sets and rewrite memos normally live on the nodes themselves
+// (exprBase epoch stamps) rather than in interface-keyed maps: traversals
+// run once per pass per build, and map hashing plus incremental growth
+// dominated compile-path profiles. Each traversal draws a fresh epoch, so
+// no clearing is needed between runs. A node holds exactly one stamp, so
+// only the outermost traversal may use it: nested traversals (a visitor
+// callback walking a sub-function) and concurrent traversals detect each
+// other through traversalDepth and fall back to a private map, which keeps
+// them correct at the old cost.
+var (
+	traversalEpoch atomic.Uint64
+	traversalDepth atomic.Int32
+)
+
+// seenFunc returns the visited-check for one traversal: it reports (and
+// records) whether a node was already visited. Outermost traversals use the
+// node epoch stamp; nested or concurrent ones get a map.
+func seenFunc(outermost bool, ep uint64) func(Expr) bool {
+	if outermost {
+		return func(e Expr) bool { return e.stamp(ep) }
+	}
+	visited := map[Expr]bool{}
+	return func(e Expr) bool {
+		if visited[e] {
+			return true
+		}
+		visited[e] = true
+		return false
+	}
+}
 
 // PostOrderVisit calls fn exactly once per reachable node, children before
 // parents. Shared sub-expressions (the IR is a DAG) are visited once.
 func PostOrderVisit(e Expr, fn func(Expr)) {
-	visited := map[Expr]bool{}
+	outermost := traversalDepth.Add(1) == 1
+	defer traversalDepth.Add(-1)
+	seen := seenFunc(outermost, traversalEpoch.Add(1))
 	var walk func(Expr)
 	walk = func(e Expr) {
-		if e == nil || visited[e] {
+		if e == nil || seen(e) {
 			return
 		}
-		visited[e] = true
 		switch n := e.(type) {
 		case *Var, *Constant:
 		case *Call:
@@ -46,13 +80,25 @@ func PostOrderVisit(e Expr, fn func(Expr)) {
 // is rewritten once and both parents reference the same result. Checked types
 // are invalidated on rebuilt nodes; rerun InferType afterwards.
 func Rewrite(e Expr, fn func(Expr) Expr) Expr {
-	memo := map[Expr]Expr{}
+	outermost := traversalDepth.Add(1) == 1
+	defer traversalDepth.Add(-1)
+	var memoGet func(Expr) (Expr, bool)
+	var memoSet func(Expr, Expr)
+	if outermost {
+		ep := traversalEpoch.Add(1)
+		memoGet = func(e Expr) (Expr, bool) { return e.memoGet(ep) }
+		memoSet = func(e, r Expr) { e.memoSet(ep, r) }
+	} else {
+		memo := map[Expr]Expr{}
+		memoGet = func(e Expr) (Expr, bool) { r, ok := memo[e]; return r, ok }
+		memoSet = func(e, r Expr) { memo[e] = r }
+	}
 	var walk func(Expr) Expr
 	walk = func(e Expr) Expr {
 		if e == nil {
 			return nil
 		}
-		if r, ok := memo[e]; ok {
+		if r, ok := memoGet(e); ok {
 			return r
 		}
 		var rebuilt Expr
@@ -106,7 +152,7 @@ func Rewrite(e Expr, fn func(Expr) Expr) Expr {
 			rebuilt = e
 		}
 		out := fn(rebuilt)
-		memo[e] = out
+		memoSet(e, out)
 		return out
 	}
 	return walk(e)
@@ -117,23 +163,27 @@ func Rewrite(e Expr, fn func(Expr) Expr) Expr {
 // uses this to compute the parameter list of a lifted region.
 func FreeVars(e Expr) []*Var {
 	bound := map[*Var]bool{}
-	seen := map[*Var]bool{}
+	vseen := map[*Var]bool{}
 	var free []*Var
-	visited := map[Expr]bool{}
+	outermost := traversalDepth.Add(1) == 1
+	defer traversalDepth.Add(-1)
+	seen := seenFunc(outermost, traversalEpoch.Add(1))
 	var walk func(Expr)
 	walk = func(e Expr) {
-		if e == nil || visited[e] {
+		if e == nil {
 			return
 		}
 		// Vars may legitimately be revisited (no early-out for them); for
 		// all other nodes, memoize.
 		if _, isVar := e.(*Var); !isVar {
-			visited[e] = true
+			if seen(e) {
+				return
+			}
 		}
 		switch n := e.(type) {
 		case *Var:
-			if !bound[n] && !seen[n] {
-				seen[n] = true
+			if !bound[n] && !vseen[n] {
+				vseen[n] = true
 				free = append(free, n)
 			}
 		case *Constant:

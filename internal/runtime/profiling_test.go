@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/race"
 	"repro/internal/runtime"
 	"repro/internal/soc"
 )
@@ -153,6 +154,9 @@ func TestTraceSpans(t *testing.T) {
 // module that was profiled and then switched off allocates exactly as much
 // per Run as one that never profiled.
 func TestProfilingOffAddsZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is nondeterministic under the race detector")
+	}
 	_, never := buildEmotion(t, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
 	never.SetExecutor(runtime.ExecutorPlanned)
 	if err := never.Run(); err != nil { // warm up plan state + arena

@@ -39,6 +39,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/soc"
 	"repro/internal/tensor"
+	"repro/internal/topi"
 )
 
 // Typed admission errors (the HTTP layer maps these to status codes).
@@ -166,7 +167,7 @@ type Server struct {
 
 // NewServer returns an empty server; register models before serving.
 func NewServer() *Server {
-	return &Server{
+	s := &Server{
 		endpoints: map[string]*endpoint{},
 		drainCh:   make(chan struct{}),
 		locks:     &pipeline.DeviceLocks{},
@@ -175,6 +176,10 @@ func NewServer() *Server {
 		metrics:   obs.NewRegistry(),
 		tracer:    obs.NewTracer(0),
 	}
+	// Surface per-kernel launch counts and cumulative kernel time on
+	// /metricsz alongside the serving metrics.
+	topi.EnableKernelMetrics(s.metrics)
+	return s
 }
 
 // Timeline exposes the shared virtual timeline (per-device busy accounting

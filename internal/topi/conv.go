@@ -1,8 +1,6 @@
 package topi
 
 import (
-	"fmt"
-
 	"repro/internal/parallel"
 	"repro/internal/relay"
 	"repro/internal/tensor"
@@ -95,7 +93,6 @@ func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 	p := convParams(attrs)
 	zpIn := int32(attrs.Int("input_zero_point", 0))
 	zpK := int32(attrs.Int("kernel_zero_point", 0))
-	res := output(dstBuf, out)
 
 	n := data.Shape[0]
 	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
@@ -103,12 +100,27 @@ func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 	oh, ow := out.Shape[1], out.Shape[2]
 	ocg := oc / p.groups
 
-	din, err := rawI32View(data)
-	if err != nil {
+	// Compute-heavy shapes take the im2col + int32 GEMM path; integer
+	// accumulation is associative, so both paths are bitwise identical.
+	if int64(n)*int64(oh)*int64(ow)*int64(oc)*int64(kh*kw*icg) >= im2colThreshold {
+		return conv2DQnnIm2col(data, weight, p, zpIn, zpK, out, dstBuf)
+	}
+	res := output(dstBuf, out)
+
+	// Widen both operands once into pooled (raw − zp) scratch: the inner
+	// loop then runs multiply-accumulate only, and the kernel allocates
+	// nothing in steady state.
+	dinP := getScratchI32(data.Elems())
+	din := *dinP
+	if err := rawMinusZp(din, data, zpIn); err != nil {
+		putScratchI32(dinP)
 		return nil, err
 	}
-	wt, err := rawI32View(weight)
-	if err != nil {
+	wtP := getScratchI32(weight.Elems())
+	wt := *wtP
+	if err := rawMinusZp(wt, weight, zpK); err != nil {
+		putScratchI32(dinP)
+		putScratchI32(wtP)
 		return nil, err
 	}
 	dout := res.I32()
@@ -135,7 +147,7 @@ func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 							inBase := ((b*h+iy)*w+ix)*c + g*icg
 							wBase := ((o*kh+ky)*kw + kx) * icg
 							for ic := 0; ic < icg; ic++ {
-								acc += (din[inBase+ic] - zpIn) * (wt[wBase+ic] - zpK)
+								acc += din[inBase+ic] * wt[wBase+ic]
 							}
 						}
 					}
@@ -148,31 +160,9 @@ func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 			}
 		}
 	})
+	putScratchI32(dinP)
+	putScratchI32(wtP)
 	return res, nil
-}
-
-// rawI32View widens an 8-bit quantized tensor into an int32 slice once, so
-// the inner convolution loop avoids per-element interface dispatch.
-func rawI32View(t *tensor.Tensor) ([]int32, error) {
-	switch t.DType {
-	case tensor.UInt8:
-		src := t.U8()
-		out := make([]int32, len(src))
-		for i, v := range src {
-			out[i] = int32(v)
-		}
-		return out, nil
-	case tensor.Int8:
-		src := t.I8()
-		out := make([]int32, len(src))
-		for i, v := range src {
-			out[i] = int32(v)
-		}
-		return out, nil
-	case tensor.Int32:
-		return t.I32(), nil
-	}
-	return nil, fmt.Errorf("quantized kernel on %s tensor", t.DType)
 }
 
 func denseF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
@@ -183,20 +173,11 @@ func denseF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, d
 	res := output(dstBuf, out)
 	n, k := data.Shape[0], data.Shape[1]
 	units := weight.Shape[0]
-	din := data.F32()
-	wt := weight.F32()
-	dout := res.F32()
-	parallel.For(n*units, func(job int) {
-		row := job / units
-		u := job % units
-		var acc float32
-		db := row * k
-		wb := u * k
-		for i := 0; i < k; i++ {
-			acc += din[db+i] * wt[wb+i]
-		}
-		dout[row*units+u] = acc
-	})
+	// nn.dense is GEMM by definition: rows of data against rows of weight.
+	// The packed panels come from the per-weight cache; tile parallelism
+	// inside gemmF32 draws on the shared worker budget.
+	pw := packedConvWeightF32(weight, units, k, 1)
+	gemmF32(n, units, k, data.F32(), k, pw.data, res.F32(), units)
 	return res, nil
 }
 
@@ -210,26 +191,18 @@ func qnnDense(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, d
 	res := output(dstBuf, out)
 	n, k := data.Shape[0], data.Shape[1]
 	units := weight.Shape[0]
-	din, err := rawI32View(data)
+	pw, err := packedConvWeightI32(weight, units, k, 1, zpK)
 	if err != nil {
 		return nil, err
 	}
-	wt, err := rawI32View(weight)
-	if err != nil {
+	dinP := getScratchI32(n * k)
+	din := *dinP
+	if err := rawMinusZp(din, data, zpIn); err != nil {
+		putScratchI32(dinP)
 		return nil, err
 	}
-	dout := res.I32()
-	parallel.For(n*units, func(job int) {
-		row := job / units
-		u := job % units
-		var acc int32
-		db := row * k
-		wb := u * k
-		for i := 0; i < k; i++ {
-			acc += (din[db+i] - zpIn) * (wt[wb+i] - zpK)
-		}
-		dout[row*units+u] = acc
-	})
+	gemmI32(n, units, k, din, k, pw.data, res.I32(), units)
+	putScratchI32(dinP)
 	return res, nil
 }
 

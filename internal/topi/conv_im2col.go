@@ -9,14 +9,17 @@ import (
 // im2col + GEMM convolution path. The direct kernel's inner loops carry
 // per-tap bounds checks and strided reads; for compute-heavy shapes it pays
 // to materialize the patch matrix once per output-row tile and reduce the
-// problem to dense dot products over contiguous memory. The dispatcher in
-// conv.go selects this path when the arithmetic volume amortizes the packing
-// cost.
+// problem to a register-tiled GEMM over contiguous panels (gemm.go). The
+// dispatcher in conv.go selects this path when the arithmetic volume
+// amortizes the packing cost.
 
 // im2colThreshold is the MAC volume above which packing pays off.
 const im2colThreshold = 1 << 20
 
-// conv2DF32Im2col computes the same result as the direct kernel.
+// conv2DF32Im2col computes the same result as the direct kernel: each output
+// row's patches are packed into a col matrix (one row per output pixel,
+// k = kh·kw·icg contiguous elements), then multiplied against the cached
+// weight panels by the blocked GEMM.
 func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.TensorType, dstBuf *tensor.Tensor) *tensor.Tensor {
 	res := output(dstBuf, out)
 	n := data.Shape[0]
@@ -27,12 +30,13 @@ func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.Ten
 	k := kh * kw * icg
 
 	din := data.F32()
-	wt := weight.F32()
 	dout := res.F32()
+	pw := packedConvWeightF32(weight, oc, k, p.groups)
 
 	// Parallelize over (batch × output row); each worker packs one row of
-	// output pixels into a col buffer and multiplies it against the weight
-	// rows of every group.
+	// output pixels into a col buffer and GEMMs it against every group's
+	// weight panels. Nested GEMM tile parallelism degrades to serial here
+	// because this loop already holds the worker-budget tokens.
 	parallel.ForChunked(n*oh, func(lo, hi int) {
 		colP := getScratchF32(ow * k) // one output row's patches, per group
 		defer putScratchF32(colP)
@@ -63,19 +67,83 @@ func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.Ten
 						}
 					}
 				}
-				// GEMM: for each output pixel row, dot against each filter.
-				for ox := 0; ox < ow; ox++ {
-					patch := col[ox*k : (ox+1)*k]
-					outBase := ((b*oh+oy)*ow+ox)*oc + g*ocg
-					for f := 0; f < ocg; f++ {
-						wRow := wt[(g*ocg+f)*k : (g*ocg+f+1)*k]
-						dout[outBase+f] = dotF32(patch, wRow)
-					}
-				}
+				gemmF32(ow, ocg, k, col, k, pw.group(g, ocg),
+					dout[((b*oh+oy)*ow)*oc+g*ocg:], oc)
 			}
 		}
 	})
 	return res
+}
+
+// conv2DQnnIm2col is the quantized analogue: the data tensor is widened once
+// into (raw − zp_in) int32 scratch, packed per output row, and reduced by the
+// int32 GEMM against cached (raw − zp_k) weight panels. Integer accumulation
+// is associative, so the result is bitwise identical to the direct kernel.
+func conv2DQnnIm2col(data, weight *tensor.Tensor, p conv2dParams, zpIn, zpK int32, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
+	res := output(dstBuf, out)
+	n := data.Shape[0]
+	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
+	oc, kh, kw, icg := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	ocg := oc / p.groups
+	k := kh * kw * icg
+
+	pw, err := packedConvWeightI32(weight, oc, k, p.groups, zpK)
+	if err != nil {
+		return nil, err
+	}
+	dinP := getScratchI32(data.Elems())
+	din := *dinP
+	if err := rawMinusZp(din, data, zpIn); err != nil {
+		putScratchI32(dinP)
+		return nil, err
+	}
+	dout := res.I32()
+
+	parallel.ForChunked(n*oh, func(lo, hi int) {
+		colP := getScratchI32(ow * k)
+		defer putScratchI32(colP)
+		col := *colP
+		for job := lo; job < hi; job++ {
+			b := job / oh
+			oy := job % oh
+			for g := 0; g < p.groups; g++ {
+				packColI32(col, din, p, b, oy, g, h, w, c, kh, kw, icg, ow, k)
+				gemmI32(ow, ocg, k, col, k, pw.group(g, ocg),
+					dout[((b*oh+oy)*ow)*oc+g*ocg:], oc)
+			}
+		}
+	})
+	putScratchI32(dinP)
+	return res, nil
+}
+
+// packColI32 packs one output row's im2col patches for group g from the
+// pre-widened (raw − zp_in) data into col[ox*k + (ky*kw+kx)*icg + ic].
+// Padding contributes (zp_in − zp_in) = 0, so zero-filling the
+// pre-subtracted col matches the QNN pad-with-zp convention exactly.
+func packColI32(col, din []int32, p conv2dParams, b, oy, g, h, w, c, kh, kw, icg, ow, k int) {
+	for ox := 0; ox < ow; ox++ {
+		base := ox * k
+		for ky := 0; ky < kh; ky++ {
+			iy := oy*p.sh - p.pad[0] + ky*p.dh
+			rowBase := base + ky*kw*icg
+			if iy < 0 || iy >= h {
+				zeroI32(col[rowBase : rowBase+kw*icg])
+				continue
+			}
+			for kx := 0; kx < kw; kx++ {
+				ix := ox*p.sw - p.pad[1] + kx*p.dw
+				dst := col[rowBase+kx*icg : rowBase+(kx+1)*icg]
+				if ix < 0 || ix >= w {
+					zeroI32(dst)
+					continue
+				}
+				src := din[((b*h+iy)*w+ix)*c+g*icg:]
+				copy(dst, src[:icg])
+			}
+		}
+	}
 }
 
 func zero(s []float32) {
@@ -84,19 +152,8 @@ func zero(s []float32) {
 	}
 }
 
-// dotF32 is a 4-way unrolled dot product over equal-length slices.
-func dotF32(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
+func zeroI32(s []int32) {
+	for i := range s {
+		s[i] = 0
 	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
-	}
-	return s
 }

@@ -23,7 +23,7 @@ func unaryF32(name string, f func(float32) float32) {
 		}
 		res := output(dstBuf, out)
 		src, dst := in.F32(), res.F32()
-		parallel.ForChunked(len(src), func(lo, hi int) {
+		parallel.ForElems(len(src), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				dst[i] = f(src[i])
 			}
@@ -88,7 +88,7 @@ func binaryF32(name string, f func(a, b float32) float32) {
 		if a.Shape.Equal(b.Shape) {
 			// Fast path: element-wise, no index math.
 			as, bs, dst := a.F32(), b.F32(), res.F32()
-			parallel.ForChunked(len(dst), func(lo, hi int) {
+			parallel.ForElems(len(dst), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					dst[i] = f(as[i], bs[i])
 				}
@@ -97,7 +97,7 @@ func binaryF32(name string, f func(a, b float32) float32) {
 		}
 		bcast := newBroadcaster(a.Shape, b.Shape, out.Shape)
 		as, bs, dst := a.F32(), b.F32(), res.F32()
-		parallel.ForChunked(len(dst), func(lo, hi int) {
+		parallel.ForElems(len(dst), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				ia, ib := bcast.index(i)
 				dst[i] = f(as[ia], bs[ib])
@@ -174,7 +174,7 @@ func biasAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, ds
 	switch data.DType {
 	case tensor.Float32:
 		src, dst, bv := data.F32(), res.F32(), bias.F32()
-		parallel.ForChunked(len(src), func(lo, hi int) {
+		parallel.ForElems(len(src), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				dst[i] = src[i] + bv[(i/inner)%c]
 			}
@@ -209,7 +209,7 @@ func batchNorm(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 		scale[ch] = s
 		shift[ch] = bt[ch] - mn[ch]*s
 	}
-	parallel.ForChunked(len(src), func(lo, hi int) {
+	parallel.ForElems(len(src), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ch := i % c
 			dst[i] = src[i]*scale[ch] + shift[ch]
@@ -261,7 +261,7 @@ func clipKernel(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType,
 	if in.DType == tensor.Float32 {
 		src, dst := in.F32(), res.F32()
 		flo, fhi := float32(lo), float32(hi)
-		parallel.ForChunked(len(src), func(l, h int) {
+		parallel.ForElems(len(src), func(l, h int) {
 			for i := l; i < h; i++ {
 				v := src[i]
 				if v < flo {
@@ -329,7 +329,7 @@ func leakyReLU(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 	in := args[0]
 	res := output(dstBuf, out)
 	src, dst := in.F32(), res.F32()
-	parallel.ForChunked(len(src), func(lo, hi int) {
+	parallel.ForElems(len(src), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := src[i]
 			if v < 0 {

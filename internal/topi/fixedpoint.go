@@ -1,0 +1,144 @@
+package topi
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Fixed-point requantization. The reference semantics of qnn.requantize are
+//
+//	q_out = roundHalfAwayF(float64(q_in − zp_in) · ratio) + zp_out
+//
+// with ratio = input_scale/output_scale evaluated in float64. A fixedMultiplier
+// reproduces that per-element float64 round-trip exactly in integer arithmetic:
+//
+//   - ratio is decomposed once as m·2^e with m the 53-bit significand
+//     (math.Frexp), so float64(x)·ratio is the real number |x|·m·2^e rounded
+//     to 53 significant bits with round-to-nearest-even — IEEE754 semantics.
+//   - per element, |x|·m is formed exactly as a 128-bit product (bits.Mul64;
+//     |x| ≤ 2³¹ and m < 2⁵³ keep it under 2⁸⁴), then rounded to 53 bits with
+//     the same nearest-even rule, mirroring the double multiply bit for bit.
+//   - the resulting q·2^t is rounded half-away-from-zero at the binary point
+//     the same way roundHalfAwayF does it — add 0.5 (emulating the float64
+//     addition's own nearest-even rounding), truncate — and the sign is
+//     reapplied; round-half-away is symmetric, so computing on |x| is exact.
+//
+// The equivalence is pinned over the full multiplier range by
+// TestFixedMultiplierMatchesFloat (fixedpoint_test.go). Inputs outside the
+// guaranteed envelope — non-positive or non-normal ratios, or magnitudes
+// that could overflow int32 — keep ok=false / fall back to the float64 path,
+// so behaviour is unchanged where the fast path does not apply.
+type fixedMultiplier struct {
+	m     uint64  // 53-bit significand of ratio, in [2⁵², 2⁵³)
+	e     int     // ratio = m · 2^e
+	ratio float64 // original value, for the fallback path
+	ok    bool    // false → always use the float64 fallback
+}
+
+func newFixedMultiplier(ratio float64) fixedMultiplier {
+	f := fixedMultiplier{ratio: ratio}
+	if !(ratio > 0) || math.IsInf(ratio, 0) {
+		return f // zero, negative, NaN, Inf: float64 path
+	}
+	fr, exp := math.Frexp(ratio) // ratio = fr·2^exp, fr ∈ [0.5,1)
+	m := uint64(math.Ldexp(fr, 53))
+	if m < 1<<52 { // subnormal ratio: fewer than 53 significand bits
+		return f
+	}
+	// Keep the guaranteed-exact envelope: extreme exponents could underflow
+	// the double's subnormal range mid-computation.
+	if exp < -900 || exp > 900 {
+		return f
+	}
+	f.m, f.e, f.ok = m, exp-53, true
+	return f
+}
+
+// apply returns roundHalfAwayF(float64(x)·ratio), bit-exact with the float64
+// reference for every int32 x whose result fits int32.
+//
+//np:hotpath
+func (f fixedMultiplier) apply(x int32) int32 {
+	if !f.ok {
+		return roundHalfAwayF(float64(x) * f.ratio)
+	}
+	neg := x < 0
+	ax := uint64(x)
+	if neg {
+		ax = uint64(-int64(x))
+	}
+	if ax == 0 {
+		return 0
+	}
+	// Exact product P = |x|·m < 2⁸⁴ as (hi,lo).
+	hi, lo := bits.Mul64(ax, f.m)
+	// Round P to 53 significant bits with nearest-even: q·2^s == RN(P).
+	bl := 128 - bits.LeadingZeros64(hi)
+	if hi == 0 {
+		bl = 64 - bits.LeadingZeros64(lo)
+	}
+	q := lo
+	s := 0
+	if bl > 53 {
+		s = bl - 53 // ≤ 31, since bl ≤ 84
+		q = hi<<(64-uint(s)) | lo>>uint(s)
+		rem := lo & (1<<uint(s) - 1)
+		half := uint64(1) << uint(s-1)
+		if rem > half || (rem == half && q&1 == 1) {
+			q++
+			if q == 1<<53 { // carry into a new bit: renormalize
+				q >>= 1
+				s++
+			}
+		}
+	}
+	// Value is q·2^t; round half-away at the binary point.
+	t := f.e + s
+	var r uint64
+	switch {
+	case t >= 0:
+		// Magnitude ≥ q ≥ 2⁵² unless bl ≤ 53; overflow risk → fallback so the
+		// out-of-range conversion behaves exactly like the float64 path.
+		if t >= 64 || bits.Len64(q)+t > 31 {
+			return roundHalfAwayF(float64(x) * f.ratio)
+		}
+		r = q << uint(t)
+	case t <= -64:
+		return 0 // |value| < 2⁵³·2⁻⁶⁴ < 2⁻¹¹ → rounds to 0
+	default:
+		// roundHalfAwayF computes int32(d ± 0.5): the float64 addition is
+		// itself a rounding step when |d|+0.5 needs more than 53 bits, so
+		// emulate it exactly: form S·2⁻ˢʰⁱᶠᵗ = |d|+0.5 as an exact integer
+		// scaled value, round S to 53 bits nearest-even, then truncate
+		// toward zero like the int32 conversion does.
+		shift := uint(-t)
+		S := q + 1<<(shift-1) // exact: q < 2⁵³, shift ≤ 63 → S < 2⁶³
+		if bl2 := bits.Len64(S); bl2 > 53 {
+			s2 := uint(bl2 - 53)
+			rem := S & (1<<s2 - 1)
+			half := uint64(1) << (s2 - 1)
+			S >>= s2
+			if rem > half || (rem == half && S&1 == 1) {
+				S++
+				if S == 1<<53 {
+					S >>= 1
+					s2++
+				}
+			}
+			if s2 >= shift {
+				r = S << (s2 - shift)
+			} else {
+				r = S >> (shift - s2)
+			}
+		} else {
+			r = S >> shift
+		}
+		if bits.Len64(r) > 31 {
+			return roundHalfAwayF(float64(x) * f.ratio)
+		}
+	}
+	if neg {
+		return int32(-int64(r))
+	}
+	return int32(r)
+}

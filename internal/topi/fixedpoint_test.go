@@ -1,0 +1,128 @@
+package topi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refRequant is the float64 reference the fixed-point path must reproduce
+// bit for bit.
+func refRequant(x int32, ratio float64) int32 {
+	return roundHalfAwayF(float64(x) * ratio)
+}
+
+// edge int32 inputs every multiplier is checked against.
+var fixedPointEdgeInputs = []int32{
+	0, 1, -1, 2, -2, 127, -128, 255, 32767, -32768,
+	1 << 20, -(1 << 20), 1<<31 - 1, -(1 << 31), -(1<<31 - 1),
+	3, 5, 7, 11, 101, -101, 12345, -54321,
+}
+
+func checkMultiplier(t *testing.T, ratio float64, xs []int32) {
+	t.Helper()
+	fm := newFixedMultiplier(ratio)
+	for _, x := range xs {
+		want := refRequant(x, ratio)
+		got := fm.apply(x)
+		if got != want {
+			t.Fatalf("ratio=%v (m=%#x e=%d ok=%v) x=%d: fixed=%d float=%d",
+				ratio, fm.m, fm.e, fm.ok, x, got, want)
+		}
+	}
+}
+
+// The equivalence must hold over the full multiplier range: random 53-bit
+// significands across the exponent range that can matter for an int32 input
+// (ratios from ~1e-12 to ~1e12) and the full int32 input range.
+func TestFixedMultiplierMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		// Random significand in [0.5, 1), random exponent in [-40, 40].
+		fr := 0.5 + rng.Float64()/2
+		exp := rng.Intn(81) - 40
+		ratio := math.Ldexp(fr, exp)
+		xs := make([]int32, 0, len(fixedPointEdgeInputs)+8)
+		xs = append(xs, fixedPointEdgeInputs...)
+		for i := 0; i < 8; i++ {
+			xs = append(xs, int32(rng.Uint32()))
+		}
+		checkMultiplier(t, ratio, xs)
+	}
+}
+
+// Ratios that exercise exact ties at the binary point: powers of two and
+// small dyadic rationals produce x·ratio values landing exactly on .5.
+func TestFixedMultiplierTies(t *testing.T) {
+	for _, ratio := range []float64{
+		0.5, 0.25, 0.125, 1.0 / 1024, 1.5, 0.75, 3.0 / 8, 2, 4, 1024,
+	} {
+		xs := make([]int32, 0, 4096)
+		for x := int32(-1024); x <= 1024; x++ {
+			xs = append(xs, x)
+		}
+		xs = append(xs, fixedPointEdgeInputs...)
+		checkMultiplier(t, ratio, xs)
+	}
+}
+
+// Realistic requantize ratios from 8-bit model scales.
+func TestFixedMultiplierModelScales(t *testing.T) {
+	scales := []float64{0.003921568859368563, 0.0235294122248888, 0.1,
+		1.0 / 127, 2.0 / 255, 0.017429193854331970, 6.0 / 255}
+	var xs []int32
+	for x := int32(-70000); x <= 70000; x += 7 {
+		xs = append(xs, x)
+	}
+	for _, in := range scales {
+		for _, out := range scales {
+			checkMultiplier(t, in/out, xs)
+		}
+	}
+}
+
+// Degenerate multipliers must take the (identical) float64 fallback rather
+// than produce garbage.
+func TestFixedMultiplierFallbacks(t *testing.T) {
+	for _, ratio := range []float64{0, -1.5, math.Inf(1), math.NaN(),
+		math.SmallestNonzeroFloat64, math.Ldexp(1, -1050), math.Ldexp(1, 1000)} {
+		fm := newFixedMultiplier(ratio)
+		for _, x := range fixedPointEdgeInputs {
+			want := refRequant(x, ratio)
+			if got := fm.apply(x); got != want {
+				t.Fatalf("ratio=%v x=%d: fixed=%d float=%d (ok=%v)", ratio, x, got, want, fm.ok)
+			}
+		}
+	}
+}
+
+// Results that overflow int32 must go through the same conversion code path
+// as the reference (implementation-defined in Go, but identical because it
+// is literally the same expression).
+func TestFixedMultiplierOverflowConsistency(t *testing.T) {
+	for _, ratio := range []float64{1e6, 123456.789, 3.0, 65536.0} {
+		var xs []int32
+		for _, x := range fixedPointEdgeInputs {
+			xs = append(xs, x)
+		}
+		checkMultiplier(t, ratio, xs)
+	}
+}
+
+func BenchmarkRequantFixedVsFloat(b *testing.B) {
+	fm := newFixedMultiplier(0.0235294122248888 / 0.1)
+	b.Run("fixed", func(b *testing.B) {
+		var acc int32
+		for i := 0; i < b.N; i++ {
+			acc += fm.apply(int32(i&0xffff) - 32768)
+		}
+		_ = acc
+	})
+	b.Run("float", func(b *testing.B) {
+		var acc int32
+		for i := 0; i < b.N; i++ {
+			acc += refRequant(int32(i&0xffff)-32768, fm.ratio)
+		}
+		_ = acc
+	})
+}

@@ -1,0 +1,485 @@
+package topi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Cache-blocked, register-tiled GEMM backing the im2col convolution and
+// dense/matmul paths. The computation is C[i][j] = Σ_k A[i][k]·B[j][k]
+// (B holds filter rows, so the reduction runs over two row-major operands
+// with contiguous K) — exactly the shape im2col produces.
+//
+// Blocking scheme:
+//
+//   - Both operands are repacked into register-tile panels: A into
+//     gemmMR-row panels interleaved by k (panel layout ap[(it·k+kk)·MR+i]),
+//     B into gemmNR-row panels (bp[(jt·k+kk)·NR+j]). The microkernel then
+//     reads both operands as two forward streams, which removes all index
+//     arithmetic and bounds checks from the inner loop.
+//   - The microkernel keeps a full MR×NR accumulator tile in registers and
+//     runs the K loop unblocked. Each output cell owns exactly one
+//     accumulator that sums k in ascending order, so the result is
+//     bit-identical to the naive single-accumulator dot product — the
+//     property the GEMM equivalence tests pin (gemm_test.go).
+//   - Weight panels are immutable per model, so packRHS results are cached
+//     per weight tensor (gemmWeightCache below): steady-state inference
+//     repacks only the activation side.
+//
+// Parallelism: the driver splits N-panel tiles across parallel.ForChunked,
+// which draws from the shared inter/intra-op token budget. Called from
+// inside an already-parallel conv row loop the budget is exhausted and the
+// tiles run serially on the caller; called at top level (dense layers) the
+// tiles fan out across the free workers.
+
+// Register tile shape. 4×2 keeps the working set — MR·NR accumulators plus
+// MR+NR operand temporaries — at 14 values, inside amd64's 16 XMM/GPR
+// registers; a 4×4 tile (24 values) spills half its accumulators to the
+// stack on every k iteration and benches measurably slower on the im2col
+// GEMM.
+const (
+	gemmMR = 4 // rows of A per register tile
+	gemmNR = 2 // rows of B (output channels) per register tile
+)
+
+func gemmTiles(x, tile int) int { return (x + tile - 1) / tile }
+
+// packLHSF32 packs m rows of k elements (row stride lda) into MR-interleaved
+// panels; tail rows of the last panel are zero-filled (they are computed but
+// never written back).
+func packLHSF32(dst, a []float32, m, k, lda int) {
+	mt := gemmTiles(m, gemmMR)
+	for it := 0; it < mt; it++ {
+		base := it * k * gemmMR
+		for i := 0; i < gemmMR; i++ {
+			row := it*gemmMR + i
+			if row >= m {
+				for kk := 0; kk < k; kk++ {
+					dst[base+kk*gemmMR+i] = 0
+				}
+				continue
+			}
+			src := a[row*lda : row*lda+k]
+			for kk, v := range src {
+				dst[base+kk*gemmMR+i] = v
+			}
+		}
+	}
+}
+
+// packRHSF32 packs n rows of k elements (row stride ldb) into NR-interleaved
+// panels, zero-filling tail rows.
+func packRHSF32(dst, b []float32, n, k, ldb int) {
+	nt := gemmTiles(n, gemmNR)
+	for jt := 0; jt < nt; jt++ {
+		base := jt * k * gemmNR
+		for j := 0; j < gemmNR; j++ {
+			row := jt*gemmNR + j
+			if row >= n {
+				for kk := 0; kk < k; kk++ {
+					dst[base+kk*gemmNR+j] = 0
+				}
+				continue
+			}
+			src := b[row*ldb : row*ldb+k]
+			for kk, v := range src {
+				dst[base+kk*gemmNR+j] = v
+			}
+		}
+	}
+}
+
+// gemmMicroF32 computes one MR×NR register tile over the full K extent. ap
+// and bp must be exactly k·MR and k·NR long; the slice-advance loop lets the
+// compiler elide every bounds check. One accumulator per cell, k ascending:
+// bit-identical to the naive dot product.
+//
+//np:hotpath
+func gemmMicroF32(ap, bp []float32) (acc [gemmMR * gemmNR]float32) {
+	var c00, c01 float32
+	var c10, c11 float32
+	var c20, c21 float32
+	var c30, c31 float32
+	// K unrolled ×4: the slice-advance bookkeeping (~12 integer ops) then
+	// amortizes over 32 MACs instead of 8. Each accumulator still sums its
+	// k products in ascending order, so unrolling cannot change the result.
+	for len(ap) >= 4*gemmMR && len(bp) >= 4*gemmNR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[4], ap[5], ap[6], ap[7]
+		b0, b1 = bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[8], ap[9], ap[10], ap[11]
+		b0, b1 = bp[4], bp[5]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[12], ap[13], ap[14], ap[15]
+		b0, b1 = bp[6], bp[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[4*gemmMR:]
+		bp = bp[4*gemmNR:]
+	}
+	for len(ap) >= gemmMR && len(bp) >= gemmNR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[gemmMR:]
+		bp = bp[gemmNR:]
+	}
+	acc[0], acc[1] = c00, c01
+	acc[2], acc[3] = c10, c11
+	acc[4], acc[5] = c20, c21
+	acc[6], acc[7] = c30, c31
+	return acc
+}
+
+// gemmF32 computes C[i·ldc+j] = Σ_k A[i·lda+k]·Bp[j][k] for i<m, j<n, where
+// bpack holds B pre-packed by packRHSF32 (or the weight cache). Overwrite
+// semantics; each cell's reduction is bit-identical to the naive loop.
+func gemmF32(m, n, k int, a []float32, lda int, bpack []float32, c []float32, ldc int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	mt := gemmTiles(m, gemmMR)
+	nt := gemmTiles(n, gemmNR)
+	apP := getScratchF32(mt * gemmMR * k)
+	ap := *apP
+	packLHSF32(ap, a, m, k, lda)
+	parallel.ForChunked(nt, func(jtLo, jtHi int) {
+		for jt := jtLo; jt < jtHi; jt++ {
+			bp := bpack[jt*k*gemmNR : (jt+1)*k*gemmNR]
+			nj := n - jt*gemmNR
+			if nj > gemmNR {
+				nj = gemmNR
+			}
+			for it := 0; it < mt; it++ {
+				acc := gemmMicroF32(ap[it*k*gemmMR:(it+1)*k*gemmMR], bp)
+				mi := m - it*gemmMR
+				if mi > gemmMR {
+					mi = gemmMR
+				}
+				for i := 0; i < mi; i++ {
+					row := c[(it*gemmMR+i)*ldc+jt*gemmNR:]
+					for j := 0; j < nj; j++ {
+						row[j] = acc[i*gemmNR+j]
+					}
+				}
+			}
+		}
+	})
+	putScratchF32(apP)
+}
+
+// ---- int32 variant (quantized conv/dense accumulators) ----
+
+// packLHSI32 packs m rows of k int32 elements into MR-interleaved panels.
+func packLHSI32(dst, a []int32, m, k, lda int) {
+	mt := gemmTiles(m, gemmMR)
+	for it := 0; it < mt; it++ {
+		base := it * k * gemmMR
+		for i := 0; i < gemmMR; i++ {
+			row := it*gemmMR + i
+			if row >= m {
+				for kk := 0; kk < k; kk++ {
+					dst[base+kk*gemmMR+i] = 0
+				}
+				continue
+			}
+			src := a[row*lda : row*lda+k]
+			for kk, v := range src {
+				dst[base+kk*gemmMR+i] = v
+			}
+		}
+	}
+}
+
+// gemmMicroI32 is the int32 register tile. Integer addition is associative,
+// so any evaluation order is bitwise-exact.
+//
+//np:hotpath
+func gemmMicroI32(ap, bp []int32) (acc [gemmMR * gemmNR]int32) {
+	var c00, c01 int32
+	var c10, c11 int32
+	var c20, c21 int32
+	var c30, c31 int32
+	// Same ×4 K unroll as the f32 kernel; integer addition is associative,
+	// so evaluation order is irrelevant to the (exact) result anyway.
+	for len(ap) >= 4*gemmMR && len(bp) >= 4*gemmNR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[4], ap[5], ap[6], ap[7]
+		b0, b1 = bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[8], ap[9], ap[10], ap[11]
+		b0, b1 = bp[4], bp[5]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[12], ap[13], ap[14], ap[15]
+		b0, b1 = bp[6], bp[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[4*gemmMR:]
+		bp = bp[4*gemmNR:]
+	}
+	for len(ap) >= gemmMR && len(bp) >= gemmNR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[gemmMR:]
+		bp = bp[gemmNR:]
+	}
+	acc[0], acc[1] = c00, c01
+	acc[2], acc[3] = c10, c11
+	acc[4], acc[5] = c20, c21
+	acc[6], acc[7] = c30, c31
+	return acc
+}
+
+// gemmI32 is the memory-writing int32 driver (overwrite semantics), with the
+// same N-tile parallelism as gemmF32.
+func gemmI32(m, n, k int, a []int32, lda int, bpack []int32, c []int32, ldc int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	mt := gemmTiles(m, gemmMR)
+	nt := gemmTiles(n, gemmNR)
+	apP := getScratchI32(mt * gemmMR * k)
+	ap := *apP
+	packLHSI32(ap, a, m, k, lda)
+	parallel.ForChunked(nt, func(jtLo, jtHi int) {
+		for jt := jtLo; jt < jtHi; jt++ {
+			bp := bpack[jt*k*gemmNR : (jt+1)*k*gemmNR]
+			nj := n - jt*gemmNR
+			if nj > gemmNR {
+				nj = gemmNR
+			}
+			for it := 0; it < mt; it++ {
+				acc := gemmMicroI32(ap[it*k*gemmMR:(it+1)*k*gemmMR], bp)
+				mi := m - it*gemmMR
+				if mi > gemmMR {
+					mi = gemmMR
+				}
+				for i := 0; i < mi; i++ {
+					row := c[(it*gemmMR+i)*ldc+jt*gemmNR:]
+					for j := 0; j < nj; j++ {
+						row[j] = acc[i*gemmNR+j]
+					}
+				}
+			}
+		}
+	})
+	putScratchI32(apP)
+}
+
+// ---- packed weight caches ----
+//
+// Convolution and dense weights are module constants: pack them once per
+// weight tensor and reuse the panels for every inference. Keyed by tensor
+// identity, so entries live exactly as long as the module that owns the
+// weights; a key collision (same tensor used with different grouping or
+// zero point — which real models never do) falls back to an uncached pack.
+
+type packedWeightF32 struct {
+	groups, k int
+	data      []float32 // groups · ceil(ocg/NR)·NR · k
+}
+
+type packedWeightI32 struct {
+	groups, k int
+	zp        int32
+	data      []int32
+}
+
+var (
+	gemmWeightF32 sync.Map // *tensor.Tensor -> *packedWeightF32
+	gemmWeightI32 sync.Map // *tensor.Tensor -> *packedWeightI32
+)
+
+// groupPanelLen returns the packed length of one group's panels.
+func groupPanelLen(ocg, k, nr int) int { return gemmTiles(ocg, nr) * nr * k }
+
+func buildPackedWeightF32(w []float32, oc, k, groups int) *packedWeightF32 {
+	ocg := oc / groups
+	glen := groupPanelLen(ocg, k, gemmNR)
+	pw := &packedWeightF32{groups: groups, k: k, data: make([]float32, groups*glen)}
+	for g := 0; g < groups; g++ {
+		packRHSF32(pw.data[g*glen:(g+1)*glen], w[g*ocg*k:], ocg, k, k)
+	}
+	return pw
+}
+
+// group returns the panel slice for group g.
+func (pw *packedWeightF32) group(g, ocg int) []float32 {
+	glen := groupPanelLen(ocg, pw.k, gemmNR)
+	return pw.data[g*glen : (g+1)*glen]
+}
+
+func (pw *packedWeightI32) group(g, ocg int) []int32 {
+	glen := groupPanelLen(ocg, pw.k, gemmNR)
+	return pw.data[g*glen : (g+1)*glen]
+}
+
+// packRHSI32 packs n rows of k int32 elements into NR-interleaved panels.
+func packRHSI32(dst, b []int32, n, k, ldb int) {
+	nt := gemmTiles(n, gemmNR)
+	for jt := 0; jt < nt; jt++ {
+		base := jt * k * gemmNR
+		for j := 0; j < gemmNR; j++ {
+			row := jt*gemmNR + j
+			if row >= n {
+				for kk := 0; kk < k; kk++ {
+					dst[base+kk*gemmNR+j] = 0
+				}
+				continue
+			}
+			src := b[row*ldb : row*ldb+k]
+			for kk, v := range src {
+				dst[base+kk*gemmNR+j] = v
+			}
+		}
+	}
+}
+
+// packedConvWeightF32 returns the cached NR panels for a float weight tensor
+// laid out as oc rows of k elements, split into groups.
+func packedConvWeightF32(w *tensor.Tensor, oc, k, groups int) *packedWeightF32 {
+	if v, ok := gemmWeightF32.Load(w); ok {
+		pw := v.(*packedWeightF32)
+		if pw.groups == groups && pw.k == k {
+			return pw
+		}
+		return buildPackedWeightF32(w.F32(), oc, k, groups)
+	}
+	pw := buildPackedWeightF32(w.F32(), oc, k, groups)
+	gemmWeightF32.Store(w, pw)
+	return pw
+}
+
+func buildPackedWeightI32(w *tensor.Tensor, oc, k, groups int, zp int32) (*packedWeightI32, error) {
+	rawP := getScratchI32(oc * k)
+	raw := *rawP
+	if err := rawMinusZp(raw, w, zp); err != nil {
+		putScratchI32(rawP)
+		return nil, err
+	}
+	ocg := oc / groups
+	glen := groupPanelLen(ocg, k, gemmNR)
+	pw := &packedWeightI32{groups: groups, k: k, zp: zp, data: make([]int32, groups*glen)}
+	for g := 0; g < groups; g++ {
+		packRHSI32(pw.data[g*glen:(g+1)*glen], raw[g*ocg*k:], ocg, k, k)
+	}
+	putScratchI32(rawP)
+	return pw, nil
+}
+
+// packedConvWeightI32 returns the cached (raw − zero_point) NR panels for a
+// quantized weight tensor.
+func packedConvWeightI32(w *tensor.Tensor, oc, k, groups int, zp int32) (*packedWeightI32, error) {
+	if v, ok := gemmWeightI32.Load(w); ok {
+		pw := v.(*packedWeightI32)
+		if pw.groups == groups && pw.k == k && pw.zp == zp {
+			return pw, nil
+		}
+		return buildPackedWeightI32(w, oc, k, groups, zp)
+	}
+	pw, err := buildPackedWeightI32(w, oc, k, groups, zp)
+	if err != nil {
+		return nil, err
+	}
+	gemmWeightI32.Store(w, pw)
+	return pw, nil
+}
+
+// rawMinusZp widens a quantized tensor's raw values into dst, subtracting
+// the zero point.
+func rawMinusZp(dst []int32, t *tensor.Tensor, zp int32) error {
+	switch t.DType {
+	case tensor.UInt8:
+		for i, v := range t.U8() {
+			dst[i] = int32(v) - zp
+		}
+	case tensor.Int8:
+		for i, v := range t.I8() {
+			dst[i] = int32(v) - zp
+		}
+	case tensor.Int32:
+		for i, v := range t.I32() {
+			dst[i] = v - zp
+		}
+	default:
+		return fmt.Errorf("quantized kernel on %s tensor", t.DType)
+	}
+	return nil
+}

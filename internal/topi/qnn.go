@@ -47,7 +47,7 @@ func qnnQuantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType
 	zp := int32(attrs.Int("output_zero_point", 0))
 	res := output(dstBuf, out)
 	src := in.F32()
-	parallel.ForChunked(len(src), func(lo, hi int) {
+	parallel.ForElems(len(src), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			q := roundHalfAwayF(float64(src[i])/scale) + zp
 			setRaw(res, i, clampToDType(q, out.DType))
@@ -85,16 +85,26 @@ func qnnRequantize(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorTy
 	inZp := int32(attrs.Int("input_zero_point", 0))
 	outScale := attrs.Float("output_scale", 1)
 	outZp := int32(attrs.Int("output_zero_point", 0))
-	ratio := inScale / outScale
+	// Precompute the fixed-point multiplier once: the per-element loop then
+	// runs in pure integer arithmetic, bit-exact with the float64 reference
+	// (see fixedpoint.go).
+	fm := newFixedMultiplier(inScale / outScale)
 	res := output(dstBuf, out)
 	n := in.Elems()
-	parallel.ForChunked(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			real := float64(in.GetRaw(i)-inZp) * ratio
-			setRaw(res, i, clampToDType(roundHalfAwayF(real)+outZp, out.DType))
-		}
+	parallel.ForElems(n, func(lo, hi int) {
+		requantRange(res, in, fm, inZp, outZp, out.DType, lo, hi)
 	})
 	return res, nil
+}
+
+// requantRange is the requantize inner loop over [lo,hi): widen, rescale
+// through the fixed-point multiplier, re-bias, clamp.
+//
+//np:hotpath
+func requantRange(res, in *tensor.Tensor, fm fixedMultiplier, inZp, outZp int32, dt tensor.DType, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		setRaw(res, i, clampToDType(fm.apply(in.GetRaw(i)-inZp)+outZp, dt))
+	}
 }
 
 func qnnAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
@@ -115,7 +125,7 @@ func qnnAdd(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, dst
 	if !sameShape {
 		bc = newBroadcaster(a.Shape, b.Shape, out.Shape)
 	}
-	parallel.ForChunked(n, func(lo, hi int) {
+	parallel.ForElems(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ia, ib := i, i
 			if bc != nil {
@@ -143,11 +153,8 @@ func qnnConcatenate(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorT
 			continue
 		}
 		r := tensor.New(out.DType, t.Shape)
-		ratio := inScale / outScale
-		for j, n := 0, t.Elems(); j < n; j++ {
-			real := float64(t.GetRaw(j)-inZp) * ratio
-			setRaw(r, j, clampToDType(roundHalfAwayF(real)+outZp, out.DType))
-		}
+		fm := newFixedMultiplier(inScale / outScale)
+		requantRange(r, t, fm, inZp, outZp, out.DType, 0, t.Elems())
 		rescaled[i] = r
 	}
 	return concatenateKernel(rescaled, attrs, out, dstBuf)

@@ -21,3 +21,20 @@ func getScratchF32(n int) *[]float32 {
 }
 
 func putScratchF32(p *[]float32) { scratchPool.Put(p) }
+
+// scratchPoolI32 recycles int32 scratch (quantized im2col patch matrices,
+// widened raw views, GEMM packing panels).
+var scratchPoolI32 = sync.Pool{New: func() any { return new([]int32) }}
+
+// getScratchI32 returns a length-n int32 scratch slice with unspecified
+// contents. Return it with putScratchI32 when done.
+func getScratchI32(n int) *[]int32 {
+	p := scratchPoolI32.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putScratchI32(p *[]int32) { scratchPoolI32.Put(p) }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/relay"
 	"repro/internal/tensor"
@@ -57,6 +58,9 @@ func Run(name string, args []*tensor.Tensor, attrs relay.Attrs, out *relay.Tenso
 	if !ok {
 		return nil, fmt.Errorf("topi: no kernel registered for %q", name)
 	}
+	if r := kernelObs.Load(); r != nil {
+		defer observeKernel(r, name, time.Now())
+	}
 	t, err := k(args, attrs, out, nil)
 	if err != nil {
 		return nil, fmt.Errorf("topi: %s: %w", name, err)
@@ -83,6 +87,9 @@ func RunInto(name string, args []*tensor.Tensor, attrs relay.Attrs, out *relay.T
 	if dst.DType != out.DType || dst.Elems() != out.Shape.Elems() {
 		return fmt.Errorf("topi: RunInto %s destination %s %s does not match checked type %s %s",
 			name, dst.DType, dst.Shape, out.DType, out.Shape)
+	}
+	if r := kernelObs.Load(); r != nil {
+		defer observeKernel(r, name, time.Now())
 	}
 	t, err := k(args, attrs, out, dst)
 	if err != nil {

@@ -147,18 +147,17 @@ func (v *moduleVerifier) walk(e relay.Expr, ctx walkCtx) {
 func (v *moduleVerifier) enterNestedFunc(fn *relay.Function, ctx walkCtx) {
 	comp := fn.Attr(relay.FnAttrCompiler)
 	prim := fn.Attr(relay.FnAttrPrimitive)
-	where := exprWhere(ctx.fnName, fn)
 	if ctx.primitive {
-		v.res.errorf("primitive-nested", where,
+		v.res.errorf("primitive-nested", exprWhere(ctx.fnName, fn),
 			"fused Primitive function contains a nested function (fusion must not cross partition or kernel boundaries)")
 	}
 	if ctx.compiler != "" {
 		if comp != "" {
-			v.res.errorf("nested-partition", where,
+			v.res.errorf("nested-partition", exprWhere(ctx.fnName, fn),
 				"partitioned region for %q contains a nested %s=%q region (regions must be convex, never nested)",
 				ctx.compiler, relay.FnAttrCompiler, comp)
 		} else {
-			v.res.errorf("region-nested-fn", where,
+			v.res.errorf("region-nested-fn", exprWhere(ctx.fnName, fn),
 				"partitioned region for %q contains a nested function; the converter only accepts flat op graphs",
 				ctx.compiler)
 		}
@@ -175,11 +174,10 @@ func (v *moduleVerifier) enterNestedFunc(fn *relay.Function, ctx walkCtx) {
 }
 
 func (v *moduleVerifier) checkVar(n *relay.Var, ctx walkCtx) {
-	where := exprWhere(ctx.fnName, n)
 	if n.TypeAnnotation != nil {
-		v.checkType(n.TypeAnnotation, "var-annotation", where)
+		v.checkType(n.TypeAnnotation, "var-annotation", ctx.fnName, n)
 		if ct := n.CheckedType(); ct != nil && !ct.Same(n.TypeAnnotation) {
-			v.res.errorf("type-mismatch", where,
+			v.res.errorf("type-mismatch", exprWhere(ctx.fnName, n),
 				"checked type %s disagrees with annotation %s (stale inference after a rewrite?)",
 				ct, n.TypeAnnotation)
 		}
@@ -188,14 +186,13 @@ func (v *moduleVerifier) checkVar(n *relay.Var, ctx walkCtx) {
 }
 
 func (v *moduleVerifier) checkConstant(n *relay.Constant, ctx walkCtx) {
-	where := exprWhere(ctx.fnName, n)
 	if n.Value == nil {
-		v.res.errorf("const-value", where, "constant carries no tensor value")
+		v.res.errorf("const-value", exprWhere(ctx.fnName, n), "constant carries no tensor value")
 		return
 	}
 	if tt, ok := n.CheckedType().(*relay.TensorType); ok {
 		if !tt.Shape.Equal(n.Value.Shape) || tt.DType != n.Value.DType {
-			v.res.errorf("const-type", where,
+			v.res.errorf("const-type", exprWhere(ctx.fnName, n),
 				"checked type %s disagrees with the stored tensor (%s %s)",
 				tt, n.Value.DType, n.Value.Shape)
 		}
@@ -207,30 +204,29 @@ func (v *moduleVerifier) checkConstant(n *relay.Constant, ctx walkCtx) {
 // argument types per the registry or callee signature, and a checked result
 // type consistent with re-running the operator's type-inference function.
 func (v *moduleVerifier) checkCall(n *relay.Call, ctx walkCtx) {
-	where := exprWhere(ctx.fnName, n)
 	switch {
 	case n.Op != nil && n.Fn != nil:
-		v.res.errorf("ambiguous-callee", where,
+		v.res.errorf("ambiguous-callee", exprWhere(ctx.fnName, n),
 			"call has both an operator and a function callee")
 	case n.Op == nil && n.Fn == nil:
-		v.res.errorf("no-callee", where, "call has neither operator nor function callee")
+		v.res.errorf("no-callee", exprWhere(ctx.fnName, n), "call has neither operator nor function callee")
 	case n.Op != nil:
-		v.checkOpCall(n, ctx, where)
+		v.checkOpCall(n, ctx)
 	default:
-		v.checkFnCall(n, ctx, where)
+		v.checkFnCall(n, ctx)
 	}
 	v.checkTyped(n, ctx)
 }
 
-func (v *moduleVerifier) checkOpCall(n *relay.Call, ctx walkCtx, where string) {
+func (v *moduleVerifier) checkOpCall(n *relay.Call, ctx walkCtx) {
 	if _, registered := relay.LookupOp(n.Op.Name); !registered {
-		v.res.errorf("unregistered-op", where,
+		v.res.errorf("unregistered-op", exprWhere(ctx.fnName, n),
 			"operator %q is not in the relay op registry", n.Op.Name)
 		return
 	}
 	if ctx.compiler != "" {
 		if sup := v.opts.ExternalOps[ctx.compiler]; sup != nil && !sup(n) {
-			v.res.errorf("region-unsupported-op", where,
+			v.res.errorf("region-unsupported-op", exprWhere(ctx.fnName, n),
 				"op %s is inside a %s=%q region but the external codegen does not support it",
 				n.Op.Name, relay.FnAttrCompiler, ctx.compiler)
 		}
@@ -243,20 +239,20 @@ func (v *moduleVerifier) checkOpCall(n *relay.Call, ctx walkCtx, where string) {
 	}
 	got, err := n.Op.Infer(args, n.Attrs)
 	if err != nil {
-		v.res.errorf("op-signature", where,
+		v.res.errorf("op-signature", exprWhere(ctx.fnName, n),
 			"call does not satisfy the registry signature: %v", err)
 		return
 	}
 	if ct := n.CheckedType(); ct != nil && !got.Same(ct) {
-		v.res.errorf("type-mismatch", where,
+		v.res.errorf("type-mismatch", exprWhere(ctx.fnName, n),
 			"checked type %s disagrees with registry inference %s (stale after a rewrite?)", ct, got)
 	}
 }
 
-func (v *moduleVerifier) checkFnCall(n *relay.Call, ctx walkCtx, where string) {
+func (v *moduleVerifier) checkFnCall(n *relay.Call, ctx walkCtx) {
 	fn, ok := n.Fn.(*relay.Function)
 	if !ok {
-		v.res.errorf("no-callee", where,
+		v.res.errorf("no-callee", exprWhere(ctx.fnName, n),
 			"function callee is a %T, not a Function literal", n.Fn)
 		return
 	}
@@ -267,25 +263,25 @@ func (v *moduleVerifier) checkFnCall(n *relay.Call, ctx walkCtx, where string) {
 		sym := fn.Attr(relay.FnAttrGlobalSymbol)
 		reg, found := v.m.Get(sym)
 		if !found || reg != fn {
-			v.res.errorf("unregistered-region", where,
+			v.res.errorf("unregistered-region", exprWhere(ctx.fnName, n),
 				"call targets a %s=%q region with %s=%q that is not the module definition of that name",
 				relay.FnAttrCompiler, comp, relay.FnAttrGlobalSymbol, sym)
 		} else {
 			v.referenced[fn] = true
 		}
 	case prim == "":
-		v.res.errorf("anonymous-fn-call", where,
+		v.res.errorf("anonymous-fn-call", exprWhere(ctx.fnName, n),
 			"callee function carries neither %s nor %s attributes",
 			relay.FnAttrCompiler, relay.FnAttrPrimitive)
 	}
 	if len(fn.Params) != len(n.Args) {
-		v.res.errorf("call-arity", where,
+		v.res.errorf("call-arity", exprWhere(ctx.fnName, n),
 			"call passes %d arguments, callee declares %d parameters", len(n.Args), len(fn.Params))
 	} else {
 		for i, a := range n.Args {
 			at, pt := a.CheckedType(), fn.Params[i].TypeAnnotation
 			if at != nil && pt != nil && !at.Same(pt) {
-				v.res.errorf("call-arg-type", where,
+				v.res.errorf("call-arg-type", exprWhere(ctx.fnName, n),
 					"argument %d has type %s, callee parameter %%%s wants %s",
 					i, at, fn.Params[i].Name, pt)
 			}
@@ -295,10 +291,9 @@ func (v *moduleVerifier) checkFnCall(n *relay.Call, ctx walkCtx, where string) {
 }
 
 func (v *moduleVerifier) checkTupleGet(n *relay.TupleGetItem, ctx walkCtx) {
-	where := exprWhere(ctx.fnName, n)
 	if tt, ok := n.Tuple.CheckedType().(*relay.TupleType); ok {
 		if n.Index < 0 || n.Index >= len(tt.Fields) {
-			v.res.errorf("tuple-index", where,
+			v.res.errorf("tuple-index", exprWhere(ctx.fnName, n),
 				"projection index %d out of range for %d-field tuple", n.Index, len(tt.Fields))
 		}
 	}
@@ -308,41 +303,45 @@ func (v *moduleVerifier) checkTupleGet(n *relay.TupleGetItem, ctx walkCtx) {
 // checkTyped enforces that inference ran (every node carries a checked type)
 // and that quantized tensor types carry complete quantization parameters —
 // the relay-side half of the paper's §3.3 invariant.
+//
+// Diagnostic locations are rendered only when a check actually fires: the
+// verifier visits every node after every pass, and eagerly formatting a
+// where-string per visit dominated compile-path profiles.
 func (v *moduleVerifier) checkTyped(e relay.Expr, ctx walkCtx) {
-	where := exprWhere(ctx.fnName, e)
 	t := e.CheckedType()
 	if t == nil {
-		v.res.errorf("untyped", where,
+		v.res.errorf("untyped", exprWhere(ctx.fnName, e),
 			"expression has no checked type (InferType did not run after the last rewrite)")
 		return
 	}
-	v.checkType(t, "quant-params", where)
+	v.checkType(t, "quant-params", ctx.fnName, e)
 }
 
 // checkType recursively audits a type: quantized dtypes must carry valid
-// quantization parameters.
-func (v *moduleVerifier) checkType(t relay.Type, check, where string) {
+// quantization parameters. The diagnostic location is derived from (fnName,
+// at) lazily, on error only.
+func (v *moduleVerifier) checkType(t relay.Type, check, fnName string, at relay.Expr) {
 	switch tt := t.(type) {
 	case *relay.TensorType:
 		if tt.DType.IsQuantized() {
 			if tt.Quant == nil {
-				v.res.errorf(check, where,
+				v.res.errorf(check, exprWhere(fnName, at),
 					"type %s is quantized but carries no scale/zero-point (QNN params must survive onto every tensor)", tt)
 			} else if tt.Quant.Scale <= 0 {
-				v.res.errorf(check, where,
+				v.res.errorf(check, exprWhere(fnName, at),
 					"type %s has non-positive quantization scale %g", tt, tt.Quant.Scale)
 			}
 		}
 	case *relay.TupleType:
 		for _, f := range tt.Fields {
-			v.checkType(f, check, where)
+			v.checkType(f, check, fnName, at)
 		}
 	case *relay.FuncType:
 		for _, p := range tt.Params {
-			v.checkType(p, check, where)
+			v.checkType(p, check, fnName, at)
 		}
 		if tt.Ret != nil {
-			v.checkType(tt.Ret, check, where)
+			v.checkType(tt.Ret, check, fnName, at)
 		}
 	}
 }
