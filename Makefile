@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race lint npvet analyze bench bench-compare trace-demo
+.PHONY: check build fmt vet test race lint npvet analyze bench bench-compare trace-demo tune-smoke
 
 # check is the tier-1 gate: build + formatting + vet + race-enabled tests +
 # cross-registry lint + the custom npvet analyzers + the dataflow analyses
@@ -54,6 +54,18 @@ bench:
 BENCHBASE ?= BENCH_PR7.json
 bench-compare:
 	$(GO) run ./cmd/npbench -compare $(BENCHBASE) bench-new.json
+
+# tune-smoke exercises the autotuner end to end on one zoo model with a
+# tiny budget: the produced records must load cleanly and change at least
+# one dispatch decision (nptune -check exits nonzero otherwise). CI runs it
+# non-blocking — with a near-zero budget on a noisy shared runner the
+# search can legitimately conclude every default is already optimal.
+TUNEOUT ?= tune-smoke.json
+TUNEBUDGET ?= 8
+tune-smoke:
+	rm -f $(TUNEOUT)
+	$(GO) run ./cmd/nptune -zoo emotion -budget $(TUNEBUDGET) -o $(TUNEOUT)
+	$(GO) run ./cmd/nptune -check $(TUNEOUT) -zoo emotion
 
 # trace-demo compiles and runs the lite emotion model with profiling on and
 # writes demo-trace.json — a Chrome/Perfetto trace with all three clock

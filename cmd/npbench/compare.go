@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -103,8 +104,74 @@ func pctDelta(old, new float64) float64 {
 	return (new - old) / old * 100
 }
 
+// compareRow is one benchmark present in both runs.
+type compareRow struct {
+	name       string
+	old, new   benchResult
+	nsPct      float64
+	allocPct   float64
+	haveAllocs bool
+	regressed  bool
+}
+
+// compareReport partitions two runs into the gated intersection plus the
+// one-sided remainders. Only the intersection can regress: a benchmark that
+// exists on just one side (renamed, added, or retired) is reported but never
+// fails the gate — otherwise every benchmark rename would break the
+// baseline comparison until the committed artifact is regenerated.
+type compareReport struct {
+	rows           []compareRow
+	added, removed []string
+}
+
+func (r *compareReport) regressions() int {
+	n := 0
+	for _, row := range r.rows {
+		if row.regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// buildReport diffs two parsed runs.
+func buildReport(oldRes, newRes map[string]benchResult) *compareReport {
+	// Stable order: old file's appearance order, then new-only names sorted.
+	names := make([]string, 0, len(oldRes))
+	for n := range oldRes {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return oldRes[names[i]].seenOrder < oldRes[names[j]].seenOrder
+	})
+
+	rep := &compareReport{}
+	for _, n := range names {
+		o := oldRes[n]
+		nw, ok := newRes[n]
+		if !ok {
+			rep.removed = append(rep.removed, n)
+			continue
+		}
+		row := compareRow{name: n, old: o, new: nw, nsPct: pctDelta(o.nsOp, nw.nsOp)}
+		if o.hasAlloc && nw.hasAlloc {
+			row.haveAllocs = true
+			row.allocPct = pctDelta(o.allocsOp, nw.allocsOp)
+		}
+		row.regressed = row.nsPct > regressionPct || row.allocPct > regressionPct
+		rep.rows = append(rep.rows, row)
+	}
+	for n := range newRes {
+		if _, ok := oldRes[n]; !ok {
+			rep.added = append(rep.added, n)
+		}
+	}
+	sort.Strings(rep.added)
+	return rep
+}
+
 // compareRuns prints the delta table and returns the number of benchmarks
-// that regressed beyond the threshold.
+// that regressed beyond the threshold. One-sided benchmarks never count.
 func compareRuns(oldPath, newPath string) (int, error) {
 	oldRes, err := parseBenchJSON(oldPath)
 	if err != nil {
@@ -114,57 +181,44 @@ func compareRuns(oldPath, newPath string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("parse %s: %w", newPath, err)
 	}
-	if len(oldRes) == 0 {
-		return 0, fmt.Errorf("%s contains no benchmark results", oldPath)
+	if len(oldRes) == 0 && len(newRes) == 0 {
+		return 0, fmt.Errorf("neither %s nor %s contains benchmark results", oldPath, newPath)
 	}
-	if len(newRes) == 0 {
-		return 0, fmt.Errorf("%s contains no benchmark results", newPath)
-	}
+	rep := buildReport(oldRes, newRes)
 
-	// Stable report order: old file's appearance order, then new-only names.
-	names := make([]string, 0, len(oldRes))
-	for n := range oldRes {
-		names = append(names, n)
-	}
-	for i := range names {
-		for j := i + 1; j < len(names); j++ {
-			if oldRes[names[j]].seenOrder < oldRes[names[i]].seenOrder {
-				names[i], names[j] = names[j], names[i]
+	if len(rep.rows) == 0 {
+		fmt.Printf("no benchmarks in common between %s and %s — nothing to gate on\n", oldPath, newPath)
+	} else {
+		fmt.Printf("%-64s %14s %14s %8s %10s %10s %8s\n",
+			"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+		for _, row := range rep.rows {
+			allocCols := fmt.Sprintf("%10s %10s %8s", "-", "-", "-")
+			if row.haveAllocs {
+				allocCols = fmt.Sprintf("%10.0f %10.0f %+7.1f%%", row.old.allocsOp, row.new.allocsOp, row.allocPct)
 			}
+			marker := ""
+			if row.regressed {
+				marker = "  << REGRESSION"
+			}
+			fmt.Printf("%-64s %14.0f %14.0f %+7.1f%% %s%s\n",
+				row.name, row.old.nsOp, row.new.nsOp, row.nsPct, allocCols, marker)
 		}
 	}
-
-	regressions := 0
-	fmt.Printf("%-64s %14s %14s %8s %10s %10s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
-	for _, n := range names {
-		o := oldRes[n]
-		nw, ok := newRes[n]
-		if !ok {
-			fmt.Printf("%-64s %14.0f %14s\n", n, o.nsOp, "(gone)")
-			continue
-		}
-		nsPct := pctDelta(o.nsOp, nw.nsOp)
-		allocCols := fmt.Sprintf("%10s %10s %8s", "-", "-", "-")
-		allocPct := 0.0
-		if o.hasAlloc && nw.hasAlloc {
-			allocPct = pctDelta(o.allocsOp, nw.allocsOp)
-			allocCols = fmt.Sprintf("%10.0f %10.0f %+7.1f%%", o.allocsOp, nw.allocsOp, allocPct)
-		}
-		marker := ""
-		if nsPct > regressionPct || allocPct > regressionPct {
-			regressions++
-			marker = "  << REGRESSION"
-		}
-		fmt.Printf("%-64s %14.0f %14.0f %+7.1f%% %s%s\n", n, o.nsOp, nw.nsOp, nsPct, allocCols, marker)
-	}
-	for n, res := range newRes {
-		if _, ok := oldRes[n]; !ok {
-			fmt.Printf("%-64s %14s %14.0f   (new)\n", n, "-", res.nsOp)
+	if len(rep.removed) > 0 {
+		fmt.Printf("\nonly in %s (%d, not gated):\n", oldPath, len(rep.removed))
+		for _, n := range rep.removed {
+			fmt.Printf("  %s\n", n)
 		}
 	}
-	if regressions > 0 {
-		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%%\n", regressions, regressionPct)
+	if len(rep.added) > 0 {
+		fmt.Printf("\nonly in %s (%d, not gated):\n", newPath, len(rep.added))
+		for _, n := range rep.added {
+			fmt.Printf("  %s\n", n)
+		}
 	}
-	return regressions, nil
+	if n := rep.regressions(); n > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%%\n", n, regressionPct)
+		return n, nil
+	}
+	return 0, nil
 }

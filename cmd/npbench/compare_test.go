@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBenchJSON fabricates a go test -json stream with the given
+// benchmark result lines, splitting each line across two Output events the
+// way test2json really does (name first, columns later).
+func writeBenchJSON(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	var b []byte
+	for _, l := range lines {
+		half := len(l) / 2
+		b = append(b, []byte(fmt.Sprintf("{\"Action\":\"output\",\"Output\":%q}\n", l[:half]))...)
+		b = append(b, []byte(fmt.Sprintf("{\"Action\":\"output\",\"Output\":%q}\n", l[half:]+"\n"))...)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchLineFor(name string, ns float64, allocs int) string {
+	return fmt.Sprintf("%s-8   \t     100\t%11.1f ns/op\t     512 B/op\t      %d allocs/op", name, ns, allocs)
+}
+
+func TestCompareGatesOnlyOnIntersection(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchJSON(t, oldPath,
+		benchLineFor("BenchmarkShared", 1000, 10),
+		benchLineFor("BenchmarkRetired", 50, 1),
+	)
+	writeBenchJSON(t, newPath,
+		benchLineFor("BenchmarkShared", 1050, 10), // +5%: under threshold
+		benchLineFor("BenchmarkBrandNew", 99999, 999),
+	)
+	n, err := compareRuns(oldPath, newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("one-sided benchmarks counted as regressions: %d", n)
+	}
+}
+
+func TestCompareCountsRealRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchJSON(t, oldPath,
+		benchLineFor("BenchmarkSlow", 1000, 10),
+		benchLineFor("BenchmarkAllocs", 100, 10),
+		benchLineFor("BenchmarkFine", 100, 10),
+	)
+	writeBenchJSON(t, newPath,
+		benchLineFor("BenchmarkSlow", 1200, 10),  // +20% ns/op
+		benchLineFor("BenchmarkAllocs", 100, 12), // +20% allocs/op
+		benchLineFor("BenchmarkFine", 105, 10),
+	)
+	n, err := compareRuns(oldPath, newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("regressions = %d, want 2 (ns and allocs)", n)
+	}
+}
+
+func TestCompareDisjointRunsDoNotFail(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchJSON(t, oldPath, benchLineFor("BenchmarkOnlyOld", 10, 1))
+	writeBenchJSON(t, newPath, benchLineFor("BenchmarkOnlyNew", 20, 2))
+	n, err := compareRuns(oldPath, newPath)
+	if err != nil {
+		t.Fatalf("disjoint benchmark sets hard-failed: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("disjoint sets produced %d regressions", n)
+	}
+}
+
+func TestCompareBothEmptyIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	os.WriteFile(oldPath, nil, 0o644)
+	os.WriteFile(newPath, nil, 0o644)
+	if _, err := compareRuns(oldPath, newPath); err == nil {
+		t.Fatal("two empty artifacts should be a usage error")
+	}
+}
+
+func TestNormalizeBenchName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFigure4-8":  "BenchmarkFigure4",
+		"BenchmarkFigure4-96": "BenchmarkFigure4",
+		"BenchmarkFigure4":    "BenchmarkFigure4",
+		"BenchmarkX-v2":       "BenchmarkX-v2",
+	}
+	for in, want := range cases {
+		if got := normalizeBenchName(in); got != want {
+			t.Errorf("normalizeBenchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/runtime"
 	"repro/internal/serve"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 		executor  = flag.String("executor", "auto", "executor: plan|interp|auto")
 		noNIR     = flag.Bool("no-nir", false, "disable NeuroPilot partitioning (TVM-only builds)")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
+		tuneWith  = flag.String("tune-with", "", "tuning-record file (nptune output) to steer kernel dispatch")
 	)
 	flag.Parse()
 
@@ -64,6 +66,13 @@ func main() {
 	}
 
 	srv := serve.NewServer()
+	if *tuneWith != "" {
+		tbl, n, err := tune.LoadAndInstall(*tuneWith)
+		fatal(err)
+		tbl.EnableMetrics(srv.Metrics())
+		fmt.Printf("npserve: loaded %d tuning record(s) from %s (%d kernel config(s))\n",
+			n, *tuneWith, tbl.Len())
+	}
 	opts := serve.ModelOptions{
 		Pool:        *pool,
 		QueueDepth:  *queue,

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/pipeline"
+	"repro/internal/relay"
+	"repro/internal/soc"
+)
+
+// showcaseStageSpecs measures the three showcase models under every
+// permutation and packages the feasible targets for the N-stage searcher —
+// the same inputs RunAutoPipeline feeds the three-stage wrapper.
+func showcaseStageSpecs(t *testing.T, sc *soc.SoC) []pipeline.StageSpec {
+	t.Helper()
+	det, err := models.BuildMobileNetSSDQuant(models.SizeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spoof, err := models.BuildDeePixBiS(models.SizeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emo, err := models.BuildEmotion(models.SizeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]pipeline.StageSpec, 0, 3)
+	for _, st := range []struct {
+		stage pipeline.Stage
+		label string
+		m     *relay.Module
+	}{
+		{pipeline.StageDetect, "d", det},
+		{pipeline.StageSpoof, "s", spoof},
+		{pipeline.StageEmotion, "e", emo},
+	} {
+		so, err := StageOptionsFor(st.stage, st.m, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, pipeline.StageSpec{
+			Name: st.stage.String(), Label: st.label, Options: so.Options})
+	}
+	return specs
+}
+
+// TestSearchScheduleReproducesFigure5: the cost-model placement search —
+// in both exhaustive and beam mode — must find a showcase-pipeline schedule
+// at least as good as the paper's hand-built Figure 5 assignment on the
+// simulated clock.
+func TestSearchScheduleReproducesFigure5(t *testing.T) {
+	sc := soc.NewDimensity800()
+	const frames = 12
+	fig5, err := RunFigure5(sc, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := showcaseStageSpecs(t, sc)
+
+	ex, err := pipeline.SearchSchedule(stages, pipeline.SearchOptions{Frames: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Exhaustive {
+		t.Fatalf("three-stage space not enumerated (%d evaluated)", ex.Evaluated)
+	}
+	if ex.Pipelined > fig5.Paper.Pipelined+1e-12 {
+		t.Errorf("exhaustive search (%s) worse than the Figure 5 plan (%s): %v",
+			ex.Pipelined, fig5.Paper.Pipelined, ex.Choice)
+	}
+
+	beam, err := pipeline.SearchSchedule(stages, pipeline.SearchOptions{Frames: frames, ExhaustiveLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beam.Pipelined > ex.Pipelined+1e-12 {
+		t.Errorf("beam search (%s) worse than the exhaustive optimum (%s): %v vs %v",
+			beam.Pipelined, ex.Pipelined, beam.Choice, ex.Choice)
+	}
+}

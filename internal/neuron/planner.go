@@ -135,27 +135,12 @@ func CompileWith(m *Model, sc *soc.SoC, devices []soc.DeviceKind, opts CompileOp
 		cm.producerDev[i] = soc.KindCPU
 	}
 	for oi, op := range m.Operations {
-		w := fusedWork(m, op)
 		best := soc.DeviceKind(-1)
 		var bestCost soc.Seconds
 		for _, dev := range devices {
-			if !SupportedOn(op.Code, dev) {
+			cost, ok := PlacementCost(m, op, dev, sc, cm.producerDev)
+			if !ok {
 				continue
-			}
-			if dev == soc.KindGPU && w.Quantized {
-				continue // no integer pipeline on the GPU delegate
-			}
-			d := sc.Device(dev)
-			cost := d.OpTime(w, efficiency(dev))
-			// Charge moving any input that currently lives on the other side
-			// of the APU link.
-			for _, in := range op.Inputs {
-				if m.Operands[in].IsConst() {
-					continue // weights are preloaded at compile time
-				}
-				if crossesLink(cm.producerDev[in], dev) {
-					cost += sc.APULink.TransferTime(operandBytes(m, in))
-				}
 			}
 			if best < 0 || cost < bestCost {
 				best, bestCost = dev, cost
@@ -211,6 +196,37 @@ func NewCompiledModel(m *Model, sc *soc.SoC, devices []soc.DeviceKind, plan []so
 		return nil, err
 	}
 	return cm, nil
+}
+
+// PlacementCost is the Execution Planner's cost model for placing one
+// operation on one device, exposed so placement searches (internal/tune,
+// the pipeline scheduler) can score assignments with exactly the greedy
+// planner's arithmetic: roofline op time at the device's NeuroPilot
+// efficiency, plus DMA for every non-constant input whose producer sits on
+// the other side of the APU link. producer[i] is the device currently
+// holding operand i (the planner threads its producerDev through here).
+// ok=false means the operation cannot run on dev at all (unsupported
+// opcode, or quantized work on the GPU delegate).
+func PlacementCost(m *Model, op Operation, dev soc.DeviceKind, sc *soc.SoC, producer []soc.DeviceKind) (cost soc.Seconds, ok bool) {
+	if !SupportedOn(op.Code, dev) {
+		return 0, false
+	}
+	w := fusedWork(m, op)
+	if dev == soc.KindGPU && w.Quantized {
+		return 0, false // no integer pipeline on the GPU delegate
+	}
+	cost = sc.Device(dev).OpTime(w, efficiency(dev))
+	// Charge moving any input that currently lives on the other side of the
+	// APU link; weights are preloaded at compile time.
+	for _, in := range op.Inputs {
+		if m.Operands[in].IsConst() {
+			continue
+		}
+		if crossesLink(producer[in], dev) {
+			cost += sc.APULink.TransferTime(operandBytes(m, in))
+		}
+	}
+	return cost, true
 }
 
 // crossesLink reports whether moving a value from dev a to dev b traverses

@@ -123,6 +123,20 @@ func For(n int, body func(i int)) {
 	})
 }
 
+// ChunkOpts bounds one ForChunkedOpts call's parallelism. The zero value
+// applies no per-call limits (shared-budget behavior, identical to
+// ForChunked). The autotuner (internal/tune) turns these as knobs: a kernel
+// that benches faster with fewer workers or coarser chunks carries its tuned
+// limits through the dispatch table.
+type ChunkOpts struct {
+	// MaxWorkers caps the total workers (including the caller) used by this
+	// call, on top of the shared budget. 0 means no per-call cap.
+	MaxWorkers int
+	// MinGrain is the minimum chunk size: the range is never split finer
+	// than MinGrain iterations per worker. 0 means no minimum.
+	MinGrain int
+}
+
 // ForChunked splits [0,n) into contiguous [lo,hi) chunks, one per worker.
 // Use this form when the body can amortize per-chunk setup (e.g. scratch
 // buffers for im2col). The caller always executes the first chunk itself;
@@ -130,12 +144,25 @@ func For(n int, body func(i int)) {
 // inter/intra-op budget, so nested calls degrade to serial instead of
 // oversubscribing.
 func ForChunked(n int, body func(lo, hi int)) {
+	ForChunkedOpts(n, ChunkOpts{}, body)
+}
+
+// ForChunkedOpts is ForChunked with per-call parallelism limits.
+func ForChunkedOpts(n int, o ChunkOpts, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	workers := MaxWorkers()
+	if o.MaxWorkers > 0 && workers > o.MaxWorkers {
+		workers = o.MaxWorkers
+	}
 	if workers > n {
 		workers = n
+	}
+	if o.MinGrain > 1 {
+		if byGrain := n / o.MinGrain; workers > byGrain {
+			workers = byGrain
+		}
 	}
 	if workers > 1 {
 		workers = 1 + acquireTokens(workers-1)

@@ -47,55 +47,53 @@ type AutoResult struct {
 	Evaluated int
 }
 
-// AutoSchedule exhaustively searches stage-target assignments for the best
-// pipelined makespan over the given frame count. The search space is
-// |detect| × |spoof| × |emotion|, small by construction (≤ 7³).
+// AutoSchedule searches stage-target assignments for the best pipelined
+// makespan over the given frame count. It is the fixed 3-stage front end of
+// SearchSchedule (search.go): the showcase space is |detect| × |spoof| ×
+// |emotion| ≤ 7³, far under the exhaustive limit, so the search stays the
+// provably-optimal full enumeration with the same deterministic tie-breaks
+// as the original enumerator.
 func AutoSchedule(detect, spoof, emotion StageOptions, frames int) (*AutoResult, error) {
 	if frames <= 0 {
 		return nil, fmt.Errorf("pipeline: AutoSchedule needs frames > 0")
 	}
-	for _, so := range []StageOptions{detect, spoof, emotion} {
-		if len(so.Options) == 0 {
-			return nil, fmt.Errorf("pipeline: stage %s has no feasible targets", so.Stage)
-		}
+	stages := []StageSpec{
+		{Name: StageDetect.String(), Label: "d", Options: detect.Options},
+		{Name: StageSpoof.String(), Label: "s", Options: spoof.Options},
+		{Name: StageEmotion.String(), Label: "e", Options: emotion.Options},
 	}
-	var best *AutoResult
-	evaluated := 0
-	for _, d := range detect.Options {
-		for _, s := range spoof.Options {
-			for _, e := range emotion.Options {
-				plan := Plan{
-					Detect:  StagePlan{Devices: d.Devices, Duration: d.Duration},
-					Spoof:   StagePlan{Devices: s.Devices, Duration: s.Duration},
-					Emotion: StagePlan{Devices: e.Devices, Duration: e.Duration},
-				}
-				res, err := Compare(plan, frames)
-				if err != nil {
-					return nil, err
-				}
-				evaluated++
-				cand := &AutoResult{
-					Choice: map[Stage]string{
-						StageDetect:  d.Name,
-						StageSpoof:   s.Name,
-						StageEmotion: e.Name,
-					},
-					Plan:   plan,
-					Result: res,
-				}
-				if best == nil || betterThan(cand, best) {
-					best = cand
-				}
+	sr, err := SearchSchedule(stages, SearchOptions{Frames: frames})
+	if err != nil {
+		// Map the generic no-targets error back to the stage enum wording.
+		for _, so := range []StageOptions{detect, spoof, emotion} {
+			if len(so.Options) == 0 {
+				return nil, fmt.Errorf("pipeline: stage %s has no feasible targets", so.Stage)
 			}
 		}
+		return nil, err
 	}
-	best.Evaluated = evaluated
-	return best, nil
+	plan := Plan{Detect: sr.Plans[0], Spoof: sr.Plans[1], Emotion: sr.Plans[2]}
+	res, err := Compare(plan, frames)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoResult{
+		Choice: map[Stage]string{
+			StageDetect:  sr.Choice[0],
+			StageSpoof:   sr.Choice[1],
+			StageEmotion: sr.Choice[2],
+		},
+		Plan:      plan,
+		Result:    res,
+		Evaluated: sr.Evaluated,
+	}, nil
 }
 
-// betterThan prefers the smaller pipelined makespan, breaking ties by the
-// smaller sequential time (less total work) and then by name for
-// determinism.
+// betterThan is the assignment comparator: smaller pipelined makespan, ties
+// broken by the smaller sequential time (less total work) and then by
+// choice key for determinism. SearchSchedule's internal comparator mirrors
+// it exactly; this form is kept for result post-processing and the
+// equivalence tests.
 func betterThan(a, b *AutoResult) bool {
 	if a.Result.Pipelined != b.Result.Pipelined {
 		return a.Result.Pipelined < b.Result.Pipelined

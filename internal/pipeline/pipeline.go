@@ -121,25 +121,35 @@ func Schedule(p Plan, frames int) (*soc.Timeline, soc.Seconds, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
+	return ScheduleStages([]StagePlan{p.Detect, p.Spoof, p.Emotion},
+		[]string{"d", "s", "e"}, frames)
+}
+
+// ScheduleStages is the N-stage generalization of Schedule: stage i of a
+// frame starts after stage i-1 of the same frame and after every device in
+// its set is free. labels[i] prefixes the stage's timeline entries (the
+// frame index is appended). The fixed 3-stage Schedule and the placement
+// search (search.go) both run through here.
+func ScheduleStages(stages []StagePlan, labels []string, frames int) (*soc.Timeline, soc.Seconds, error) {
+	if len(labels) != len(stages) {
+		return nil, 0, fmt.Errorf("pipeline: %d labels for %d stages", len(labels), len(stages))
+	}
+	for i, sp := range stages {
+		if len(sp.Devices) == 0 {
+			return nil, 0, fmt.Errorf("pipeline: stage %s has no devices", labels[i])
+		}
+		if sp.Duration < 0 {
+			return nil, 0, fmt.Errorf("pipeline: stage %s has negative duration", labels[i])
+		}
+	}
 	tl := soc.NewTimeline()
 	for i := 0; i < frames; i++ {
 		var ready soc.Seconds
-		for s := Stage(0); s < numStages; s++ {
-			sp := p.stage(s)
-			ready = tl.ScheduleMulti(sp.Devices, stageLabel(s, i), ready, sp.Duration)
+		for s, sp := range stages {
+			ready = tl.ScheduleMulti(sp.Devices, fmt.Sprintf("%s%d", labels[s], i), ready, sp.Duration)
 		}
 	}
 	return tl, tl.Now(), nil
-}
-
-func stageLabel(s Stage, frame int) string {
-	switch s {
-	case StageDetect:
-		return fmt.Sprintf("d%d", frame)
-	case StageSpoof:
-		return fmt.Sprintf("s%d", frame)
-	}
-	return fmt.Sprintf("e%d", frame)
 }
 
 // Result summarizes a sequential-vs-pipelined comparison (the Figure 5

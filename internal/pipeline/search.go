@@ -1,0 +1,260 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/soc"
+)
+
+// Cost-model-driven placement search. The paper enumerates seven target
+// permutations per model (§5) and AutoSchedule enumerated the full cross
+// product of stage targets; that stops scaling the moment stages multiply
+// (N-stage pipelines, per-region device assignments). SearchSchedule keeps
+// the exhaustive enumeration for small spaces — where it is provably optimal
+// and bit-compatible with the old search — and switches to a beam search
+// over per-stage assignments for large ones, ranking partial assignments by
+// the simulated makespan of the scheduled prefix. Both paths use the same
+// simulated-soc cost model (ScheduleStages) as the enumerator they replace.
+
+// StageSpec is one stage of an N-stage pipeline offered to the search.
+type StageSpec struct {
+	// Name identifies the stage in results ("object-detection", ...).
+	Name string
+	// Label prefixes the stage's timeline entries; defaults to a letter
+	// derived from the stage index when empty.
+	Label string
+	// Options are the feasible targets (from profiling or the cost model).
+	Options []TargetOption
+}
+
+// SearchOptions tunes SearchSchedule.
+type SearchOptions struct {
+	// Frames is the simulated frame count (required, > 0).
+	Frames int
+	// ExhaustiveLimit is the assignment-count threshold up to which the
+	// search enumerates the full cross product; beyond it the beam search
+	// runs. 0 means the default (4096). Negative forces the beam search
+	// regardless of size (tests and ablations).
+	ExhaustiveLimit int
+	// BeamWidth is the number of partial assignments kept per stage in beam
+	// mode; 0 means the default (8).
+	BeamWidth int
+}
+
+const (
+	defaultExhaustiveLimit = 4096
+	defaultBeamWidth       = 8
+)
+
+// SearchResult is the best assignment found.
+type SearchResult struct {
+	// Choice[i] is the chosen option name of stage i.
+	Choice []string
+	// Plans[i] is the stage's device set and duration under that choice.
+	Plans []StagePlan
+	// Pipelined is the simulated makespan; Sequential the unpipelined total.
+	Pipelined, Sequential soc.Seconds
+	// Evaluated counts schedule simulations; Exhaustive reports which mode
+	// ran.
+	Evaluated  int
+	Exhaustive bool
+}
+
+// SearchSchedule finds the per-stage target assignment with the smallest
+// simulated pipelined makespan. Exhaustive (optimal) for spaces up to
+// ExhaustiveLimit assignments, beam search beyond; deterministic in both
+// modes — ties break toward the smaller sequential time, then the
+// lexicographically smaller choice key.
+func SearchSchedule(stages []StageSpec, opt SearchOptions) (*SearchResult, error) {
+	if opt.Frames <= 0 {
+		return nil, fmt.Errorf("pipeline: SearchSchedule needs frames > 0")
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("pipeline: SearchSchedule needs at least one stage")
+	}
+	size := 1
+	for _, st := range stages {
+		if len(st.Options) == 0 {
+			return nil, fmt.Errorf("pipeline: stage %s has no feasible targets", st.Name)
+		}
+		if size > 0 && size <= defaultExhaustiveLimit*1024 {
+			size *= len(st.Options)
+		}
+	}
+	limit := opt.ExhaustiveLimit
+	if limit == 0 {
+		limit = defaultExhaustiveLimit
+	}
+	labels := stageLabels(stages)
+	if limit > 0 && size <= limit {
+		return searchExhaustive(stages, labels, opt.Frames)
+	}
+	return searchBeam(stages, labels, opt.Frames, opt.BeamWidth)
+}
+
+// stageLabels resolves timeline label prefixes, keeping them unique.
+func stageLabels(stages []StageSpec) []string {
+	labels := make([]string, len(stages))
+	seen := map[string]bool{}
+	for i, st := range stages {
+		l := st.Label
+		if l == "" {
+			l = string(rune('a' + i%26))
+		}
+		for seen[l] {
+			l += "'"
+		}
+		seen[l] = true
+		labels[i] = l
+	}
+	return labels
+}
+
+// assignment materializes one choice of option indices into stage plans.
+func assignment(stages []StageSpec, idx []int) ([]StagePlan, []string) {
+	plans := make([]StagePlan, len(stages))
+	names := make([]string, len(stages))
+	for i, st := range stages {
+		o := st.Options[idx[i]]
+		plans[i] = StagePlan{Devices: o.Devices, Duration: o.Duration}
+		names[i] = o.Name
+	}
+	return plans, names
+}
+
+// searchKey reproduces the old AutoSchedule tie-break key exactly (sorted
+// "i=name" fields rendered with fmt.Sprint), so the exhaustive path is
+// bit-compatible with the enumeration it replaced.
+func searchKey(names []string) string {
+	keys := make([]string, len(names))
+	for i, n := range names {
+		keys[i] = fmt.Sprintf("%d=%s", i, n)
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}
+
+type searchCand struct {
+	idx                   []int
+	pipelined, sequential soc.Seconds
+	key                   string
+}
+
+func (a *searchCand) betterThan(b *searchCand) bool {
+	if a.pipelined != b.pipelined {
+		return a.pipelined < b.pipelined
+	}
+	if a.sequential != b.sequential {
+		return a.sequential < b.sequential
+	}
+	return a.key < b.key
+}
+
+// evaluate simulates one (possibly partial) assignment.
+func evaluate(stages []StageSpec, labels []string, idx []int, frames int) (*searchCand, error) {
+	plans, names := assignment(stages[:len(idx)], idx)
+	_, makespan, err := ScheduleStages(plans, labels[:len(idx)], frames)
+	if err != nil {
+		return nil, err
+	}
+	var seq soc.Seconds
+	for _, p := range plans {
+		seq += p.Duration
+	}
+	return &searchCand{
+		idx:        append([]int(nil), idx...),
+		pipelined:  makespan,
+		sequential: seq * soc.Seconds(frames),
+		key:        searchKey(names),
+	}, nil
+}
+
+func searchExhaustive(stages []StageSpec, labels []string, frames int) (*SearchResult, error) {
+	idx := make([]int, len(stages))
+	var best *searchCand
+	evaluated := 0
+	for {
+		cand, err := evaluate(stages, labels, idx, frames)
+		if err != nil {
+			return nil, err
+		}
+		evaluated++
+		if best == nil || cand.betterThan(best) {
+			best = cand
+		}
+		// Odometer increment, last stage fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(stages[i].Options) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return finishSearch(stages, best, evaluated, true, frames)
+}
+
+// searchBeam extends partial assignments stage by stage, keeping the
+// beamWidth best-scheduled prefixes. The prefix makespan is monotone under
+// extension (adding a stage never shortens the schedule), which makes it a
+// sound greedy ranking; keeping several prefixes covers the paper's
+// demote-to-overlap trade-off, where the best full pipeline rides a
+// prefix that is not locally optimal.
+func searchBeam(stages []StageSpec, labels []string, frames, beamWidth int) (*SearchResult, error) {
+	if beamWidth <= 0 {
+		beamWidth = defaultBeamWidth
+	}
+	evaluated := 0
+	beam := []*searchCand{{idx: []int{}}}
+	for si := range stages {
+		var next []*searchCand
+		for _, state := range beam {
+			for oi := range stages[si].Options {
+				cand, err := evaluate(stages, labels, append(state.idx, oi), frames)
+				if err != nil {
+					return nil, err
+				}
+				evaluated++
+				next = append(next, cand)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].betterThan(next[j]) })
+		if len(next) > beamWidth {
+			next = next[:beamWidth]
+		}
+		beam = next
+	}
+	return finishSearch(stages, beam[0], evaluated, false, frames)
+}
+
+func finishSearch(stages []StageSpec, best *searchCand, evaluated int, exhaustive bool, frames int) (*SearchResult, error) {
+	plans, names := assignment(stages, best.idx)
+	return &SearchResult{
+		Choice:     names,
+		Plans:      plans,
+		Pipelined:  best.pipelined,
+		Sequential: best.sequential,
+		Evaluated:  evaluated,
+		Exhaustive: exhaustive,
+	}, nil
+}
+
+// String renders the result compactly ("stage=target" pairs plus times).
+func (r *SearchResult) Describe(stages []StageSpec) string {
+	parts := make([]string, len(r.Choice))
+	for i, c := range r.Choice {
+		parts[i] = fmt.Sprintf("%s=%s", stages[i].Name, c)
+	}
+	mode := "beam"
+	if r.Exhaustive {
+		mode = "exhaustive"
+	}
+	return fmt.Sprintf("%s  pipelined=%s sequential=%s (%s, %d evaluated)",
+		strings.Join(parts, " "), r.Pipelined, r.Sequential, mode, r.Evaluated)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/relay"
 	"repro/internal/soc"
 	"repro/internal/tensor"
+	"repro/internal/topi"
 )
 
 // This file is the compile half of the planned executor: it lowers a built
@@ -131,6 +132,12 @@ type ExecPlan struct {
 	// actually allocates. The ratio is the memory planner's payoff.
 	NaiveBytes int
 	ArenaBytes int
+
+	// TunedNodes counts the op and fused-kernel nodes (including sub-plan
+	// ops) whose task signature resolved to a non-default tuned config in
+	// the dispatch table installed when the plan was lowered. Zero when no
+	// table is loaded — the graceful-fallback path.
+	TunedNodes int
 }
 
 // NumNodes returns the executable node count.
@@ -144,8 +151,12 @@ func (p *ExecPlan) NumStorages() int { return len(p.storages) }
 
 // String summarizes the plan (the executor's debug view).
 func (p *ExecPlan) String() string {
-	return fmt.Sprintf("ExecPlan{%d nodes, %d levels, %d slots, %d storages, arena %d B (naive %d B)}",
-		len(p.nodes), len(p.levels), len(p.slots), len(p.storages), p.ArenaBytes, p.NaiveBytes)
+	tuned := ""
+	if p.TunedNodes > 0 {
+		tuned = fmt.Sprintf(", %d tuned", p.TunedNodes)
+	}
+	return fmt.Sprintf("ExecPlan{%d nodes, %d levels, %d slots, %d storages, arena %d B (naive %d B)%s}",
+		len(p.nodes), len(p.levels), len(p.slots), len(p.storages), p.ArenaBytes, p.NaiveBytes, tuned)
 }
 
 // planBuilder lowers relay expressions into an ExecPlan.
@@ -357,7 +368,47 @@ func (b *planBuilder) evalOpCall(c *relay.Call) (pval, error) {
 		out:    []int{out},
 		charge: b.lib.SoC.CPU.OpTime(w, soc.TVMEff(w)),
 	})
+	if planNodeTuned(c) {
+		b.plan.TunedNodes++
+	}
 	return pval{slot: out}, nil
+}
+
+// planNodeTuned consults the installed tuning table at lowering time: it
+// reports whether this op call's task signature resolves to a non-default
+// kernel config, i.e. whether the dispatch the plan encodes will deviate
+// from the built-in defaults. Ops outside the tunable families, rank
+// mismatches, and a missing table all fall back to false.
+func planNodeTuned(c *relay.Call) bool {
+	tbl := topi.Tuning()
+	if tbl == nil || len(c.Args) < 2 {
+		return false
+	}
+	data, ok := c.Args[0].CheckedType().(*relay.TensorType)
+	if !ok {
+		return false
+	}
+	weight, ok := c.Args[1].CheckedType().(*relay.TensorType)
+	if !ok {
+		return false
+	}
+	var key topi.TaskKey
+	switch c.Op.Name {
+	case "nn.conv2d", "qnn.conv2d", "qnn.conv2d_fused":
+		if len(data.Shape) != 4 || len(weight.Shape) != 4 {
+			return false
+		}
+		key = topi.ConvTaskKeyTypes(c.Op.Name, data, weight, c.Attrs)
+	case "nn.dense", "qnn.dense", "qnn.dense_fused":
+		if len(data.Shape) != 2 || len(weight.Shape) != 2 {
+			return false
+		}
+		key = topi.DenseTaskKeyTypes(c.Op.Name, data, weight)
+	default:
+		return false
+	}
+	cfg, ok := tbl.Lookup(key)
+	return ok && !cfg.IsDefault()
 }
 
 // planSummary renders a compiled model's per-device operation counts in
@@ -428,6 +479,7 @@ func (b *planBuilder) evalPrimitive(c *relay.Call, fn *relay.Function) (pval, er
 		return pval{}, fmt.Errorf("runtime: plan: primitive with non-tensor result type %v", c.CheckedType())
 	}
 	out := b.addSlot(outTy)
+	b.plan.TunedNodes += sub.TunedNodes
 	fw := soc.FunctionWork(fn)
 	b.addNode(&planNode{
 		kind:   nodePrim,

@@ -39,8 +39,11 @@ func conv2DF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 
 	// Compute-heavy shapes take the im2col + GEMM path (contiguous inner
 	// loops); small shapes stay on the direct kernel to avoid packing cost.
-	if int64(n)*int64(oh)*int64(ow)*int64(oc)*int64(kh*kw*icg) >= im2colThreshold {
-		return conv2DF32Im2col(data, weight, p, out, dstBuf), nil
+	// A tuned record overrides the volume heuristic; both paths are pinned
+	// bit-identical, so the switch is a pure performance decision.
+	cfg := tunedConfig(convTaskKey("nn.conv2d", data, weight, p))
+	if convUseIm2col(cfg, n, oh, ow, oc, kh*kw*icg) {
+		return conv2DF32Im2col(data, weight, p, out, dstBuf, cfg), nil
 	}
 	res := output(dstBuf, out)
 
@@ -48,38 +51,55 @@ func conv2DF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 	wt := weight.F32()
 	dout := res.F32()
 
-	parallel.For(n*oh, func(job int) {
-		b := job / oh
-		oy := job % oh
-		for ox := 0; ox < ow; ox++ {
-			outBase := ((b*oh+oy)*ow + ox) * oc
-			for g := 0; g < p.groups; g++ {
-				for f := 0; f < ocg; f++ {
-					o := g*ocg + f
-					var acc float32
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*p.sh - p.pad[0] + ky*p.dh
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*p.sw - p.pad[1] + kx*p.dw
-							if ix < 0 || ix >= w {
+	parallel.ForChunkedOpts(n*oh, cfg.chunkOpts(), func(lo, hi int) {
+		for job := lo; job < hi; job++ {
+			b := job / oh
+			oy := job % oh
+			for ox := 0; ox < ow; ox++ {
+				outBase := ((b*oh+oy)*ow + ox) * oc
+				for g := 0; g < p.groups; g++ {
+					for f := 0; f < ocg; f++ {
+						o := g*ocg + f
+						var acc float32
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*p.sh - p.pad[0] + ky*p.dh
+							if iy < 0 || iy >= h {
 								continue
 							}
-							inBase := ((b*h+iy)*w+ix)*c + g*icg
-							wBase := ((o*kh+ky)*kw + kx) * icg
-							for ic := 0; ic < icg; ic++ {
-								acc += din[inBase+ic] * wt[wBase+ic]
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*p.sw - p.pad[1] + kx*p.dw
+								if ix < 0 || ix >= w {
+									continue
+								}
+								inBase := ((b*h+iy)*w+ix)*c + g*icg
+								wBase := ((o*kh+ky)*kw + kx) * icg
+								for ic := 0; ic < icg; ic++ {
+									acc += din[inBase+ic] * wt[wBase+ic]
+								}
 							}
 						}
+						dout[outBase+o] = acc
 					}
-					dout[outBase+o] = acc
 				}
 			}
 		}
 	})
 	return res, nil
+}
+
+// convUseIm2col applies the tuned conv-strategy knob on top of the MAC-volume
+// heuristic: an explicit record wins, ConvAuto (or no record) keeps the
+// threshold comparison.
+func convUseIm2col(cfg *KernelConfig, n, oh, ow, oc, kvol int) bool {
+	if cfg != nil {
+		switch cfg.ConvStrategy {
+		case ConvIm2col:
+			return true
+		case ConvDirect:
+			return false
+		}
+	}
+	return int64(n)*int64(oh)*int64(ow)*int64(oc)*int64(kvol) >= im2colThreshold
 }
 
 // qnnConv2D is the quantized convolution producing an int32 accumulator:
@@ -101,9 +121,11 @@ func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 	ocg := oc / p.groups
 
 	// Compute-heavy shapes take the im2col + int32 GEMM path; integer
-	// accumulation is associative, so both paths are bitwise identical.
-	if int64(n)*int64(oh)*int64(ow)*int64(oc)*int64(kh*kw*icg) >= im2colThreshold {
-		return conv2DQnnIm2col(data, weight, p, zpIn, zpK, out, dstBuf)
+	// accumulation is associative, so both paths are bitwise identical. A
+	// tuned record overrides the volume heuristic.
+	cfg := tunedConfig(convTaskKey("qnn.conv2d", data, weight, p))
+	if convUseIm2col(cfg, n, oh, ow, oc, kh*kw*icg) {
+		return conv2DQnnIm2col(data, weight, p, zpIn, zpK, out, dstBuf, cfg)
 	}
 	res := output(dstBuf, out)
 
@@ -125,37 +147,39 @@ func qnnConv2D(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, 
 	}
 	dout := res.I32()
 
-	parallel.For(n*oh, func(job int) {
-		b := job / oh
-		oy := job % oh
-		for ox := 0; ox < ow; ox++ {
-			outBase := ((b*oh+oy)*ow + ox) * oc
-			for g := 0; g < p.groups; g++ {
-				for f := 0; f < ocg; f++ {
-					o := g*ocg + f
-					var acc int32
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*p.sh - p.pad[0] + ky*p.dh
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*p.sw - p.pad[1] + kx*p.dw
-							if ix < 0 || ix >= w {
+	parallel.ForChunkedOpts(n*oh, cfg.chunkOpts(), func(lo, hi int) {
+		for job := lo; job < hi; job++ {
+			b := job / oh
+			oy := job % oh
+			for ox := 0; ox < ow; ox++ {
+				outBase := ((b*oh+oy)*ow + ox) * oc
+				for g := 0; g < p.groups; g++ {
+					for f := 0; f < ocg; f++ {
+						o := g*ocg + f
+						var acc int32
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*p.sh - p.pad[0] + ky*p.dh
+							if iy < 0 || iy >= h {
 								continue
 							}
-							inBase := ((b*h+iy)*w+ix)*c + g*icg
-							wBase := ((o*kh+ky)*kw + kx) * icg
-							for ic := 0; ic < icg; ic++ {
-								acc += din[inBase+ic] * wt[wBase+ic]
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*p.sw - p.pad[1] + kx*p.dw
+								if ix < 0 || ix >= w {
+									continue
+								}
+								inBase := ((b*h+iy)*w+ix)*c + g*icg
+								wBase := ((o*kh+ky)*kw + kx) * icg
+								for ic := 0; ic < icg; ic++ {
+									acc += din[inBase+ic] * wt[wBase+ic]
+								}
 							}
 						}
+						// Padding contributes (zp_in - zp_in) = 0 with the
+						// skip-out-of-bounds loop above only when the padded
+						// value equals the zero point — which is exactly the
+						// QNN convention (pad with zp), so skipping is correct.
+						dout[outBase+o] = acc
 					}
-					// Padding contributes (zp_in - zp_in) = 0 with the
-					// skip-out-of-bounds loop above only when the padded
-					// value equals the zero point — which is exactly the
-					// QNN convention (pad with zp), so skipping is correct.
-					dout[outBase+o] = acc
 				}
 			}
 		}
@@ -176,8 +200,9 @@ func denseF32(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, d
 	// nn.dense is GEMM by definition: rows of data against rows of weight.
 	// The packed panels come from the per-weight cache; tile parallelism
 	// inside gemmF32 draws on the shared worker budget.
+	cfg := tunedConfig(DenseTaskKey("nn.dense", data, weight))
 	pw := packedConvWeightF32(weight, units, k, 1)
-	gemmF32(n, units, k, data.F32(), k, pw.data, res.F32(), units)
+	gemmF32Cfg(n, units, k, data.F32(), k, pw.data, res.F32(), units, cfg)
 	return res, nil
 }
 
@@ -201,7 +226,8 @@ func qnnDense(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorType, d
 		putScratchI32(dinP)
 		return nil, err
 	}
-	gemmI32(n, units, k, din, k, pw.data, res.I32(), units)
+	cfg := tunedConfig(DenseTaskKey("qnn.dense", data, weight))
+	gemmI32Cfg(n, units, k, din, k, pw.data, res.I32(), units, cfg)
 	putScratchI32(dinP)
 	return res, nil
 }

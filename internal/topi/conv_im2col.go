@@ -20,7 +20,7 @@ const im2colThreshold = 1 << 20
 // row's patches are packed into a col matrix (one row per output pixel,
 // k = kh·kw·icg contiguous elements), then multiplied against the cached
 // weight panels by the blocked GEMM.
-func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.TensorType, dstBuf *tensor.Tensor) *tensor.Tensor {
+func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.TensorType, dstBuf *tensor.Tensor, cfg *KernelConfig) *tensor.Tensor {
 	res := output(dstBuf, out)
 	n := data.Shape[0]
 	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
@@ -37,7 +37,7 @@ func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.Ten
 	// output pixels into a col buffer and GEMMs it against every group's
 	// weight panels. Nested GEMM tile parallelism degrades to serial here
 	// because this loop already holds the worker-budget tokens.
-	parallel.ForChunked(n*oh, func(lo, hi int) {
+	parallel.ForChunkedOpts(n*oh, cfg.chunkOpts(), func(lo, hi int) {
 		colP := getScratchF32(ow * k) // one output row's patches, per group
 		defer putScratchF32(colP)
 		col := *colP
@@ -67,8 +67,8 @@ func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.Ten
 						}
 					}
 				}
-				gemmF32(ow, ocg, k, col, k, pw.group(g, ocg),
-					dout[((b*oh+oy)*ow)*oc+g*ocg:], oc)
+				gemmF32Cfg(ow, ocg, k, col, k, pw.group(g, ocg),
+					dout[((b*oh+oy)*ow)*oc+g*ocg:], oc, cfg)
 			}
 		}
 	})
@@ -79,7 +79,7 @@ func conv2DF32Im2col(data, weight *tensor.Tensor, p conv2dParams, out *relay.Ten
 // into (raw − zp_in) int32 scratch, packed per output row, and reduced by the
 // int32 GEMM against cached (raw − zp_k) weight panels. Integer accumulation
 // is associative, so the result is bitwise identical to the direct kernel.
-func conv2DQnnIm2col(data, weight *tensor.Tensor, p conv2dParams, zpIn, zpK int32, out *relay.TensorType, dstBuf *tensor.Tensor) (*tensor.Tensor, error) {
+func conv2DQnnIm2col(data, weight *tensor.Tensor, p conv2dParams, zpIn, zpK int32, out *relay.TensorType, dstBuf *tensor.Tensor, cfg *KernelConfig) (*tensor.Tensor, error) {
 	res := output(dstBuf, out)
 	n := data.Shape[0]
 	h, w, c := data.Shape[1], data.Shape[2], data.Shape[3]
@@ -100,7 +100,7 @@ func conv2DQnnIm2col(data, weight *tensor.Tensor, p conv2dParams, zpIn, zpK int3
 	}
 	dout := res.I32()
 
-	parallel.ForChunked(n*oh, func(lo, hi int) {
+	parallel.ForChunkedOpts(n*oh, cfg.chunkOpts(), func(lo, hi int) {
 		colP := getScratchI32(ow * k)
 		defer putScratchI32(colP)
 		col := *colP
@@ -109,8 +109,8 @@ func conv2DQnnIm2col(data, weight *tensor.Tensor, p conv2dParams, zpIn, zpK int3
 			oy := job % oh
 			for g := 0; g < p.groups; g++ {
 				packColI32(col, din, p, b, oy, g, h, w, c, kh, kw, icg, ow, k)
-				gemmI32(ow, ocg, k, col, k, pw.group(g, ocg),
-					dout[((b*oh+oy)*ow)*oc+g*ocg:], oc)
+				gemmI32Cfg(ow, ocg, k, col, k, pw.group(g, ocg),
+					dout[((b*oh+oy)*ow)*oc+g*ocg:], oc, cfg)
 			}
 		}
 	})

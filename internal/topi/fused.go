@@ -154,7 +154,10 @@ func qnnConv2DFused(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorT
 		return nil, err
 	}
 
-	parallel.ForChunked(n*oh, func(lo, hi int) {
+	// The task key normalizes _fused to its anchor op, so one tuning record
+	// covers both the unfused chain and this kernel.
+	cfg := tunedConfig(convTaskKey("qnn.conv2d_fused", data, weight, p))
+	parallel.ForChunkedOpts(n*oh, cfg.chunkOpts(), func(lo, hi int) {
 		colP := getScratchI32(ow * k)
 		defer putScratchI32(colP)
 		accP := getScratchI32(ow * ocg)
@@ -165,7 +168,7 @@ func qnnConv2DFused(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorT
 			oy := job % oh
 			for g := 0; g < p.groups; g++ {
 				packColI32(col, din, p, b, oy, g, h, w, c, kh, kw, icg, ow, k)
-				gemmI32(ow, ocg, k, col, k, pw.group(g, ocg), acc, ocg)
+				gemmI32Cfg(ow, ocg, k, col, k, pw.group(g, ocg), acc, ocg, cfg)
 				var gb []int32
 				if bv != nil {
 					gb = bv[g*ocg : (g+1)*ocg]
@@ -218,7 +221,8 @@ func qnnDenseFused(args []*tensor.Tensor, attrs relay.Attrs, out *relay.TensorTy
 	}
 	accP := getScratchI32(n * units)
 	acc := *accP
-	gemmI32(n, units, k, din, k, pw.data, acc, units)
+	cfg := tunedConfig(DenseTaskKey("qnn.dense_fused", data, weight))
+	gemmI32Cfg(n, units, k, din, k, pw.data, acc, units, cfg)
 	for row := 0; row < n; row++ {
 		fusedEpilogue(res, acc[row*units:(row+1)*units], bv,
 			row*units, fm, reqInZp, reqOutZp, out.DType, &lut)

@@ -2,7 +2,6 @@ package topi
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -175,36 +174,63 @@ func gemmMicroF32(ap, bp []float32) (acc [gemmMR * gemmNR]float32) {
 // bpack holds B pre-packed by packRHSF32 (or the weight cache). Overwrite
 // semantics; each cell's reduction is bit-identical to the naive loop.
 func gemmF32(m, n, k int, a []float32, lda int, bpack []float32, c []float32, ldc int) {
+	gemmF32Cfg(m, n, k, a, lda, bpack, c, ldc, nil)
+}
+
+// gemmMCBlock resolves the tuned MC row-block size: the full m by default,
+// else cfg.GemmMC rounded up to the register-tile height. Blocking only
+// changes which LHS rows are packed together per scratch fill — every output
+// cell still runs one k-ascending reduction, so results stay bit-identical.
+func gemmMCBlock(m int, cfg *KernelConfig) int {
+	if cfg == nil || cfg.GemmMC <= 0 || cfg.GemmMC >= m {
+		return m
+	}
+	return gemmTiles(cfg.GemmMC, gemmMR) * gemmMR
+}
+
+// gemmF32Cfg is gemmF32 with tuned knobs: MC row blocking (bounds packing
+// scratch, improves LHS locality for tall matrices) and per-call worker/grain
+// limits on the N-tile loop.
+func gemmF32Cfg(m, n, k int, a []float32, lda int, bpack []float32, c []float32, ldc int, cfg *KernelConfig) {
 	if m <= 0 || n <= 0 {
 		return
 	}
-	mt := gemmTiles(m, gemmMR)
+	mc := gemmMCBlock(m, cfg)
 	nt := gemmTiles(n, gemmNR)
-	apP := getScratchF32(mt * gemmMR * k)
+	opts := cfg.gemmOpts()
+	apP := getScratchF32(gemmTiles(mc, gemmMR) * gemmMR * k)
 	ap := *apP
-	packLHSF32(ap, a, m, k, lda)
-	parallel.ForChunked(nt, func(jtLo, jtHi int) {
-		for jt := jtLo; jt < jtHi; jt++ {
-			bp := bpack[jt*k*gemmNR : (jt+1)*k*gemmNR]
-			nj := n - jt*gemmNR
-			if nj > gemmNR {
-				nj = gemmNR
-			}
-			for it := 0; it < mt; it++ {
-				acc := gemmMicroF32(ap[it*k*gemmMR:(it+1)*k*gemmMR], bp)
-				mi := m - it*gemmMR
-				if mi > gemmMR {
-					mi = gemmMR
+	for i0 := 0; i0 < m; i0 += mc {
+		mb := m - i0
+		if mb > mc {
+			mb = mc
+		}
+		packLHSF32(ap, a[i0*lda:], mb, k, lda)
+		mt := gemmTiles(mb, gemmMR)
+		cb := c[i0*ldc:]
+		parallel.ForChunkedOpts(nt, opts, func(jtLo, jtHi int) {
+			for jt := jtLo; jt < jtHi; jt++ {
+				bp := bpack[jt*k*gemmNR : (jt+1)*k*gemmNR]
+				nj := n - jt*gemmNR
+				if nj > gemmNR {
+					nj = gemmNR
 				}
-				for i := 0; i < mi; i++ {
-					row := c[(it*gemmMR+i)*ldc+jt*gemmNR:]
-					for j := 0; j < nj; j++ {
-						row[j] = acc[i*gemmNR+j]
+				for it := 0; it < mt; it++ {
+					acc := gemmMicroF32(ap[it*k*gemmMR:(it+1)*k*gemmMR], bp)
+					mi := mb - it*gemmMR
+					if mi > gemmMR {
+						mi = gemmMR
+					}
+					for i := 0; i < mi; i++ {
+						row := cb[(it*gemmMR+i)*ldc+jt*gemmNR:]
+						for j := 0; j < nj; j++ {
+							row[j] = acc[i*gemmNR+j]
+						}
 					}
 				}
 			}
-		}
-	})
+		})
+	}
 	putScratchF32(apP)
 }
 
@@ -310,36 +336,50 @@ func gemmMicroI32(ap, bp []int32) (acc [gemmMR * gemmNR]int32) {
 // gemmI32 is the memory-writing int32 driver (overwrite semantics), with the
 // same N-tile parallelism as gemmF32.
 func gemmI32(m, n, k int, a []int32, lda int, bpack []int32, c []int32, ldc int) {
+	gemmI32Cfg(m, n, k, a, lda, bpack, c, ldc, nil)
+}
+
+// gemmI32Cfg is gemmI32 with tuned MC blocking and worker/grain limits.
+func gemmI32Cfg(m, n, k int, a []int32, lda int, bpack []int32, c []int32, ldc int, cfg *KernelConfig) {
 	if m <= 0 || n <= 0 {
 		return
 	}
-	mt := gemmTiles(m, gemmMR)
+	mc := gemmMCBlock(m, cfg)
 	nt := gemmTiles(n, gemmNR)
-	apP := getScratchI32(mt * gemmMR * k)
+	opts := cfg.gemmOpts()
+	apP := getScratchI32(gemmTiles(mc, gemmMR) * gemmMR * k)
 	ap := *apP
-	packLHSI32(ap, a, m, k, lda)
-	parallel.ForChunked(nt, func(jtLo, jtHi int) {
-		for jt := jtLo; jt < jtHi; jt++ {
-			bp := bpack[jt*k*gemmNR : (jt+1)*k*gemmNR]
-			nj := n - jt*gemmNR
-			if nj > gemmNR {
-				nj = gemmNR
-			}
-			for it := 0; it < mt; it++ {
-				acc := gemmMicroI32(ap[it*k*gemmMR:(it+1)*k*gemmMR], bp)
-				mi := m - it*gemmMR
-				if mi > gemmMR {
-					mi = gemmMR
+	for i0 := 0; i0 < m; i0 += mc {
+		mb := m - i0
+		if mb > mc {
+			mb = mc
+		}
+		packLHSI32(ap, a[i0*lda:], mb, k, lda)
+		mt := gemmTiles(mb, gemmMR)
+		cb := c[i0*ldc:]
+		parallel.ForChunkedOpts(nt, opts, func(jtLo, jtHi int) {
+			for jt := jtLo; jt < jtHi; jt++ {
+				bp := bpack[jt*k*gemmNR : (jt+1)*k*gemmNR]
+				nj := n - jt*gemmNR
+				if nj > gemmNR {
+					nj = gemmNR
 				}
-				for i := 0; i < mi; i++ {
-					row := c[(it*gemmMR+i)*ldc+jt*gemmNR:]
-					for j := 0; j < nj; j++ {
-						row[j] = acc[i*gemmNR+j]
+				for it := 0; it < mt; it++ {
+					acc := gemmMicroI32(ap[it*k*gemmMR:(it+1)*k*gemmMR], bp)
+					mi := mb - it*gemmMR
+					if mi > gemmMR {
+						mi = gemmMR
+					}
+					for i := 0; i < mi; i++ {
+						row := cb[(it*gemmMR+i)*ldc+jt*gemmNR:]
+						for j := 0; j < nj; j++ {
+							row[j] = acc[i*gemmNR+j]
+						}
 					}
 				}
 			}
-		}
-	})
+		})
+	}
 	putScratchI32(apP)
 }
 
@@ -347,9 +387,11 @@ func gemmI32(m, n, k int, a []int32, lda int, bpack []int32, c []int32, ldc int)
 //
 // Convolution and dense weights are module constants: pack them once per
 // weight tensor and reuse the panels for every inference. Keyed by tensor
-// identity, so entries live exactly as long as the module that owns the
-// weights; a key collision (same tensor used with different grouping or
-// zero point — which real models never do) falls back to an uncached pack.
+// identity, so live modules keep their entries hot; the caches themselves
+// are the bounded weightCache instances in weightcache.go, so retired
+// models' panels age out instead of accumulating forever. A key collision
+// (same tensor used with different grouping or zero point — which real
+// models never do) falls back to an uncached pack.
 
 type packedWeightF32 struct {
 	groups, k int
@@ -361,11 +403,6 @@ type packedWeightI32 struct {
 	zp        int32
 	data      []int32
 }
-
-var (
-	gemmWeightF32 sync.Map // *tensor.Tensor -> *packedWeightF32
-	gemmWeightI32 sync.Map // *tensor.Tensor -> *packedWeightI32
-)
 
 // groupPanelLen returns the packed length of one group's panels.
 func groupPanelLen(ocg, k, nr int) int { return gemmTiles(ocg, nr) * nr * k }
@@ -415,7 +452,7 @@ func packRHSI32(dst, b []int32, n, k, ldb int) {
 // packedConvWeightF32 returns the cached NR panels for a float weight tensor
 // laid out as oc rows of k elements, split into groups.
 func packedConvWeightF32(w *tensor.Tensor, oc, k, groups int) *packedWeightF32 {
-	if v, ok := gemmWeightF32.Load(w); ok {
+	if v, ok := gemmWeightF32.get(w); ok {
 		pw := v.(*packedWeightF32)
 		if pw.groups == groups && pw.k == k {
 			return pw
@@ -423,7 +460,7 @@ func packedConvWeightF32(w *tensor.Tensor, oc, k, groups int) *packedWeightF32 {
 		return buildPackedWeightF32(w.F32(), oc, k, groups)
 	}
 	pw := buildPackedWeightF32(w.F32(), oc, k, groups)
-	gemmWeightF32.Store(w, pw)
+	gemmWeightF32.put(w, pw)
 	return pw
 }
 
@@ -447,7 +484,7 @@ func buildPackedWeightI32(w *tensor.Tensor, oc, k, groups int, zp int32) (*packe
 // packedConvWeightI32 returns the cached (raw − zero_point) NR panels for a
 // quantized weight tensor.
 func packedConvWeightI32(w *tensor.Tensor, oc, k, groups int, zp int32) (*packedWeightI32, error) {
-	if v, ok := gemmWeightI32.Load(w); ok {
+	if v, ok := gemmWeightI32.get(w); ok {
 		pw := v.(*packedWeightI32)
 		if pw.groups == groups && pw.k == k && pw.zp == zp {
 			return pw, nil
@@ -458,7 +495,7 @@ func packedConvWeightI32(w *tensor.Tensor, oc, k, groups int, zp int32) (*packed
 	if err != nil {
 		return nil, err
 	}
-	gemmWeightI32.Store(w, pw)
+	gemmWeightI32.put(w, pw)
 	return pw, nil
 }
 

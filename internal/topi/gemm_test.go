@@ -188,7 +188,7 @@ func TestConvIm2colMatchesDirectF32(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			blocked := conv2DF32Im2col(data, weight, cc.params(), out, nil)
+			blocked := conv2DF32Im2col(data, weight, cc.params(), out, nil, nil)
 			d, b := direct.F32(), blocked.F32()
 			for i := range d {
 				if d[i] != b[i] {
@@ -222,7 +222,7 @@ func TestConvIm2colMatchesDirectQnn(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			blocked, err := conv2DQnnIm2col(data, weight, cc.params(), zpIn, zpK, out, nil)
+			blocked, err := conv2DQnnIm2col(data, weight, cc.params(), zpIn, zpK, out, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

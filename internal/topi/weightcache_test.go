@@ -1,0 +1,86 @@
+package topi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWeightCacheBoundAndEviction(t *testing.T) {
+	prevCap := SetWeightCacheCap(8)
+	defer SetWeightCacheCap(prevCap)
+	ResetWeightCaches()
+	defer ResetWeightCaches()
+
+	c := newWeightCache("test")
+	for i := 0; i < 50; i++ {
+		c.put(fmt.Sprintf("w%d", i), i)
+	}
+	if got := c.len(); got > 8 {
+		t.Fatalf("cache holds %d entries, cap 8", got)
+	}
+	if c.evictions.Load() == 0 {
+		t.Fatal("no evictions recorded after 50 inserts into a cap-8 cache")
+	}
+	// The most recent insert always survives the eviction that made room
+	// for it.
+	if _, ok := c.get("w49"); !ok {
+		t.Fatal("latest insert evicted")
+	}
+}
+
+func TestWeightCacheLRUKeepsHotEntries(t *testing.T) {
+	prevCap := SetWeightCacheCap(8)
+	defer SetWeightCacheCap(prevCap)
+
+	c := newWeightCache("test")
+	for i := 0; i < 8; i++ {
+		c.put(i, i)
+	}
+	// Touch entry 0 so it is the hottest, then overflow: the eviction scan
+	// must retire stale entries, not the re-stamped one.
+	if _, ok := c.get(0); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.put(100, 100)
+	if _, ok := c.get(0); !ok {
+		t.Fatal("hottest entry was evicted")
+	}
+	if c.len() > 8 {
+		t.Fatalf("cache exceeded cap: %d", c.len())
+	}
+}
+
+func TestWeightCacheUpdateDoesNotEvict(t *testing.T) {
+	prevCap := SetWeightCacheCap(4)
+	defer SetWeightCacheCap(prevCap)
+
+	c := newWeightCache("test")
+	for i := 0; i < 4; i++ {
+		c.put(i, i)
+	}
+	// Re-putting an existing key at capacity must not trigger eviction.
+	c.put(2, 22)
+	if c.evictions.Load() != 0 {
+		t.Fatalf("update of existing key evicted %d entries", c.evictions.Load())
+	}
+	if v, ok := c.get(2); !ok || v.(int) != 22 {
+		t.Fatalf("updated value = %v, %v", v, ok)
+	}
+}
+
+func TestWeightCacheSnapshotCountsGemmTraffic(t *testing.T) {
+	ResetWeightCaches()
+	defer ResetWeightCaches()
+
+	key1, key2 := "k1", "k2"
+	gemmWeightI32.put(key1, 1)
+	gemmWeightI32.put(key2, 2)
+	gemmWeightI32.get(key1)
+	gemmWeightI32.get(key1)
+	gemmWeightI32.get("absent")
+
+	_, i32 := WeightCacheSnapshot()
+	if i32.Entries != 2 || i32.Hits != 2 || i32.Misses != 1 {
+		t.Fatalf("i32 stats = %+v", i32)
+	}
+}

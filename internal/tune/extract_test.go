@@ -1,0 +1,92 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+// buildTuneModule constructs conv -> relu -> conv(same shape) -> dense:
+// three tunable launches, two distinct tasks plus one dense task.
+func buildTuneModule(t *testing.T) *relay.Module {
+	t.Helper()
+	data := relay.NewVar("data", relay.TType(tensor.Float32, 1, 8, 8, 3))
+	w1 := relay.Const(tensor.New(tensor.Float32, tensor.Shape{3, 3, 3, 3}))
+	conv1 := relay.NewCall(relay.OpConv2D, []relay.Expr{data, w1},
+		relay.Attrs{"strides": []int{1, 1}, "padding": []int{1, 1}})
+	act := relay.NewCall(relay.OpReLU, []relay.Expr{conv1}, nil)
+	w2 := relay.Const(tensor.New(tensor.Float32, tensor.Shape{3, 3, 3, 3}))
+	conv2 := relay.NewCall(relay.OpConv2D, []relay.Expr{act, w2},
+		relay.Attrs{"strides": []int{1, 1}, "padding": []int{1, 1}})
+	flat := relay.NewCall(relay.OpReshape, []relay.Expr{conv2}, relay.Attrs{"newshape": []int{1, 192}})
+	wd := relay.Const(tensor.New(tensor.Float32, tensor.Shape{10, 192}))
+	dense := relay.NewCall(relay.OpDense, []relay.Expr{flat, wd}, nil)
+	fn := relay.NewFunc([]*relay.Var{data}, dense)
+	if _, err := relay.InferTypes(fn); err != nil {
+		t.Fatal(err)
+	}
+	return relay.NewModule(fn)
+}
+
+func TestTasksExtractionDedupesAndSorts(t *testing.T) {
+	m := buildTuneModule(t)
+	tasks := Tasks(m)
+	if len(tasks) != 2 {
+		t.Fatalf("extracted %d tasks, want 2 (deduped conv + dense): %v", len(tasks), tasks)
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i-1].String() >= tasks[i].String() {
+			t.Fatalf("tasks not sorted: %s before %s", tasks[i-1], tasks[i])
+		}
+	}
+	var conv, dense *topi.TaskKey
+	for i := range tasks {
+		switch tasks[i].Op {
+		case "nn.conv2d":
+			conv = &tasks[i]
+		case "nn.dense":
+			dense = &tasks[i]
+		}
+	}
+	if conv == nil || dense == nil {
+		t.Fatalf("tasks = %v, want one conv and one dense", tasks)
+	}
+	if conv.H != 8 || conv.W != 8 || conv.C != 3 || conv.OC != 3 || conv.KH != 3 || conv.PadT != 1 {
+		t.Errorf("conv task = %s", conv)
+	}
+	if dense.N != 1 || dense.C != 192 || dense.OC != 10 {
+		t.Errorf("dense task = %s", dense)
+	}
+
+	// Every extracted task must survive the canonical string round-trip —
+	// that string is the record-file identity.
+	for _, task := range tasks {
+		back, err := topi.ParseTaskKey(task.String())
+		if err != nil {
+			t.Fatalf("round-trip %s: %v", task, err)
+		}
+		if back != task {
+			t.Fatalf("round-trip %s -> %s", task, back)
+		}
+	}
+}
+
+func TestTasksSkipsUntypedCalls(t *testing.T) {
+	// No InferTypes run: vars and constants carry construction-time types,
+	// but a call result does not — a conv fed by an un-inferred call must be
+	// skipped, not panicked on or guessed at.
+	data := relay.NewVar("data", relay.TType(tensor.Float32, 1, 8, 8, 3))
+	w1 := relay.Const(tensor.New(tensor.Float32, tensor.Shape{3, 3, 3, 3}))
+	conv1 := relay.NewCall(relay.OpConv2D, []relay.Expr{data, w1},
+		relay.Attrs{"strides": []int{1, 1}, "padding": []int{1, 1}})
+	w2 := relay.Const(tensor.New(tensor.Float32, tensor.Shape{5, 3, 3, 3}))
+	conv2 := relay.NewCall(relay.OpConv2D, []relay.Expr{conv1, w2},
+		relay.Attrs{"strides": []int{1, 1}, "padding": []int{1, 1}})
+	m := relay.NewModule(relay.NewFunc([]*relay.Var{data}, conv2))
+	got := Tasks(m)
+	if len(got) != 1 || got[0].OC != 3 {
+		t.Fatalf("tasks from partially typed module = %v, want just the var-fed conv", got)
+	}
+}

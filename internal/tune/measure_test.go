@@ -1,0 +1,115 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topi"
+)
+
+// fastMeasurer keeps measurement latency test-friendly.
+func fastMeasurer(verify bool) Measurer {
+	return Measurer{Warmup: 1, Reps: 1, MinSampleNS: 1, Verify: verify}
+}
+
+// TestBitwiseInvarianceAcrossConfigs is the tuner-side enforcement of the
+// repository's standing invariant: every knob combination must produce
+// bit-identical outputs. It runs representative configs of each task family
+// through the verifying harness, which errors on any byte difference from
+// the default config's output.
+func TestBitwiseInvarianceAcrossConfigs(t *testing.T) {
+	tasks := []string{
+		"nn.conv2d|d=1x8x8x3|w=4x3x3x3|s=1x1|l=1x1|p=1,1,1,1|g=1|float32",
+		"qnn.conv2d|d=1x8x8x4|w=6x3x3x4|s=2x2|l=1x1|p=1,1,1,1|g=1|uint8",
+		"qnn.conv2d|d=1x6x6x4|w=4x1x1x4|s=1x1|l=1x1|p=0,0,0,0|g=1|int8",
+		"nn.dense|d=2x1x1x33|w=9x1x1x33|s=1x1|l=1x1|p=0,0,0,0|g=1|float32",
+		"qnn.dense|d=2x1x1x33|w=9x1x1x33|s=1x1|l=1x1|p=0,0,0,0|g=1|uint8",
+	}
+	configs := []topi.KernelConfig{
+		{},
+		{ConvStrategy: topi.ConvIm2col},
+		{ConvStrategy: topi.ConvDirect},
+		{GemmMC: 8, GemmNC: 4},
+		{GemmMC: 4, Workers: 2, Grain: 2},
+		{Workers: 1},
+	}
+	for _, ts := range tasks {
+		task, err := topi.ParseTaskKey(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := fastMeasurer(true)
+		bench, err := m.NewKernelBench(task)
+		if err != nil {
+			t.Fatalf("%s: %v", task, err)
+		}
+		for _, cfg := range configs {
+			if _, err := bench.Measure(cfg); err != nil {
+				t.Errorf("%s under %s: %v", task, cfg, err)
+			}
+		}
+	}
+}
+
+func TestMeasureRestoresDispatchTable(t *testing.T) {
+	prev := topi.SetTuning(nil)
+	defer topi.SetTuning(prev)
+	task, _ := topi.ParseTaskKey("nn.dense|d=1x1x1x16|w=4x1x1x16|s=1x1|l=1x1|p=0,0,0,0|g=1|float32")
+	m := fastMeasurer(false)
+	bench, err := m.NewKernelBench(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.Measure(topi.KernelConfig{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if topi.Tuning() != nil {
+		t.Fatal("Measure leaked its temporary dispatch table")
+	}
+}
+
+func TestMeasureRejectsEmptyOutput(t *testing.T) {
+	task, err := topi.ParseTaskKey("nn.conv2d|d=1x2x2x3|w=4x5x5x3|s=1x1|l=1x1|p=0,0,0,0|g=1|float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fastMeasurer(false)
+	if _, err := m.NewKernelBench(task); err == nil || !strings.Contains(err.Error(), "empty output") {
+		t.Fatalf("want empty-output error, got %v", err)
+	}
+}
+
+// TestTuneTasksEndToEnd runs the full orchestration on one tiny task and
+// checks the record plumbing: any emitted record must beat the default and
+// resolve through the dispatch table it builds.
+func TestTuneTasksEndToEnd(t *testing.T) {
+	task, _ := topi.ParseTaskKey("nn.conv2d|d=1x8x8x3|w=4x3x3x3|s=1x1|l=1x1|p=1,1,1,1|g=1|float32")
+	recs, results, err := TuneTasks("unit", []topi.TaskKey{task}, Options{
+		Search:  SearchOptions{Budget: 6},
+		Measure: fastMeasurer(true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Task != task {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].DefaultNS <= 0 {
+		t.Fatalf("default measurement = %d ns", results[0].DefaultNS)
+	}
+	for _, r := range recs {
+		if r.CostNS >= r.DefaultNS {
+			t.Errorf("record %+v does not beat its default", r)
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("emitted record invalid: %v", err)
+		}
+	}
+	tbl, err := BuildTable(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != len(recs) {
+		t.Fatalf("table %d entries for %d records", tbl.Len(), len(recs))
+	}
+}

@@ -1,0 +1,150 @@
+package tune
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/topi"
+)
+
+func testTask(t *testing.T) topi.TaskKey {
+	t.Helper()
+	key, err := topi.ParseTaskKey("nn.conv2d|d=1x8x8x3|w=4x3x3x3|s=1x1|l=1x1|p=1,1,1,1|g=1|float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func kernelRecord(task, model string, cfg Config, cost, def int64) Record {
+	return Record{Schema: SchemaVersion, Kind: KindKernel, Task: task,
+		Config: cfg, CostNS: cost, DefaultNS: def, Model: model}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	task := testTask(t)
+	recs := []Record{
+		kernelRecord(task.String(), "emotion", Config{ConvStrategy: topi.ConvIm2col, GemmMC: 128}, 1200, 1500),
+		{Schema: SchemaVersion, Kind: KindPlacement, Task: "pipeline|showcase",
+			Choice: map[string]string{"detect": "np-apu", "spoof": "np-cpu"}, CostNS: 9000},
+	}
+	path := filepath.Join(t.TempDir(), "records.json")
+	if err := WriteRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(got))
+	}
+	// Sorted by (kind, task): kernel before placement.
+	if got[0].Kind != KindKernel || got[0].Task != task.String() {
+		t.Fatalf("first record = %+v", got[0])
+	}
+	if got[0].Config != recs[0].Config || got[0].CostNS != 1200 || got[0].DefaultNS != 1500 || got[0].Model != "emotion" {
+		t.Fatalf("kernel record did not round-trip: %+v", got[0])
+	}
+	if got[1].Choice["detect"] != "np-apu" || got[1].Choice["spoof"] != "np-cpu" {
+		t.Fatalf("placement choice did not round-trip: %+v", got[1])
+	}
+
+	// Determinism: writing the loaded records reproduces the file bytes.
+	path2 := filepath.Join(t.TempDir(), "records2.json")
+	if err := WriteRecords(path2, got); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatalf("rewrite not byte-identical:\n%s\nvs\n%s", b1, b2)
+	}
+
+	// The dispatch table sees exactly the kernel record.
+	tbl, err := BuildTable(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("table has %d entries, want 1", tbl.Len())
+	}
+	cfg, ok := tbl.Lookup(task)
+	if !ok || cfg.ConvStrategy != topi.ConvIm2col || cfg.GemmMC != 128 {
+		t.Fatalf("table lookup = %+v, %v", cfg, ok)
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	task := testTask(t)
+	r := kernelRecord(task.String(), "m", Config{}, 10, 20)
+	r.Schema = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "old.json")
+	// Write the stale-schema line by hand; WriteRecords itself refuses it.
+	if err := WriteRecords(path, []Record{r}); err == nil {
+		t.Fatal("WriteRecords accepted a wrong-schema record")
+	}
+	line := `{"schema":2,"kind":"kernel","task":"` + task.String() + `","cost_ns":10}`
+	if err := os.WriteFile(path, []byte(line+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadRecords(path)
+	if err == nil {
+		t.Fatal("LoadRecords accepted a schema-mismatched file")
+	}
+	msg := err.Error()
+	for _, want := range []string{"schema v2", "reads v1", "re-run nptune", "old.json:1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte("{\"schema\":1,\"kind\":\"kernel\",\"task\":\"bogus\",\"cost_ns\":1}\n"), 0o644)
+	if _, err := LoadRecords(path); err == nil {
+		t.Fatal("accepted an unparseable task key")
+	}
+	os.WriteFile(path, []byte("not json\n"), 0o644)
+	if _, err := LoadRecords(path); err == nil || !strings.Contains(err.Error(), "bad.json:1") {
+		t.Fatalf("want line-numbered JSON error, got %v", err)
+	}
+}
+
+func TestMergeLowerCostWins(t *testing.T) {
+	task := testTask(t)
+	a := kernelRecord(task.String(), "a", Config{GemmMC: 32}, 1500, 2000)
+	b := kernelRecord(task.String(), "b", Config{GemmMC: 128}, 1200, 2000)
+	other := kernelRecord("nn.dense|d=1x1x1x64|w=10x1x1x64|s=1x1|l=1x1|p=0,0,0,0|g=1|float32", "a", Config{Workers: 2}, 900, 1000)
+
+	m1 := Merge([]Record{a, other}, []Record{b})
+	m2 := Merge([]Record{b}, []Record{other, a})
+	if len(m1) != 2 || len(m2) != 2 {
+		t.Fatalf("merge sizes %d, %d; want 2", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i].key() != m2[i].key() || m1[i].CostNS != m2[i].CostNS || m1[i].Config != m2[i].Config {
+			t.Fatalf("merge not order-independent: %+v vs %+v", m1[i], m2[i])
+		}
+	}
+	var got Record
+	for _, r := range m1 {
+		if r.Task == task.String() {
+			got = r
+		}
+	}
+	if got.CostNS != 1200 || got.Config.GemmMC != 128 {
+		t.Fatalf("merge kept %+v, want the 1200ns mc=128 record", got)
+	}
+
+	// Exact cost tie: deterministic winner via the serialized-config tie key.
+	c := kernelRecord(task.String(), "c", Config{GemmMC: 64}, 1200, 2000)
+	t1 := Merge([]Record{b}, []Record{c})
+	t2 := Merge([]Record{c}, []Record{b})
+	if t1[0].Config != t2[0].Config || t1[0].Model != t2[0].Model {
+		t.Fatalf("tie not deterministic: %+v vs %+v", t1[0], t2[0])
+	}
+}

@@ -1,0 +1,143 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/topi"
+)
+
+// costModel is a synthetic, deterministic measurement function with one
+// global optimum, for exercising the searchers without real kernels.
+func costModel(best topi.KernelConfig) MeasureFunc {
+	return func(cfg topi.KernelConfig) (int64, error) {
+		cost := int64(1000)
+		if cfg.ConvStrategy != best.ConvStrategy {
+			cost += 200
+		}
+		if cfg.GemmMC != best.GemmMC {
+			cost += 100
+		}
+		if cfg.GemmNC != best.GemmNC {
+			cost += 50
+		}
+		if cfg.Workers != best.Workers {
+			cost += 25
+		}
+		if cfg.Grain != best.Grain {
+			cost += 10
+		}
+		return cost, nil
+	}
+}
+
+func TestGridFindsOptimum(t *testing.T) {
+	s := SpaceFor(testTask(t))
+	best := topi.KernelConfig{ConvStrategy: topi.ConvIm2col, GemmMC: 128, GemmNC: 16, Workers: 1, Grain: 8}
+	res, err := SearchTask(s, costModel(best), SearchOptions{Budget: s.Size() + 1, Strategy: "grid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != best {
+		t.Fatalf("grid best = %s, want %s", res.Best, best)
+	}
+	if res.BestNS != 1000 || res.DefaultNS != 1385 {
+		t.Fatalf("costs = %d / default %d", res.BestNS, res.DefaultNS)
+	}
+	if !res.Improved() {
+		t.Fatal("Improved() = false for a strictly better config")
+	}
+	if res.Strategy != "grid" {
+		t.Fatalf("strategy = %q", res.Strategy)
+	}
+}
+
+func TestAutoPicksGridForSmallSpace(t *testing.T) {
+	s := SpaceFor(denseTask(t))
+	res, err := SearchTask(s, costModel(topi.KernelConfig{}), SearchOptions{Budget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "grid" {
+		t.Fatalf("auto strategy = %q for size-%d space with budget 1000", res.Strategy, s.Size())
+	}
+	// The default IS the optimum here: no record should be suggested.
+	if res.Improved() {
+		t.Fatalf("Improved() = true when default is optimal (best %s)", res.Best)
+	}
+}
+
+func TestRandomSearchDeterministicAndBudgeted(t *testing.T) {
+	s := SpaceFor(testTask(t))
+	best := topi.KernelConfig{ConvStrategy: topi.ConvDirect, GemmMC: 32, GemmNC: 4, Workers: 0, Grain: 2}
+	opt := SearchOptions{Budget: 12, Strategy: "random", Seed: 7}
+	r1, err := SearchTask(s, costModel(best), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SearchTask(s, costModel(best), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Best != r2.Best || r1.BestNS != r2.BestNS || r1.Evaluated != r2.Evaluated {
+		t.Fatalf("random search not deterministic: %+v vs %+v", r1, r2)
+	}
+	if r1.Evaluated > 12 {
+		t.Fatalf("evaluated %d candidates, budget 12", r1.Evaluated)
+	}
+	if r1.BestNS > r1.DefaultNS {
+		t.Fatalf("search regressed below the default: %d > %d", r1.BestNS, r1.DefaultNS)
+	}
+}
+
+func TestHillClimbReachesOptimum(t *testing.T) {
+	// On a separable cost surface with per-axis gradients (no plateaus),
+	// greedy axis-neighbor climbing always has an improving step until the
+	// optimum, so with enough budget the exact optimum is guaranteed.
+	s := SpaceFor(testTask(t))
+	bestIdx := [5]int{1, 2, 1, 1, 2}
+	weights := [5]int64{170, 130, 70, 40, 20}
+	axisPos := func(cfg topi.KernelConfig) [5]int {
+		find := func(vals []int, v int) int {
+			for i, x := range vals {
+				if x == v {
+					return i
+				}
+			}
+			return -1
+		}
+		var p [5]int
+		for i, st := range s.Strategies {
+			if st == cfg.ConvStrategy {
+				p[0] = i
+			}
+		}
+		p[1] = find(s.MC, cfg.GemmMC)
+		p[2] = find(s.NC, cfg.GemmNC)
+		p[3] = find(s.Workers, cfg.Workers)
+		p[4] = find(s.Grain, cfg.Grain)
+		return p
+	}
+	measure := func(cfg topi.KernelConfig) (int64, error) {
+		cost := int64(1000)
+		p := axisPos(cfg)
+		for i := range p {
+			d := p[i] - bestIdx[i]
+			if d < 0 {
+				d = -d
+			}
+			cost += weights[i] * int64(d)
+		}
+		return cost, nil
+	}
+	res, err := SearchTask(s, measure, SearchOptions{Budget: s.Size(), Strategy: "random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.At(bestIdx)
+	if res.Best != want {
+		t.Fatalf("hill climb best = %s (%d ns), want %s", res.Best, res.BestNS, want)
+	}
+	if res.BestNS != 1000 {
+		t.Fatalf("optimum cost = %d, want 1000", res.BestNS)
+	}
+}

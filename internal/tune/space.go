@@ -1,0 +1,95 @@
+package tune
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/topi"
+)
+
+// ConfigSpace is the typed knob space of one task: one axis per knob, a
+// config per point of the cross product. Every axis includes the default
+// (zero) value, so the untuned config is always point 0 and the search can
+// never regress below "no record at all" — a candidate must measure faster
+// than the default to be recorded.
+//
+// Knob choice is constrained by the bitwise-identity invariant: MC/NC
+// blocking, worker caps and grains only re-partition disjoint output ranges,
+// and the conv strategies are pinned bit-identical to each other. KC (the
+// reduction dimension) is deliberately NOT an axis — splitting k would
+// reorder float accumulation.
+type ConfigSpace struct {
+	Task topi.TaskKey
+	// Strategies is the conv-strategy axis ({""} for dense tasks).
+	Strategies []string
+	// MC, NC, Workers, Grain are the integer knob axes; each starts with 0
+	// (the default).
+	MC, NC, Workers, Grain []int
+}
+
+// axes returns the axis lengths in enumeration order.
+func (s *ConfigSpace) axes() [5]int {
+	return [5]int{len(s.Strategies), len(s.MC), len(s.NC), len(s.Workers), len(s.Grain)}
+}
+
+// Size is the number of points in the space.
+func (s *ConfigSpace) Size() int {
+	n := 1
+	for _, a := range s.axes() {
+		n *= a
+	}
+	return n
+}
+
+// At materializes the config at the given axis indices.
+func (s *ConfigSpace) At(idx [5]int) topi.KernelConfig {
+	return topi.KernelConfig{
+		ConvStrategy: s.Strategies[idx[0]],
+		GemmMC:       s.MC[idx[1]],
+		GemmNC:       s.NC[idx[2]],
+		Workers:      s.Workers[idx[3]],
+		Grain:        s.Grain[idx[4]],
+	}
+}
+
+// point converts a flat enumeration index to axis indices (row-major, the
+// last axis fastest).
+func (s *ConfigSpace) point(flat int) [5]int {
+	ax := s.axes()
+	var idx [5]int
+	for i := 4; i >= 0; i-- {
+		idx[i] = flat % ax[i]
+		flat /= ax[i]
+	}
+	return idx
+}
+
+// SpaceFor declares the knob space of a task. Conv tasks get the strategy
+// axis plus the GEMM blocking axes (the im2col path runs the GEMM); dense
+// tasks get blocking and parallelism only. Axis values are small curated
+// sets — the measured space stays a few hundred points at most, and the
+// search samples it under budget anyway.
+func SpaceFor(task topi.TaskKey) ConfigSpace {
+	maxW := parallel.MaxWorkers()
+	workers := []int{0, 1}
+	if maxW >= 4 {
+		workers = append(workers, 2, maxW/2)
+	} else if maxW >= 2 {
+		workers = append(workers, 2)
+	}
+	s := ConfigSpace{
+		Task:    task,
+		MC:      []int{0, 32, 128},
+		NC:      []int{0, 4, 16},
+		Workers: workers,
+	}
+	if task.KH > 1 || task.KW > 1 || task.H > 1 || task.W > 1 {
+		// Convolution family.
+		s.Strategies = []string{topi.ConvAuto, topi.ConvIm2col, topi.ConvDirect}
+		s.Grain = []int{0, 2, 8}
+	} else {
+		// Dense family: no strategy knob, no row-loop grain (the GEMM's
+		// grain is the NC axis).
+		s.Strategies = []string{topi.ConvAuto}
+		s.Grain = []int{0}
+	}
+	return s
+}

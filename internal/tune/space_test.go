@@ -1,0 +1,60 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/topi"
+)
+
+func TestSpacePointZeroIsDefault(t *testing.T) {
+	for _, task := range []topi.TaskKey{testTask(t), denseTask(t)} {
+		s := SpaceFor(task)
+		if got := s.At(s.point(0)); !got.IsDefault() {
+			t.Errorf("%s: point 0 = %s, want default", task, got)
+		}
+		if s.Size() < 2 {
+			t.Errorf("%s: space size %d, want at least default + 1 candidate", task, s.Size())
+		}
+	}
+}
+
+func denseTask(t *testing.T) topi.TaskKey {
+	t.Helper()
+	key, err := topi.ParseTaskKey("nn.dense|d=1x1x1x64|w=10x1x1x64|s=1x1|l=1x1|p=0,0,0,0|g=1|float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestSpacePointRoundTrip(t *testing.T) {
+	s := SpaceFor(testTask(t))
+	seen := map[topi.KernelConfig]bool{}
+	for flat := 0; flat < s.Size(); flat++ {
+		idx := s.point(flat)
+		ax := s.axes()
+		for i, v := range idx {
+			if v < 0 || v >= ax[i] {
+				t.Fatalf("flat %d axis %d out of range: %d", flat, i, v)
+			}
+		}
+		cfg := s.At(idx)
+		if seen[cfg] {
+			t.Fatalf("flat %d repeats config %s", flat, cfg)
+		}
+		seen[cfg] = true
+	}
+	if len(seen) != s.Size() {
+		t.Fatalf("enumerated %d distinct configs, want %d", len(seen), s.Size())
+	}
+}
+
+func TestDenseSpaceHasNoConvKnobs(t *testing.T) {
+	s := SpaceFor(denseTask(t))
+	if len(s.Strategies) != 1 || s.Strategies[0] != topi.ConvAuto {
+		t.Errorf("dense strategies = %v", s.Strategies)
+	}
+	if len(s.Grain) != 1 || s.Grain[0] != 0 {
+		t.Errorf("dense grain axis = %v", s.Grain)
+	}
+}

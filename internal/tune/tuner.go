@@ -1,0 +1,99 @@
+package tune
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/relay"
+	"repro/internal/topi"
+)
+
+// Options configures one tuning run.
+type Options struct {
+	Search  SearchOptions
+	Measure Measurer
+	// Progress, when non-nil, receives one line per task as it finishes.
+	Progress io.Writer
+}
+
+// TuneModule extracts the tunable tasks of one module and searches each
+// task's config space, returning the records worth persisting (only tasks
+// where a non-default config measured strictly faster) plus every task's
+// full search result for reporting.
+func TuneModule(model string, m *relay.Module, opt Options) ([]Record, []TaskResult, error) {
+	var ierr error
+	m.Functions(func(fname string, f *relay.Function) {
+		if ierr != nil {
+			return
+		}
+		if _, err := relay.InferTypes(f); err != nil {
+			ierr = fmt.Errorf("tune: inferring types of %s.%s: %w", model, fname, err)
+		}
+	})
+	if ierr != nil {
+		return nil, nil, ierr
+	}
+	return TuneTasks(model, Tasks(m), opt)
+}
+
+// TuneTasks searches the config space of each task with the in-process
+// measurement harness. Tuning temporarily installs per-candidate dispatch
+// tables (topi.SetTuning), so it must not run concurrently with inference.
+func TuneTasks(model string, tasks []topi.TaskKey, opt Options) ([]Record, []TaskResult, error) {
+	var recs []Record
+	var results []TaskResult
+	for _, task := range tasks {
+		bench, err := opt.Measure.NewKernelBench(task)
+		if err != nil {
+			return recs, results, fmt.Errorf("tune: preparing %s: %w", task, err)
+		}
+		res, err := SearchTask(SpaceFor(task), bench.Measure, opt.Search)
+		if err != nil {
+			return recs, results, err
+		}
+		results = append(results, res)
+		if opt.Progress != nil {
+			status := "default kept"
+			if res.Improved() {
+				status = fmt.Sprintf("%s (%.2fx)", res.Best, float64(res.DefaultNS)/float64(res.BestNS))
+			}
+			fmt.Fprintf(opt.Progress, "  %-60s %7d ns  %3d cands  %-6s %s\n",
+				task, res.BestNS, res.Evaluated, res.Strategy, status)
+		}
+		if res.Improved() {
+			recs = append(recs, Record{
+				Schema:    SchemaVersion,
+				Kind:      KindKernel,
+				Task:      task.String(),
+				Config:    FromKernel(res.Best),
+				CostNS:    res.BestNS,
+				DefaultNS: res.DefaultNS,
+				Model:     model,
+			})
+		}
+	}
+	return recs, results, nil
+}
+
+// Install builds the kernel dispatch table from records and makes it the
+// process-wide active table. It returns the previous table (nil if none).
+func Install(recs []Record) (*topi.TuningTable, error) {
+	t, err := BuildTable(recs)
+	if err != nil {
+		return nil, err
+	}
+	topi.SetTuning(t)
+	return t, nil
+}
+
+// LoadAndInstall loads a record file and installs its kernel table,
+// returning the installed table and total record count. Callers that want
+// graceful fallback treat a missing file as "run untuned".
+func LoadAndInstall(path string) (*topi.TuningTable, int, error) {
+	t, n, err := LoadTable(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	topi.SetTuning(t)
+	return t, n, nil
+}
