@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race lint npvet analyze bench bench-compare trace-demo tune-smoke
+.PHONY: check build fmt vet test race lint npvet analyze bench bench-compare trace-demo tune-smoke fleet-smoke
 
 # check is the tier-1 gate: build + formatting + vet + race-enabled tests +
 # cross-registry lint + the custom npvet analyzers + the dataflow analyses
@@ -66,6 +66,16 @@ tune-smoke:
 	rm -f $(TUNEOUT)
 	$(GO) run ./cmd/nptune -zoo emotion -budget $(TUNEBUDGET) -o $(TUNEOUT)
 	$(GO) run ./cmd/nptune -check $(TUNEOUT) -zoo emotion
+
+# fleet-smoke stands up the fleet tier in-process — an nprouter-equivalent
+# router fronting two workers that share an artifact store — routes an
+# inference through every zoo model, hot-loads a second model version,
+# drains one worker, and verifies failover. FLEETOUT receives the final
+# fleet-wide /statsz document (CI uploads it as an artifact).
+FLEETOUT ?= fleet-statsz.json
+fleet-smoke:
+	FLEET_SMOKE=1 FLEET_SMOKE_OUT=$(abspath $(FLEETOUT)) \
+		$(GO) test ./internal/fleet/ -run TestFleetSmoke -count=1 -v
 
 # trace-demo compiles and runs the lite emotion model with profiling on and
 # writes demo-trace.json — a Chrome/Perfetto trace with all three clock

@@ -1,0 +1,73 @@
+// Command nprouter is the fleet tier's tracker/router: npserve workers
+// register with it (device key + base URL) and heartbeat; the router
+// health-checks them, routes /v1/infer across the fleet with consistent
+// (model, seed)-sharded worker selection and retry-on-dead-worker, and
+// aggregates fleet-wide observability.
+//
+// Usage:
+//
+//	nprouter                          # listen on :8090
+//	nprouter -addr :9090 -health-interval 1s -heartbeat-timeout 5s
+//
+// A sample fleet session:
+//
+//	nprouter &
+//	npserve -addr :8081 -router http://localhost:8090 -key d9000-0 &
+//	npserve -addr :8082 -router http://localhost:8090 -key d9000-1 &
+//	curl -s localhost:8090/fleet/workers
+//	curl -s -X POST localhost:8090/v1/infer -d '{"model":"emotion","seed":7}'
+//	curl -s localhost:8090/statsz             # fleet-wide stats
+//	curl -s localhost:8090/metricsz           # merged exposition, worker labels
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		interval  = flag.Duration("health-interval", 2*time.Second, "worker health-probe period")
+		timeout   = flag.Duration("heartbeat-timeout", 10*time.Second, "mark a worker unhealthy after this long without a heartbeat or probe")
+		reqBudget = flag.Duration("request-timeout", 30*time.Second, "per-attempt budget for proxied worker requests")
+	)
+	flag.Parse()
+
+	rt := fleet.NewRouter(fleet.Options{
+		HealthInterval:   *interval,
+		HeartbeatTimeout: *timeout,
+		Client:           &http.Client{Timeout: *reqBudget},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.HealthCheckLoop(ctx)
+
+	hs := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("nprouter: tracking on %s (register: POST %s/fleet/register)\n", *addr, *addr)
+	fmt.Printf("nprouter: fleet observability at %s/statsz, %s/metricsz\n", *addr, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "nprouter:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("\nnprouter: %v: shutting down\n", s)
+		cancel()
+		shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shCancel()
+		_ = hs.Shutdown(shCtx)
+	}
+}

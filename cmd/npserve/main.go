@@ -9,6 +9,8 @@
 //	npserve -models "emotion,mobilenet v2"   # serve specific zoo models
 //	npserve -pool 4 -batch 8 -window 2ms     # bigger pools, micro-batching on
 //	npserve -addr :9000 -size full
+//	npserve -artifact-cache /var/np/cache    # content-addressed compiled-Lib store
+//	npserve -router http://host:8090 -key d9000-0   # join an nprouter fleet
 //
 // A sample session:
 //
@@ -32,7 +34,9 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/fleet"
 	"repro/internal/models"
+	"repro/internal/registry"
 	"repro/internal/runtime"
 	"repro/internal/serve"
 	"repro/internal/tune"
@@ -51,6 +55,11 @@ func main() {
 		noNIR     = flag.Bool("no-nir", false, "disable NeuroPilot partitioning (TVM-only builds)")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
 		tuneWith  = flag.String("tune-with", "", "tuning-record file (nptune output) to steer kernel dispatch")
+		cacheDir  = flag.String("artifact-cache", "", "directory for the content-addressed compiled-Lib store (empty = in-memory only)")
+		version   = flag.String("model-version", "v1", "version label for the deployed models (registry endpoint name@version)")
+		routerURL = flag.String("router", "", "nprouter base URL to register with (joins the fleet)")
+		workerKey = flag.String("key", "", "device key announced to the router (required with -router)")
+		advertise = flag.String("advertise", "", "base URL the router reaches this worker at (default derived from -addr)")
 	)
 	flag.Parse()
 
@@ -66,13 +75,20 @@ func main() {
 	}
 
 	srv := serve.NewServer()
+	var tuningBytes []byte
 	if *tuneWith != "" {
 		tbl, n, err := tune.LoadAndInstall(*tuneWith)
 		fatal(err)
 		tbl.EnableMetrics(srv.Metrics())
+		tuningBytes, err = os.ReadFile(*tuneWith)
+		fatal(err)
 		fmt.Printf("npserve: loaded %d tuning record(s) from %s (%d kernel config(s))\n",
 			n, *tuneWith, tbl.Len())
 	}
+	cache, err := registry.NewCache(*cacheDir)
+	fatal(err)
+	cache.EnableMetrics(srv.Metrics())
+	reg := registry.New(srv)
 	opts := serve.ModelOptions{
 		Pool:        *pool,
 		QueueDepth:  *queue,
@@ -90,18 +106,48 @@ func main() {
 			names = append(names, s.Name)
 		}
 	}
+	// loadModel materializes one zoo model through the artifact cache: the
+	// content address covers the module, the build options, and any tuning
+	// records, so a warmed -artifact-cache directory makes startup (and every
+	// sibling worker's startup) a load instead of a compile.
+	bopts := runtime.BuildOptions{OptLevel: 3, UseNIR: !*noNIR}
+	loadModel := func(name string) (*runtime.Lib, string, bool, error) {
+		spec, err := models.Get(name)
+		if err != nil {
+			return nil, "", false, err
+		}
+		mod, err := spec.Build(size)
+		if err != nil {
+			return nil, "", false, err
+		}
+		key, err := registry.Key(mod, bopts, tuningBytes)
+		if err != nil {
+			return nil, "", false, err
+		}
+		lib, hit, err := cache.GetOrBuild(key, nil, func() (*runtime.Lib, error) {
+			return runtime.Build(mod, bopts)
+		})
+		return lib, key, hit, err
+	}
 	for _, name := range names {
 		spec, err := models.Get(name)
 		fatal(err)
-		fmt.Printf("npserve: building %s (%s, %s preset)...\n", name, spec.Framework, *sizeArg)
-		mod, err := spec.Build(size)
+		fmt.Printf("npserve: loading %s (%s, %s preset)...\n", name, spec.Framework, *sizeArg)
+		lib, key, hit, err := loadModel(name)
 		fatal(err)
-		lib, err := runtime.Build(mod, runtime.BuildOptions{OptLevel: 3, UseNIR: !*noNIR})
-		fatal(err)
-		fatal(srv.Register(name, lib, opts))
-		fmt.Printf("npserve: registered %q: pool=%d queue=%d batch=%d devices=%v\n",
-			name, *pool, *queue, *batch, must(srv.Endpoint(name)).Devices)
+		fatal(reg.Deploy(name, *version, lib, opts, key))
+		how := "compiled"
+		if hit {
+			how = "artifact-cache hit"
+		}
+		fmt.Printf("npserve: deployed %q@%s (%s, key %.12s…): pool=%d queue=%d batch=%d devices=%v\n",
+			name, *version, how, key, *pool, *queue, *batch,
+			must(srv.Endpoint(registry.EndpointName(name, *version))).Devices)
 	}
+	srv.Mount("/admin/", reg.AdminHandler(func(model, modelVersion string) (*runtime.Lib, serve.ModelOptions, string, error) {
+		lib, key, _, err := loadModel(model)
+		return lib, opts, key, err
+	}))
 	if withShowcase {
 		fmt.Println("npserve: building the /v1/showcase application (3 models)...")
 		cfg := app.DefaultConfig()
@@ -117,6 +163,18 @@ func main() {
 	fmt.Printf("npserve: observability at %s/statsz, %s/metricsz (Prometheus), %s/tracez (Perfetto)\n",
 		*addr, *addr, *addr)
 
+	agentCtx, agentStop := context.WithCancel(context.Background())
+	defer agentStop()
+	var agent *fleet.Agent
+	if *routerURL != "" {
+		if *workerKey == "" {
+			fatal(fmt.Errorf("npserve: -router requires -key (the fleet-unique device key)"))
+		}
+		agent = &fleet.Agent{RouterURL: *routerURL, Key: *workerKey, SelfURL: selfURL(*advertise, *addr)}
+		go agent.Run(agentCtx)
+		fmt.Printf("npserve: joining fleet at %s as %q (%s)\n", *routerURL, *workerKey, agent.SelfURL)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -126,10 +184,27 @@ func main() {
 		fmt.Printf("\nnpserve: %v: draining...\n", s)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if agent != nil {
+			agentStop()
+			_ = agent.Deregister(ctx) // leave the fleet before refusing work
+		}
 		srv.Drain()
 		_ = hs.Shutdown(ctx)
 		fmt.Println("npserve: drained, bye")
 	}
+}
+
+// selfURL derives the base URL the router should reach this worker at when
+// -advertise is not given: a bare ":port" listen address advertises
+// loopback, anything else is used as host:port directly.
+func selfURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
 }
 
 // splitModels splits the -models flag on commas (zoo names contain spaces

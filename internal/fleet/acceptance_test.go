@@ -1,0 +1,400 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/registry"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+)
+
+// fleetWorker is one in-process npserve worker: its own server, registry,
+// and artifact cache (separate Cache instances over one shared directory —
+// the shared-artifact-store deployment the cache is for).
+type fleetWorker struct {
+	key   string
+	cache *registry.Cache
+	srv   *serve.Server
+	reg   *registry.Registry
+	ts    *httptest.Server
+}
+
+func newFleetWorker(t *testing.T, key, cacheDir string) *fleetWorker {
+	t.Helper()
+	c, err := registry.NewCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer()
+	c.EnableMetrics(srv.Metrics())
+	w := &fleetWorker{key: key, cache: c, srv: srv, reg: registry.New(srv)}
+	w.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+// deploy loads (model, version) through the worker's artifact cache and cuts
+// the public alias over to it, returning whether the load avoided compiling.
+func (w *fleetWorker) deploy(t *testing.T, model, version, cacheKey string, build func() (*runtime.Lib, error)) bool {
+	t.Helper()
+	lib, hit, err := w.cache.GetOrBuild(cacheKey, nil, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.reg.Deploy(model, version, lib, serve.ModelOptions{Pool: 2, QueueDepth: 64}, cacheKey); err != nil {
+		t.Fatal(err)
+	}
+	return hit
+}
+
+// refOutputs collects the single-process reference: seed → response from a
+// plain serve.Server over the same HTTP surface (so JSON float round-trips
+// identically on both sides of the comparison).
+func refOutputs(t *testing.T, url string, seeds []uint64) map[uint64]serve.InferResponse {
+	t.Helper()
+	out := make(map[uint64]serve.InferResponse, len(seeds))
+	for _, seed := range seeds {
+		body, _ := json.Marshal(serve.InferRequest{Model: "emotion", Seed: seed})
+		resp, err := http.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ir serve.InferResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference seed %d: status %d", seed, resp.StatusCode)
+		}
+		out[seed] = ir
+	}
+	return out
+}
+
+func sameOutputs(a, b []serve.TensorJSON) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].DType != b[i].DType || len(a[i].Data) != len(b[i].Data) || len(a[i].Shape) != len(b[i].Shape) {
+			return false
+		}
+		for j := range a[i].Shape {
+			if a[i].Shape[j] != b[i].Shape[j] {
+				return false
+			}
+		}
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFleetAcceptance is the PR's acceptance gate, exercised under -race by
+// `make check`: two workers behind the router serve concurrent clients with
+// outputs bitwise-identical to a single-process serve.Server; the second
+// worker's library load is an artifact-cache hit (zero compiles, pinned via
+// cache metrics); hot-loading v2 and rolling back under load never yields a
+// mixed-version response; and killing a worker mid-load loses no accepted
+// requests.
+func TestFleetAcceptance(t *testing.T) {
+	m1, err := models.BuildEmotion(models.SizeLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := models.BuildEmotion(models.SizeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := runtime.BuildOptions{OptLevel: 3}
+	key1, err := registry.Key(m1, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := registry.Key(m2, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildV1 := func() (*runtime.Lib, error) { return runtime.Build(m1, opts) }
+	buildV2 := func() (*runtime.Lib, error) { return runtime.Build(m2, opts) }
+
+	cacheDir := t.TempDir()
+	w1 := newFleetWorker(t, "w1", cacheDir)
+	w2 := newFleetWorker(t, "w2", cacheDir)
+
+	// --- artifact cache: first worker compiles, second loads the artifact.
+	if hit := w1.deploy(t, "emotion", "v1", key1, buildV1); hit {
+		t.Fatal("w1 deploy should be the cache miss that compiles")
+	}
+	if hit := w2.deploy(t, "emotion", "v1", key1, buildV1); !hit {
+		t.Fatal("w2 deploy should hit the shared artifact store")
+	}
+	if st := w2.cache.Stats(); st.Builds != 0 || st.DiskHits != 1 {
+		t.Fatalf("w2 cache stats %+v: want 0 builds, 1 disk hit", st)
+	}
+
+	// The race detector makes SizeFull inferences slow enough to trip a short
+	// proxy timeout, which would read as dead workers; the acceptance router
+	// gets a generous client so only real transport failures count.
+	rt := NewRouter(Options{
+		HeartbeatTimeout: 1 << 40,
+		HealthInterval:   1 << 40,
+		Client:           &http.Client{Timeout: 120 * time.Second},
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+	if err := rt.Register("w1", w1.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register("w2", w2.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- single-process references for both model versions.
+	refSrv := serve.NewServer()
+	libRef1, err := buildV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	libRef2, err := buildV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refSrv.Register("emotion", libRef1, serve.ModelOptions{Pool: 1, QueueDepth: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := refSrv.Register("emotion-v2", libRef2, serve.ModelOptions{Pool: 1, QueueDepth: 16}); err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(refSrv.Handler())
+	defer refTS.Close()
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	ref1 := refOutputs(t, refTS.URL, seeds)
+	ref2 := map[uint64]serve.InferResponse{}
+	for _, seed := range seeds {
+		body, _ := json.Marshal(serve.InferRequest{Model: "emotion-v2", Seed: seed})
+		resp, err := http.Post(refTS.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ir serve.InferResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ref2[seed] = ir
+	}
+
+	// --- concurrent clients through the router: every output bitwise equal
+	// to the single-process reference.
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(seeds)*3)
+	for c := 0; c < 3; c++ {
+		for _, seed := range seeds {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				body, _ := json.Marshal(serve.InferRequest{Model: "emotion", Seed: seed})
+				resp, err := http.Post(rts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("seed %d: status %d", seed, resp.StatusCode)
+					return
+				}
+				var ir serve.InferResponse
+				if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+					errCh <- err
+					return
+				}
+				if !sameOutputs(ir.Outputs, ref1[seed].Outputs) {
+					errCh <- fmt.Errorf("seed %d via %s: outputs differ from single-process reference", seed, resp.Header.Get(WorkerHeader))
+				}
+			}(seed)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// --- hot-load v2 and roll back while clients hammer the router: every
+	// response must be internally consistent — a v1 label with v1 outputs or
+	// a v2 label with v2 outputs, never a mix — and nothing may fail.
+	stop := make(chan struct{})
+	loadErr := make(chan error, 64)
+	var loadWG sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		loadWG.Add(1)
+		go func(c int) {
+			defer loadWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seed := seeds[(c+i)%len(seeds)]
+				body, _ := json.Marshal(serve.InferRequest{Model: "emotion", Seed: seed})
+				resp, err := http.Post(rts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					loadErr <- err
+					return
+				}
+				var ir serve.InferResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&ir)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					loadErr <- fmt.Errorf("mid-cutover seed %d: status %d", seed, resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					loadErr <- decErr
+					return
+				}
+				switch ir.Version {
+				case "v1":
+					if !sameOutputs(ir.Outputs, ref1[seed].Outputs) {
+						loadErr <- fmt.Errorf("seed %d: v1-labelled response with non-v1 outputs (mixed version)", seed)
+						return
+					}
+				case "v2":
+					if !sameOutputs(ir.Outputs, ref2[seed].Outputs) {
+						loadErr <- fmt.Errorf("seed %d: v2-labelled response with non-v2 outputs (mixed version)", seed)
+						return
+					}
+				default:
+					loadErr <- fmt.Errorf("seed %d: unexpected version %q", seed, ir.Version)
+					return
+				}
+			}
+		}(c)
+	}
+
+	if hit := w1.deploy(t, "emotion", "v2", key2, buildV2); hit {
+		t.Error("w1 v2 deploy should compile (new key)")
+	}
+	if hit := w2.deploy(t, "emotion", "v2", key2, buildV2); !hit {
+		t.Error("w2 v2 deploy should hit the shared artifact store")
+	}
+	for _, w := range []*fleetWorker{w1, w2} {
+		if restored, err := w.reg.Rollback("emotion"); err != nil || restored != "v1" {
+			t.Fatalf("%s rollback: restored=%q err=%v", w.key, restored, err)
+		}
+	}
+	close(stop)
+	loadWG.Wait()
+	close(loadErr)
+	for err := range loadErr {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// --- kill w1 mid-load: the router retries its shards on w2; every
+	// request accepted by the fleet still answers, bitwise-correct.
+	stop2 := make(chan struct{})
+	kill := make(chan struct{})
+	killErr := make(chan error, 64)
+	var killWG sync.WaitGroup
+	var once sync.Once
+	for c := 0; c < 4; c++ {
+		killWG.Add(1)
+		go func(c int) {
+			defer killWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop2:
+					return
+				default:
+				}
+				if c == 0 && i == 3 {
+					once.Do(func() { close(kill) })
+				}
+				seed := seeds[(c+i)%len(seeds)]
+				body, _ := json.Marshal(serve.InferRequest{Model: "emotion", Seed: seed})
+				resp, err := http.Post(rts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					killErr <- err
+					return
+				}
+				var ir serve.InferResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&ir)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					killErr <- fmt.Errorf("mid-kill seed %d: status %d", seed, resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					killErr <- decErr
+					return
+				}
+				if !sameOutputs(ir.Outputs, ref1[seed].Outputs) {
+					killErr <- fmt.Errorf("mid-kill seed %d: outputs differ from reference", seed)
+					return
+				}
+			}
+		}(c)
+	}
+	<-kill
+	w1.ts.Close() // waits for in-flight handlers: accepted requests finish
+	// Let each client complete a few post-kill rounds, then stop.
+	waitFor(t, "post-kill traffic settling on w2", func() bool {
+		for _, wi := range rt.Workers() {
+			if wi.Key == "w1" && !wi.Healthy {
+				return true
+			}
+		}
+		return false
+	})
+	close(stop2)
+	killWG.Wait()
+	close(killErr)
+	for err := range killErr {
+		t.Error(err)
+	}
+
+	// --- fleet metrics: the merged exposition carries the cache counters of
+	// the surviving worker (np_fleet_artifact_cache_*) and the router's
+	// np_fleet_* family.
+	resp, err := http.Get(rts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	expo := string(text)
+	for _, want := range []string{
+		"np_fleet_workers_registered 2",
+		"np_fleet_workers_healthy 1",
+		"np_fleet_routed_requests_total{",
+		`np_fleet_artifact_cache_builds_total{worker="w2"} 0`,
+		`np_fleet_artifact_cache_requests_total{worker="w2",outcome="hit_disk"} 2`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("fleet /metricsz missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Agent is the worker side of the tracker protocol: it announces one npserve
+// process to the router and keeps its registration alive with heartbeats,
+// re-registering automatically when the router restarts and forgets it.
+type Agent struct {
+	// RouterURL is the router's base URL.
+	RouterURL string
+	// Key is this worker's device key; it must be unique fleet-wide.
+	Key string
+	// SelfURL is this worker's base URL as reachable from the router.
+	SelfURL string
+	// Interval between heartbeats (default 2s).
+	Interval time.Duration
+	// Client performs the calls (default: 5s-timeout http.Client).
+	Client *http.Client
+}
+
+func (a *Agent) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (a *Agent) post(ctx context.Context, path string, body any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.RouterURL+path, bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Register announces the worker to the router once. The router probes the
+// worker synchronously, so success means the worker is routable.
+func (a *Agent) Register(ctx context.Context) error {
+	code, err := a.post(ctx, "/fleet/register", RegisterRequest{Key: a.Key, URL: a.SelfURL})
+	if err != nil {
+		return fmt.Errorf("fleet: register %s with %s: %w", a.Key, a.RouterURL, err)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("fleet: register %s with %s: status %d", a.Key, a.RouterURL, code)
+	}
+	return nil
+}
+
+// Deregister removes the worker from the router (graceful shutdown).
+func (a *Agent) Deregister(ctx context.Context) error {
+	if _, err := a.post(ctx, "/fleet/deregister", RegisterRequest{Key: a.Key}); err != nil {
+		return fmt.Errorf("fleet: deregister %s: %w", a.Key, err)
+	}
+	return nil
+}
+
+// Run registers (retrying with the heartbeat interval as backoff until ctx
+// is done) and then heartbeats forever; a heartbeat rejected with 404 means
+// the router lost state, so the agent re-registers. Returns ctx.Err().
+func (a *Agent) Run(ctx context.Context) error {
+	interval := a.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for a.Register(ctx) != nil {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			code, err := a.post(ctx, "/fleet/heartbeat", RegisterRequest{Key: a.Key})
+			if err == nil && code == http.StatusNotFound {
+				_ = a.Register(ctx) // router restarted; re-announce
+			}
+		}
+	}
+}

@@ -1,0 +1,572 @@
+// Package fleet is the multi-worker serving tier: a TVM-RPC-tracker-style
+// router that workers register with (device key + base URL + heartbeat),
+// health-checked routing of /v1/infer across the fleet with consistent
+// worker selection and retry-on-dead-worker, and fleet-wide aggregation of
+// /statsz and /metricsz. One npserve process is one worker; nprouter fronts
+// any number of them.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// WorkerInfo is one registered worker as reported on /fleet/workers.
+type WorkerInfo struct {
+	// Key is the worker's device key (tracker vocabulary): a stable name for
+	// the device class + instance this worker serves on, e.g. "d9000-0".
+	Key string `json:"key"`
+	// URL is the worker's base URL (scheme://host:port).
+	URL string `json:"url"`
+	// Models are the routable model names from the worker's last /healthz
+	// probe (endpoints and aliases both count).
+	Models []string `json:"models,omitempty"`
+	// Healthy means the last probe succeeded and the heartbeat is fresh.
+	Healthy bool `json:"healthy"`
+	// Draining means the worker answered its probe but refuses new work.
+	Draining bool `json:"draining"`
+	// Probes/Beats count health checks answered and heartbeats received.
+	Probes uint64 `json:"probes"`
+	Beats  uint64 `json:"beats"`
+}
+
+type workerState struct {
+	info     WorkerInfo
+	lastBeat time.Time
+}
+
+// Options tunes the router; zero values get defaults.
+type Options struct {
+	// HeartbeatTimeout marks a worker unhealthy when no heartbeat or
+	// successful probe arrives within it (default 10s).
+	HeartbeatTimeout time.Duration
+	// HealthInterval is the probe loop period (default 2s).
+	HealthInterval time.Duration
+	// Client performs worker requests (default: 5s-timeout http.Client).
+	Client *http.Client
+	// Metrics receives the np_fleet_* instrument family (default: fresh
+	// registry, exposed on the router's /metricsz).
+	Metrics *obs.Registry
+}
+
+// Router tracks registered workers and routes inference across them.
+type Router struct {
+	opts    Options
+	client  *http.Client
+	metrics *obs.Registry
+	now     func() time.Time
+	start   time.Time
+
+	mu      sync.RWMutex
+	workers map[string]*workerState
+
+	registeredG *obs.Gauge
+	healthyG    *obs.Gauge
+	retriedC    *obs.Counter
+	failedC     *obs.Counter
+	scrapeErrC  *obs.Counter
+}
+
+// NewRouter builds a router; Handler serves its HTTP surface and
+// HealthCheckLoop keeps worker states fresh.
+func NewRouter(opts Options) *Router {
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 10 * time.Second
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = 2 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	rt := &Router{
+		opts:    opts,
+		client:  opts.Client,
+		metrics: opts.Metrics,
+		now:     time.Now,
+		workers: map[string]*workerState{},
+	}
+	rt.start = rt.now()
+	rt.registeredG = rt.metrics.Gauge("np_fleet_workers_registered",
+		"Workers currently registered with the router.", obs.L())
+	rt.healthyG = rt.metrics.Gauge("np_fleet_workers_healthy",
+		"Registered workers that are healthy and not draining.", obs.L())
+	rt.retriedC = rt.metrics.Counter("np_fleet_retried_requests_total",
+		"Inference attempts rerouted after a worker failed or refused.", obs.L())
+	rt.failedC = rt.metrics.Counter("np_fleet_failed_requests_total",
+		"Inference requests that exhausted every candidate worker.", obs.L())
+	rt.scrapeErrC = rt.metrics.Counter("np_fleet_scrape_errors_total",
+		"Worker stat/metric scrapes that failed during aggregation.", obs.L())
+	return rt
+}
+
+// Metrics returns the router's instrument registry.
+func (rt *Router) Metrics() *obs.Registry { return rt.metrics }
+
+// ----------------------------------------------------------------- tracking
+
+// RegisterRequest is the /fleet/register body a worker posts on startup.
+type RegisterRequest struct {
+	Key string `json:"key"`
+	URL string `json:"url"`
+}
+
+// Register adds (or re-adds) a worker and probes it synchronously, so a
+// successful registration means the worker is routable immediately.
+func (rt *Router) Register(key, url string) error {
+	if key == "" || url == "" {
+		return errors.New("fleet: register needs key and url")
+	}
+	rt.mu.Lock()
+	w, ok := rt.workers[key]
+	if !ok {
+		w = &workerState{}
+		rt.workers[key] = w
+	}
+	w.info.Key, w.info.URL = key, url
+	w.lastBeat = rt.now()
+	rt.mu.Unlock()
+	rt.probe(key)
+	rt.updateGauges()
+	return nil
+}
+
+// Heartbeat refreshes a worker's liveness; unknown keys error so the agent
+// re-registers (the tracker may have restarted and lost state).
+func (rt *Router) Heartbeat(key string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	w, ok := rt.workers[key]
+	if !ok {
+		return fmt.Errorf("fleet: unknown worker %q", key)
+	}
+	w.lastBeat = rt.now()
+	w.info.Beats++
+	return nil
+}
+
+// Deregister removes a worker (graceful shutdown path).
+func (rt *Router) Deregister(key string) {
+	rt.mu.Lock()
+	delete(rt.workers, key)
+	rt.mu.Unlock()
+	rt.updateGauges()
+}
+
+// Workers snapshots the fleet state, sorted by key.
+func (rt *Router) Workers() []WorkerInfo {
+	rt.mu.RLock()
+	out := make([]WorkerInfo, 0, len(rt.workers))
+	for _, w := range rt.workers {
+		out = append(out, w.info)
+	}
+	rt.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// probe health-checks one worker and folds the result into its state.
+func (rt *Router) probe(key string) {
+	rt.mu.RLock()
+	w, ok := rt.workers[key]
+	var url string
+	if ok {
+		url = w.info.URL
+	}
+	rt.mu.RUnlock()
+	if !ok {
+		return
+	}
+	var h serve.HealthResponse
+	err := rt.getJSON(url+"/healthz", &h)
+	rt.mu.Lock()
+	if w, ok := rt.workers[key]; ok {
+		if err != nil {
+			w.info.Healthy = false
+		} else {
+			w.info.Healthy = true
+			w.info.Draining = h.Draining
+			w.info.Models = h.Models
+			w.info.Probes++
+			w.lastBeat = rt.now()
+		}
+	}
+	rt.mu.Unlock()
+}
+
+// HealthCheckLoop probes every worker each HealthInterval and expires the
+// ones whose heartbeat went stale, until ctx is done.
+func (rt *Router) HealthCheckLoop(ctx context.Context) {
+	t := time.NewTicker(rt.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.CheckWorkers()
+		}
+	}
+}
+
+// CheckWorkers runs one probe pass over the fleet (the loop body, exported
+// for deterministic tests and the smoke harness).
+func (rt *Router) CheckWorkers() {
+	rt.mu.RLock()
+	keys := make([]string, 0, len(rt.workers))
+	for k := range rt.workers {
+		keys = append(keys, k)
+	}
+	rt.mu.RUnlock()
+	for _, k := range keys {
+		rt.probe(k)
+	}
+	cutoff := rt.now().Add(-rt.opts.HeartbeatTimeout)
+	rt.mu.Lock()
+	for _, w := range rt.workers {
+		if w.lastBeat.Before(cutoff) {
+			w.info.Healthy = false
+		}
+	}
+	rt.mu.Unlock()
+	rt.updateGauges()
+}
+
+func (rt *Router) updateGauges() {
+	rt.mu.RLock()
+	total, healthy := len(rt.workers), 0
+	for _, w := range rt.workers {
+		if w.info.Healthy && !w.info.Draining {
+			healthy++
+		}
+	}
+	rt.mu.RUnlock()
+	rt.registeredG.Set(float64(total))
+	rt.healthyG.Set(float64(healthy))
+}
+
+// ------------------------------------------------------------------ routing
+
+// candidates ranks the healthy, non-draining workers serving model by
+// rendezvous (highest-random-weight) hash of (model, shard, worker key):
+// the same (model, shard) always prefers the same worker while every worker
+// stays a deterministic fallback — adding or losing one worker only moves
+// the shards that touched it.
+func (rt *Router) candidates(model string, shard uint64) []WorkerInfo {
+	rt.mu.RLock()
+	var cands []WorkerInfo
+	for _, w := range rt.workers {
+		if !w.info.Healthy || w.info.Draining {
+			continue
+		}
+		for _, m := range w.info.Models {
+			if m == model {
+				cands = append(cands, w.info)
+				break
+			}
+		}
+	}
+	rt.mu.RUnlock()
+	sort.Slice(cands, func(i, j int) bool {
+		hi, hj := rendezvous(model, shard, cands[i].Key), rendezvous(model, shard, cands[j].Key)
+		if hi != hj {
+			return hi > hj
+		}
+		return cands[i].Key < cands[j].Key
+	})
+	return cands
+}
+
+func rendezvous(model string, shard uint64, key string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, model)
+	h.Write([]byte{0})
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(shard >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	return h.Sum64()
+}
+
+// WorkerHeader names the response header carrying the key of the worker
+// that served a routed request.
+const WorkerHeader = "X-NP-Worker"
+
+// handleInfer routes one inference: decode enough of the body to learn
+// (model, seed), walk the rendezvous-ranked candidates, and proxy to the
+// first worker that accepts. Transport failures mark the worker unhealthy
+// and the request retries on the next candidate; 503 (draining) retries
+// without the penalty. Responses stream back verbatim plus WorkerHeader.
+func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var req serve.InferRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	cands := rt.candidates(req.Model, req.Seed)
+	if len(cands) == 0 {
+		rt.failedC.Inc()
+		writeErr(w, http.StatusServiceUnavailable, fmt.Sprintf("no healthy worker serves model %q", req.Model))
+		return
+	}
+	for i, cand := range cands {
+		if i > 0 {
+			rt.retriedC.Inc()
+		}
+		resp, err := rt.client.Post(cand.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Transport-dead worker: mark it down so routing skips it until a
+			// probe or heartbeat revives it, and fail over.
+			rt.markUnhealthy(cand.Key)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Draining or overload-shedding worker: it is alive (it answered),
+			// so no health penalty — just honor the hint and fail over.
+			resp.Body.Close()
+			continue
+		}
+		rt.routedCounter(cand.Key, req.Model).Inc()
+		w.Header().Set(WorkerHeader, cand.Key)
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	rt.failedC.Inc()
+	rt.updateGauges()
+	w.Header().Set("Retry-After", strconv.Itoa(serve.DrainRetryAfterSeconds))
+	writeErr(w, http.StatusServiceUnavailable, fmt.Sprintf("all %d workers for model %q failed or refused", len(cands), req.Model))
+}
+
+func (rt *Router) routedCounter(workerKey, model string) *obs.Counter {
+	return rt.metrics.Counter("np_fleet_routed_requests_total",
+		"Inference requests routed to a worker, by worker key and model.",
+		obs.L("worker", workerKey, "model", model))
+}
+
+func (rt *Router) markUnhealthy(key string) {
+	rt.mu.Lock()
+	if w, ok := rt.workers[key]; ok {
+		w.info.Healthy = false
+	}
+	rt.mu.Unlock()
+	rt.updateGauges()
+}
+
+// -------------------------------------------------------------- aggregation
+
+// FleetStats is the router's /statsz reply: the fleet roster plus each
+// healthy worker's raw /statsz document under its key.
+type FleetStats struct {
+	UptimeMs float64                    `json:"uptime_ms"`
+	Workers  []WorkerInfo               `json:"workers"`
+	Routed   float64                    `json:"routed_requests"`
+	Retried  float64                    `json:"retried_requests"`
+	Failed   float64                    `json:"failed_requests"`
+	PerWork  map[string]json.RawMessage `json:"worker_statsz"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	fs := FleetStats{
+		UptimeMs: float64(rt.now().Sub(rt.start)) / float64(time.Millisecond),
+		Workers:  rt.Workers(),
+		Retried:  rt.retriedC.Value(),
+		Failed:   rt.failedC.Value(),
+		PerWork:  map[string]json.RawMessage{},
+	}
+	for _, wi := range fs.Workers {
+		if !wi.Healthy {
+			continue
+		}
+		var raw json.RawMessage
+		if err := rt.getJSON(wi.URL+"/statsz", &raw); err != nil {
+			rt.scrapeErrC.Inc()
+			continue
+		}
+		fs.PerWork[wi.Key] = raw
+	}
+	// Routed total across all (worker, model) series: recovered from the
+	// per-worker statsz is racy, so sum our own counter series instead.
+	fs.Routed = rt.sumRouted()
+	writeJSONBody(w, fs)
+}
+
+func (rt *Router) sumRouted() float64 {
+	var buf bytes.Buffer
+	rt.metrics.WritePrometheus(&buf)
+	var total float64
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("np_fleet_routed_requests_total")) {
+			continue
+		}
+		if i := bytes.LastIndexByte(line, ' '); i >= 0 {
+			if v, err := strconv.ParseFloat(string(line[i+1:]), 64); err == nil {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// handleMetrics merges the fleet's Prometheus expositions: the router's own
+// np_fleet_* families verbatim, plus every healthy worker's /metricsz with a
+// worker="<key>" label injected (obs.Merger semantics: one HELP/TYPE header
+// per family fleet-wide).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := obs.NewMerger()
+	var own bytes.Buffer
+	rt.metrics.WritePrometheus(&own)
+	if err := m.Add("", "", own.Bytes()); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	for _, wi := range rt.Workers() {
+		if !wi.Healthy {
+			continue
+		}
+		resp, err := rt.client.Get(wi.URL + "/metricsz")
+		if err != nil {
+			rt.scrapeErrC.Inc()
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			rt.scrapeErrC.Inc()
+			continue
+		}
+		if err := m.Add("worker", wi.Key, body); err != nil {
+			rt.scrapeErrC.Inc()
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WriteTo(w)
+}
+
+// --------------------------------------------------------------------- HTTP
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /fleet/register   {"key":"w1","url":"http://..."} → tracked + probed
+//	POST /fleet/heartbeat  {"key":"w1"}                    → liveness refresh
+//	POST /fleet/deregister {"key":"w1"}                    → removed
+//	GET  /fleet/workers                                    → fleet roster
+//	POST /v1/infer                                         → routed inference
+//	GET  /statsz                                           → fleet-wide stats
+//	GET  /metricsz                                         → merged exposition
+//	GET  /healthz                                          → router liveness
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !postBody(w, r, &req) {
+			return
+		}
+		if err := rt.Register(req.Key, req.URL); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSONBody(w, map[string]any{"registered": req.Key})
+	})
+	mux.HandleFunc("/fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !postBody(w, r, &req) {
+			return
+		}
+		if err := rt.Heartbeat(req.Key); err != nil {
+			writeErr(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSONBody(w, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/fleet/deregister", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !postBody(w, r, &req) {
+			return
+		}
+		rt.Deregister(req.Key)
+		writeJSONBody(w, map[string]any{"deregistered": req.Key})
+	})
+	mux.HandleFunc("/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONBody(w, map[string]any{"workers": rt.Workers()})
+	})
+	mux.HandleFunc("/v1/infer", rt.handleInfer)
+	mux.HandleFunc("/statsz", rt.handleStats)
+	mux.HandleFunc("/metricsz", rt.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ws := rt.Workers()
+		healthy := 0
+		for _, wi := range ws {
+			if wi.Healthy && !wi.Draining {
+				healthy++
+			}
+		}
+		writeJSONBody(w, map[string]any{"status": "ok", "workers": len(ws), "healthy": healthy})
+	})
+	return mux
+}
+
+func (rt *Router) getJSON(url string, v any) error {
+	resp, err := rt.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func postBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSONBody(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

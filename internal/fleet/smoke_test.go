@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/registry"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+)
+
+// TestFleetSmoke is the `make fleet-smoke` scenario: a router fronting two
+// in-process workers that share an artifact store, zoo-wide routed
+// inference, a hot-load of a second model version, and a worker drain with
+// verified failover. Set FLEET_SMOKE_OUT to dump the final fleet /statsz
+// document (CI uploads it as an artifact). Gated behind FLEET_SMOKE=1 so the
+// ordinary test run stays fast; `make fleet-smoke` sets it.
+func TestFleetSmoke(t *testing.T) {
+	if os.Getenv("FLEET_SMOKE") == "" {
+		t.Skip("set FLEET_SMOKE=1 (or run `make fleet-smoke`) to run the fleet smoke scenario")
+	}
+	opts := runtime.BuildOptions{OptLevel: 3}
+	cacheDir := t.TempDir()
+	w1 := newFleetWorker(t, "w1", cacheDir)
+	w2 := newFleetWorker(t, "w2", cacheDir)
+
+	// Deploy the whole zoo on both workers; w1 compiles, w2 must ride the
+	// shared artifact store.
+	names := models.Names()
+	for _, name := range names {
+		spec, err := models.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := spec.Build(models.SizeLite)
+		if err != nil {
+			t.Fatalf("%s: build module: %v", name, err)
+		}
+		key, err := registry.Key(m, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		build := func() (*runtime.Lib, error) { return runtime.Build(m, opts) }
+		w1.deploy(t, name, "v1", key, build)
+		w2.deploy(t, name, "v1", key, build)
+	}
+	if st := w2.cache.Stats(); st.Builds != 0 || st.DiskHits != uint64(len(names)) {
+		t.Fatalf("w2 cache stats %+v: want 0 builds, %d disk hits", st, len(names))
+	}
+	t.Logf("deployed %d zoo models; w1 built %d, w2 disk-hit %d",
+		len(names), w1.cache.Stats().Builds, w2.cache.Stats().DiskHits)
+
+	rt := NewRouter(Options{
+		HeartbeatTimeout: time.Hour,
+		HealthInterval:   time.Hour,
+		Client:           &http.Client{Timeout: 120 * time.Second},
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+	for _, w := range []*fleetWorker{w1, w2} {
+		if err := rt.Register(w.key, w.ts.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	infer := func(model string, seed uint64) (*http.Response, serve.InferResponse, error) {
+		body, _ := json.Marshal(serve.InferRequest{Model: model, Seed: seed})
+		resp, err := http.Post(rts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, serve.InferResponse{}, err
+		}
+		defer resp.Body.Close()
+		var ir serve.InferResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+				return resp, ir, err
+			}
+		}
+		return resp, ir, nil
+	}
+
+	// Zoo-wide routed inference.
+	for _, name := range names {
+		resp, ir, err := infer(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+		if len(ir.Outputs) == 0 || ir.Version != "v1" {
+			t.Fatalf("%s: outputs=%d version=%q", name, len(ir.Outputs), ir.Version)
+		}
+	}
+
+	// Hot-load a second version of one model fleet-wide; routed responses
+	// must flip to v2, then rollback must restore v1.
+	m2, err := models.BuildEmotion(models.SizeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := registry.Key(m2, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build2 := func() (*runtime.Lib, error) { return runtime.Build(m2, opts) }
+	w1.deploy(t, "emotion", "v2", key2, build2)
+	w2.deploy(t, "emotion", "v2", key2, build2)
+	if _, ir, err := infer("emotion", 2); err != nil || ir.Version != "v2" {
+		t.Fatalf("after hot-load: version %q err %v, want v2", ir.Version, err)
+	}
+	for _, w := range []*fleetWorker{w1, w2} {
+		if _, err := w.reg.Rollback("emotion"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ir, err := infer("emotion", 2); err != nil || ir.Version != "v1" {
+		t.Fatalf("after rollback: version %q err %v, want v1", ir.Version, err)
+	}
+
+	// Drain w1: the probe pass sees draining and routing fails over; every
+	// zoo model must still answer, now from w2.
+	w1.srv.Drain()
+	rt.CheckWorkers()
+	for _, name := range names {
+		resp, _, err := infer(name, 3)
+		if err != nil {
+			t.Fatalf("%s after drain: %v", name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s after drain: status %d", name, resp.StatusCode)
+		}
+		if wk := resp.Header.Get(WorkerHeader); wk != "w2" {
+			t.Fatalf("%s after drain routed to %q, want w2", name, wk)
+		}
+	}
+
+	// Dump the fleet /statsz document for the CI artifact.
+	if out := os.Getenv("FLEET_SMOKE_OUT"); out != "" {
+		resp, err := http.Get(rts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, doc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fleet statsz dumped to %s (%d bytes)", out, len(doc))
+	}
+	fmt.Fprintf(os.Stderr, "fleet-smoke: %d models routed, hot-load+rollback ok, drain failover ok\n", len(names))
+}

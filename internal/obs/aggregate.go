@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fleet-level metric aggregation: the router scrapes each worker's /metricsz
+// (Prometheus text exposition, the format WritePrometheus emits), injects a
+// worker="<key>" label into every sample so per-worker series stay
+// distinguishable, and merges the family blocks — one # HELP/# TYPE header
+// per metric name fleet-wide, samples from every worker beneath it.
+
+// Merger accumulates relabeled expositions from many sources and renders
+// them as one combined exposition. It is not safe for concurrent use; build
+// a fresh Merger per aggregation pass.
+type Merger struct {
+	order []string
+	fams  map[string]*mergedFamily
+}
+
+type mergedFamily struct {
+	name, help, typ string
+	samples         []string
+}
+
+// NewMerger returns an empty exposition merger.
+func NewMerger() *Merger {
+	return &Merger{fams: map[string]*mergedFamily{}}
+}
+
+// Add parses one exposition and folds it in, injecting label key=value into
+// every sample line (pass key == "" to merge without relabeling). The first
+// source to declare a family's HELP/TYPE wins; later conflicting TYPE
+// declarations are an error because mixing types under one name would
+// corrupt the merged exposition.
+func (m *Merger) Add(key, value string, exposition []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(exposition))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var cur *mergedFamily
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			name, text := splitMeta(line[len("# HELP "):])
+			cur = m.family(name)
+			if cur.help == "" {
+				cur.help = text
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			name, typ := splitMeta(line[len("# TYPE "):])
+			cur = m.family(name)
+			if cur.typ == "" {
+				cur.typ = typ
+			} else if cur.typ != typ {
+				return fmt.Errorf("obs: merge: metric %q declared %s and %s", name, cur.typ, typ)
+			}
+		case strings.HasPrefix(line, "#"):
+			continue // other comments
+		default:
+			sample := line
+			if key != "" {
+				var err error
+				if sample, err = InjectLabel(line, key, value); err != nil {
+					return fmt.Errorf("obs: merge: %w", err)
+				}
+			}
+			// Histogram sample names carry _bucket/_sum/_count suffixes; the
+			// preceding TYPE line already bound cur to the family, and our
+			// exposition always emits TYPE before samples. A sample with no
+			// prior header (foreign exposition) gets a family of its own name.
+			fam := cur
+			if fam == nil || !sampleBelongs(sampleName(line), fam.name) {
+				fam = m.family(sampleName(line))
+			}
+			fam.samples = append(fam.samples, sample)
+		}
+	}
+	return sc.Err()
+}
+
+// WriteTo renders the merged exposition: families in first-seen order, one
+// HELP/TYPE header each, samples in the order they were added.
+func (m *Merger) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, name := range m.order {
+		f := m.fams[name]
+		if len(f.samples) == 0 {
+			continue
+		}
+		if f.help != "" {
+			c, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+		if f.typ != "" {
+			c, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+		for _, s := range f.samples {
+			c, err := fmt.Fprintln(w, s)
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func (m *Merger) family(name string) *mergedFamily {
+	f, ok := m.fams[name]
+	if !ok {
+		f = &mergedFamily{name: name}
+		m.fams[name] = f
+		m.order = append(m.order, name)
+	}
+	return f
+}
+
+func splitMeta(rest string) (name, text string) {
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		return rest[:i], rest[i+1:]
+	}
+	return rest, ""
+}
+
+// sampleName extracts the metric name of a sample line (everything before
+// the first '{' or space).
+func sampleName(line string) string {
+	for i := 0; i < len(line); i++ {
+		if !isNameByte(line[i]) {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// sampleBelongs reports whether a sample name is part of family fam —
+// either the name itself or a histogram/summary suffix of it.
+func sampleBelongs(name, fam string) bool {
+	if name == fam {
+		return true
+	}
+	if !strings.HasPrefix(name, fam) {
+		return false
+	}
+	switch name[len(fam):] {
+	case "_bucket", "_sum", "_count":
+		return true
+	}
+	return false
+}
+
+func isNameByte(b byte) bool {
+	return b == '_' || b == ':' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// InjectLabel rewrites one sample line to carry an extra key="value" label,
+// preserving existing labels: `m{a="b"} 1` → `m{key="value",a="b"} 1` and
+// `m 1` → `m{key="value"} 1`. Label values containing '}' or ',' inside
+// quotes are handled because the insertion point is right after the metric
+// name, never inside the label body.
+func InjectLabel(line, key, value string) (string, error) {
+	i := 0
+	for i < len(line) && isNameByte(line[i]) {
+		i++
+	}
+	if i == 0 {
+		return "", fmt.Errorf("sample line %q has no metric name", line)
+	}
+	pair := fmt.Sprintf("%s=%q", key, value)
+	switch {
+	case i < len(line) && line[i] == '{':
+		if i+1 < len(line) && line[i+1] == '}' { // empty label set
+			return line[:i+1] + pair + line[i+1:], nil
+		}
+		return line[:i+1] + pair + "," + line[i+1:], nil
+	case i < len(line) && line[i] == ' ':
+		return line[:i] + "{" + pair + "}" + line[i:], nil
+	default:
+		return "", fmt.Errorf("malformed sample line %q", line)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInjectLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`m 1`, `m{worker="w1"} 1`},
+		{`m{a="b"} 2`, `m{worker="w1",a="b"} 2`},
+		{`m{} 3`, `m{worker="w1"} 3`},
+		{`lat_bucket{le="+Inf"} 4`, `lat_bucket{worker="w1",le="+Inf"} 4`},
+		{`m{a="has } and , inside"} 5`, `m{worker="w1",a="has } and , inside"} 5`},
+	}
+	for _, c := range cases {
+		got, err := InjectLabel(c.in, "worker", "w1")
+		if err != nil {
+			t.Errorf("InjectLabel(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("InjectLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if _, err := InjectLabel("  bad", "worker", "w"); err == nil {
+		t.Error("want error for line with no metric name")
+	}
+}
+
+// TestMergerCombinesWorkers merges two real registry expositions under
+// distinct worker labels: one header per family, every sample relabeled,
+// histogram suffix samples kept with their family.
+func TestMergerCombinesWorkers(t *testing.T) {
+	mkExpo := func(reqs float64) []byte {
+		r := NewRegistry()
+		r.Counter("np_serve_requests_total", "Requests.", L("model", "emotion")).Add(reqs)
+		r.Gauge("np_serve_inflight", "In-flight.", L()).Set(2)
+		r.Histogram("np_serve_latency_seconds", "Latency.", L(), []float64{0.1, 1}).Observe(0.5)
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		return []byte(b.String())
+	}
+
+	m := NewMerger()
+	if err := m.Add("worker", "w1", mkExpo(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("worker", "w2", mkExpo(7)); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := m.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+
+	for _, header := range []string{
+		"# TYPE np_serve_requests_total counter",
+		"# TYPE np_serve_inflight gauge",
+		"# TYPE np_serve_latency_seconds histogram",
+	} {
+		if strings.Count(text, header) != 1 {
+			t.Errorf("header %q appears %d times, want exactly 1", header, strings.Count(text, header))
+		}
+	}
+	for _, sample := range []string{
+		`np_serve_requests_total{worker="w1",model="emotion"} 3`,
+		`np_serve_requests_total{worker="w2",model="emotion"} 7`,
+		`np_serve_inflight{worker="w1"} 2`,
+		`np_serve_latency_seconds_bucket{worker="w2",le="+Inf"} 1`,
+		`np_serve_latency_seconds_count{worker="w1"} 1`,
+	} {
+		if !strings.Contains(text, sample) {
+			t.Errorf("merged exposition missing %q\n%s", sample, text)
+		}
+	}
+
+	// Histogram suffix samples must sit under their family header, not start
+	// families of their own.
+	if strings.Contains(text, "# TYPE np_serve_latency_seconds_bucket") {
+		t.Error("histogram _bucket samples split into their own family")
+	}
+
+	// Conflicting TYPE declarations are rejected.
+	bad := NewMerger()
+	if err := bad.Add("", "", []byte("# TYPE m counter\nm 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Add("", "", []byte("# TYPE m gauge\nm 2\n")); err == nil {
+		t.Error("conflicting TYPE must error")
+	}
+}
+
+// TestMergerNoRelabel: key == "" merges verbatim.
+func TestMergerNoRelabel(t *testing.T) {
+	m := NewMerger()
+	if err := m.Add("", "", []byte("# HELP m help text\n# TYPE m counter\nm 5\n")); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := m.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP m help text\n# TYPE m counter\nm 5\n"
+	if out.String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out.String(), want)
+	}
+}

@@ -1,0 +1,100 @@
+package runtime_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/runtime"
+)
+
+// planSummary renders everything the fleet's artifact cache depends on being
+// stable across an export/load cycle: the lowered ExecPlan description and,
+// per external NIR region, the per-operation device placement.
+func planSummary(t *testing.T, lib *runtime.Lib) string {
+	t.Helper()
+	var b bytes.Buffer
+	plan, err := lib.Plan()
+	if err != nil {
+		fmt.Fprintf(&b, "plan error: %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "%s\n", plan.String())
+	}
+	regions := make([]string, 0, len(lib.External))
+	for name := range lib.External {
+		regions = append(regions, name)
+	}
+	sort.Strings(regions)
+	for _, name := range regions {
+		cm := lib.External[name]
+		fmt.Fprintf(&b, "region %s devices=%v plan=%v\n", name, cm.Devices, cm.Plan)
+	}
+	return b.String()
+}
+
+// TestZooExportLoadRoundTrip drives every zoo model through
+// ExportLibrary → LoadLibrary and demands the loaded library be
+// indistinguishable from the built one: identical plan summaries (main
+// ExecPlan and external-region device placements) and bitwise-identical
+// outputs for the same deterministic input — the invariant the fleet's
+// content-addressed artifact cache rests on.
+func TestZooExportLoadRoundTrip(t *testing.T) {
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := models.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := spec.Build(models.SizeLite)
+			if err != nil {
+				t.Fatalf("build module: %v", err)
+			}
+			lib, err := runtime.Build(m, runtime.BuildOptions{OptLevel: 3, UseNIR: true})
+			if err != nil {
+				t.Fatalf("build lib: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := lib.ExportLibrary(&buf); err != nil {
+				t.Fatalf("export: %v", err)
+			}
+			loaded, err := runtime.LoadLibrary(bytes.NewReader(buf.Bytes()), nil)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+
+			if got, want := planSummary(t, loaded), planSummary(t, lib); got != want {
+				t.Errorf("plan summary changed across export/load:\nbuilt:\n%s\nloaded:\n%s", want, got)
+			}
+
+			gmA := runtime.NewGraphModule(lib)
+			gmB := runtime.NewGraphModule(loaded)
+			in := models.RandomInput(m, 42)
+			inName := gmA.InputNames()[0]
+			for _, gm := range []*runtime.GraphModule{gmA, gmB} {
+				gm.SetInput(inName, in)
+				if err := gm.Run(); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+			}
+			if gmA.NumOutputs() != gmB.NumOutputs() {
+				t.Fatalf("output count %d != %d", gmA.NumOutputs(), gmB.NumOutputs())
+			}
+			for o := 0; o < gmA.NumOutputs(); o++ {
+				a, b := gmA.MustOutput(o), gmB.MustOutput(o)
+				if !a.Shape.Equal(b.Shape) || a.DType != b.DType {
+					t.Fatalf("output %d: shape/dtype mismatch (%v %v vs %v %v)", o, a.Shape, a.DType, b.Shape, b.DType)
+				}
+				for i := 0; i < a.Elems(); i++ {
+					if a.GetF(i) != b.GetF(i) {
+						t.Fatalf("output %d elem %d: built %v != loaded %v (not bitwise identical)",
+							o, i, a.GetF(i), b.GetF(i))
+					}
+				}
+			}
+		})
+	}
+}

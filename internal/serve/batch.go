@@ -23,14 +23,25 @@ func (e *endpoint) worker(tk *obs.Track) {
 		case req := <-e.queue:
 			e.serveOne(req, tk)
 		case <-e.server.drainCh:
-			for {
-				select {
-				case req := <-e.queue:
-					e.serveOne(req, tk)
-				default:
-					return
-				}
-			}
+			e.drainQueue(tk)
+			return
+		case <-e.drainCh:
+			e.drainQueue(tk)
+			return
+		}
+	}
+}
+
+// drainQueue serves whatever admission let in before drain began, then
+// returns. Admission stops (under the server mutex) before either drain
+// channel closes, so an empty receive here means the queue is empty for good.
+func (e *endpoint) drainQueue(tk *obs.Track) {
+	for {
+		select {
+		case req := <-e.queue:
+			e.serveOne(req, tk)
+		default:
+			return
 		}
 	}
 }
@@ -64,14 +75,22 @@ func (e *endpoint) gather(first *request) []*request {
 		case <-e.server.drainCh:
 			// Don't hold the window open during shutdown; take what is
 			// already queued and go.
-			for len(batch) < e.opts.MaxBatch {
-				select {
-				case req := <-e.queue:
-					batch = append(batch, req)
-				default:
-					return batch
-				}
-			}
+			return e.gatherRemaining(batch)
+		case <-e.drainCh:
+			return e.gatherRemaining(batch)
+		}
+	}
+	return batch
+}
+
+// gatherRemaining tops a closing batch up from whatever is already queued,
+// without holding the coalesce window open.
+func (e *endpoint) gatherRemaining(batch []*request) []*request {
+	for len(batch) < e.opts.MaxBatch {
+		select {
+		case req := <-e.queue:
+			batch = append(batch, req)
+		default:
 			return batch
 		}
 	}
@@ -149,6 +168,7 @@ func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 		e.stats.completed(time.Since(r.enqueued), queueWait, execWall, sim)
 		r.respond(&Result{
 			Outputs:   outs,
+			Version:   e.opts.Version,
 			BatchSize: len(live),
 			QueueWait: queueWait,
 			Wall:      execWall,

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// TestAliasHotSwap pins the registry's cutover primitive: requests submitted
+// under a public alias are served by whichever endpoint the alias targets at
+// admission time, the switch is atomic (no unroutable window), and each
+// response carries the version of the endpoint that actually executed it.
+func TestAliasHotSwap(t *testing.T) {
+	lib1, lib2 := emotionLib(t), emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion@v1", lib1, ModelOptions{Version: "v1", Pool: 1, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlias("emotion", "emotion@v1"); err != nil {
+		t.Fatal(err)
+	}
+	inName := runtime.NewGraphModule(lib1).InputNames()[0]
+	submit := func() *Result {
+		t.Helper()
+		res, err := s.Submit(context.Background(), "emotion",
+			map[string]*tensor.Tensor{inName: models.RandomInput(lib1.Module, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if res := submit(); res.Version != "v1" {
+		t.Fatalf("version %q, want v1", res.Version)
+	}
+
+	if err := s.Register("emotion@v2", lib2, ModelOptions{Version: "v2", Pool: 1, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlias("emotion", "emotion@v2"); err != nil {
+		t.Fatal(err)
+	}
+	if res := submit(); res.Version != "v2" {
+		t.Fatalf("after cutover: version %q, want v2", res.Version)
+	}
+
+	// Rollback is the same pointer swap in the other direction.
+	if err := s.SetAlias("emotion", "emotion@v1"); err != nil {
+		t.Fatal(err)
+	}
+	if res := submit(); res.Version != "v1" {
+		t.Fatalf("after rollback: version %q, want v1", res.Version)
+	}
+
+	// Guard rails: an alias cannot shadow an endpoint, cannot dangle, and an
+	// endpoint still serving an alias cannot be drained.
+	if err := s.SetAlias("emotion@v2", "emotion@v1"); err == nil {
+		t.Error("alias colliding with an endpoint name must fail")
+	}
+	if err := s.SetAlias("other", "missing"); err == nil {
+		t.Error("alias to a missing endpoint must fail")
+	}
+	if err := s.DrainEndpoint("emotion@v1"); err == nil {
+		t.Error("draining the alias target must fail")
+	}
+}
+
+// TestDrainEndpointServesAdmittedOnly mirrors TestDrainRejectsNewServesAdmitted
+// at per-endpoint granularity: draining one endpoint answers everything it
+// already admitted, rejects new submissions to it with ErrDraining, and
+// leaves sibling endpoints serving.
+func TestDrainEndpointServesAdmittedOnly(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("old", lib, ModelOptions{Pool: 2, QueueDepth: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("new", lib, ModelOptions{Pool: 1, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	inName := runtime.NewGraphModule(lib).InputNames()[0]
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), "old",
+				map[string]*tensor.Tensor{inName: models.RandomInput(lib.Module, seed)})
+			errs <- err
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if err := s.DrainEndpoint("old"); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("pre-drain request failed: %v", err)
+		}
+	}
+
+	if _, err := s.Submit(context.Background(), "old",
+		map[string]*tensor.Tensor{inName: models.RandomInput(lib.Module, 9)}); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("drained endpoint: got %v, want ErrUnknownModel", err)
+	}
+	if _, err := s.Submit(context.Background(), "new",
+		map[string]*tensor.Tensor{inName: models.RandomInput(lib.Module, 9)}); err != nil {
+		t.Errorf("sibling endpoint after drain: %v", err)
+	}
+	if s.Draining() {
+		t.Error("per-endpoint drain must not mark the server draining")
+	}
+}
+
+// TestDrainResponsesCarryRetryAfter rides alongside
+// TestDrainRejectsNewServesAdmitted: the HTTP surface of the same drain
+// rejection must carry a Retry-After header so router retry/backoff is
+// principled rather than immediate.
+func TestDrainResponsesCarryRetryAfter(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion", lib, ModelOptions{Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Drain()
+
+	resp, _ := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "emotion", Seed: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained infer status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(DrainRetryAfterSeconds) {
+		t.Errorf("Retry-After = %q, want %q", got, strconv.Itoa(DrainRetryAfterSeconds))
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/showcase", ShowcaseRequest{Frames: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained showcase status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("drained showcase response missing Retry-After")
+	}
+}
+
+// TestHealthzKeysPinned pins the /healthz JSON contract the fleet router's
+// health checker consumes: top-level status/draining/models/build/endpoints
+// (+ aliases when routing is versioned), build.go_version, and per-endpoint
+// name/version/draining/pool/devices.
+func TestHealthzKeysPinned(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion@v1", lib, ModelOptions{Version: "v1", Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlias("emotion", "emotion@v1"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(hr.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"status", "draining", "models", "build", "endpoints", "aliases"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("healthz missing pinned key %q", key)
+		}
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(mustMarshal(t, raw), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Draining {
+		t.Errorf("bad health head: %+v", h)
+	}
+	if h.Build.GoVersion == "" {
+		t.Error("build.go_version empty")
+	}
+	wantModels := map[string]bool{"emotion": true, "emotion@v1": true}
+	for _, m := range h.Models {
+		delete(wantModels, m)
+	}
+	if len(wantModels) != 0 {
+		t.Errorf("models %v missing %v", h.Models, wantModels)
+	}
+	if len(h.Endpoints) != 1 {
+		t.Fatalf("endpoints %+v, want 1", h.Endpoints)
+	}
+	ep := h.Endpoints[0]
+	if ep.Name != "emotion@v1" || ep.Version != "v1" || ep.Draining || ep.Pool != 1 || len(ep.Devices) == 0 {
+		t.Errorf("bad endpoint row: %+v", ep)
+	}
+	if h.Aliases["emotion"] != "emotion@v1" {
+		t.Errorf("aliases %v, want emotion->emotion@v1", h.Aliases)
+	}
+
+	// Per-endpoint JSON keys, pinned against accidental renames.
+	var rows []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["endpoints"], &rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "version", "draining", "pool", "devices"} {
+		if _, ok := rows[0][key]; !ok {
+			t.Errorf("endpoint row missing pinned key %q", key)
+		}
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

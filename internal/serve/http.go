@@ -6,6 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	goruntime "runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/app"
@@ -48,11 +52,20 @@ type TensorJSON struct {
 // InferResponse is the /v1/infer reply.
 type InferResponse struct {
 	Model     string       `json:"model"`
+	Version   string       `json:"version,omitempty"`
 	Outputs   []TensorJSON `json:"outputs"`
 	BatchSize int          `json:"batch_size"`
 	QueueMs   float64      `json:"queue_ms"`
 	WallMs    float64      `json:"wall_ms"`
 	SimMs     float64      `json:"sim_ms"`
+}
+
+// Mount attaches an auxiliary handler (e.g. a registry's /admin/ surface)
+// under the given mux pattern; it must be called before Handler.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aux[pattern] = h
 }
 
 // Handler returns the HTTP mux serving the JSON API.
@@ -64,6 +77,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/statsz", s.handleStats)
 	mux.HandleFunc("/metricsz", s.handleMetrics)
 	mux.HandleFunc("/tracez", s.handleTrace)
+	s.mu.RLock()
+	for pattern, h := range s.aux {
+		mux.Handle(pattern, h)
+	}
+	s.mu.RUnlock()
 	return mux
 }
 
@@ -91,6 +109,23 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// DrainRetryAfterSeconds is the Retry-After value stamped on every 503 drain
+// rejection: a draining worker is expected to be replaced (or the deploy to
+// cut over) on the order of a second, so routers back off briefly and retry
+// elsewhere instead of hammering a dying pool.
+const DrainRetryAfterSeconds = 1
+
+// writeServeErr maps a serving error to its status code, attaching the
+// Retry-After backoff hint to drain rejections so client and router retries
+// are principled rather than immediate.
+func writeServeErr(w http.ResponseWriter, err error) {
+	code := httpStatus(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(DrainRetryAfterSeconds))
+	}
+	writeErr(w, code, err)
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
@@ -107,7 +142,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	e, ok := s.endpoints[req.Model]
+	e, ok := s.resolve(req.Model)
 	s.mu.RUnlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model))
@@ -126,11 +161,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Submit(ctx, req.Model, inputs)
 	if err != nil {
-		writeErr(w, httpStatus(err), err)
+		writeServeErr(w, err)
 		return
 	}
 	resp := InferResponse{
 		Model:     req.Model,
+		Version:   res.Version,
 		BatchSize: res.BatchSize,
 		QueueMs:   float64(res.QueueWait) / float64(time.Millisecond),
 		WallMs:    float64(res.Wall) / float64(time.Millisecond),
@@ -267,7 +303,7 @@ func (s *Server) handleShowcase(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Draining() {
-		writeErr(w, http.StatusServiceUnavailable, ErrDraining)
+		writeServeErr(w, ErrDraining)
 		return
 	}
 	s.showMu.Lock()
@@ -343,12 +379,81 @@ func (s *Server) handleShowcase(w http.ResponseWriter, r *http.Request) {
 
 // ------------------------------------------------------------------ health
 
+// BuildInfo identifies the running binary on /healthz.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+}
+
+// EndpointHealth is one endpoint's row in the /healthz report. The fleet
+// router's health checker consumes Name/Version/Draining to know which model
+// revisions a worker is actually serving.
+type EndpointHealth struct {
+	Name     string   `json:"name"`
+	Version  string   `json:"version,omitempty"`
+	Draining bool     `json:"draining"`
+	Pool     int      `json:"pool"`
+	Devices  []string `json:"devices"`
+}
+
+// HealthResponse is the /healthz reply. The JSON keys are pinned by
+// TestHealthzKeysPinned — the fleet router depends on them.
+type HealthResponse struct {
+	Status    string            `json:"status"`
+	Draining  bool              `json:"draining"`
+	Models    []string          `json:"models"`
+	Build     BuildInfo         `json:"build"`
+	Endpoints []EndpointHealth  `json:"endpoints"`
+	Aliases   map[string]string `json:"aliases,omitempty"`
+}
+
+// Health assembles the /healthz report: liveness, drain state, every
+// routable model name, build identity, and per-endpoint version/drain rows.
+func (s *Server) Health() HealthResponse {
+	resp := HealthResponse{
+		Status: "ok",
+		Build:  BuildInfo{GoVersion: goruntime.Version()},
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Build.Path = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Build.Revision = kv.Value
+			}
+		}
+	}
+	resp.Models = s.Models()
+	resp.Aliases = s.Aliases()
+	if len(resp.Aliases) == 0 {
+		resp.Aliases = nil
+	}
+	s.mu.RLock()
+	resp.Draining = s.draining
+	names := make([]string, 0, len(s.endpoints))
+	for n := range s.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := s.endpoints[n]
+		eh := EndpointHealth{
+			Name:     n,
+			Version:  e.opts.Version,
+			Draining: e.draining,
+			Pool:     e.opts.Pool,
+		}
+		for _, d := range e.opts.Devices {
+			eh.Devices = append(eh.Devices, d.String())
+		}
+		resp.Endpoints = append(resp.Endpoints, eh)
+	}
+	s.mu.RUnlock()
+	return resp
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
-		"status":   "ok",
-		"draining": s.Draining(),
-		"models":   s.Models(),
-	})
+	writeJSON(w, s.Health())
 }
 
 // StatsResponse is the /statsz reply.

@@ -21,6 +21,12 @@ type endpoint struct {
 	wg    sync.WaitGroup
 	stats *statsCollector
 
+	// drainCh closes when this endpoint alone drains (DrainEndpoint); the
+	// server-wide drainCh still drains every endpoint at once. draining is
+	// guarded by the server mutex and checked at admission.
+	drainCh  chan struct{}
+	draining bool
+
 	// inputNames is the model's declared input set, cached at registration:
 	// pooled modules retain SetInput bindings across requests, so admission
 	// must require every request to bind the full set (a partial binding
@@ -37,6 +43,7 @@ func newEndpoint(name string, lib *runtime.Lib, opts ModelOptions, s *Server) (*
 		queue:      make(chan *request, opts.QueueDepth),
 		pool:       make(chan *runtime.GraphModule, opts.Pool),
 		stats:      newStatsCollector(s.metrics, name),
+		drainCh:    make(chan struct{}),
 		inputNames: runtime.NewGraphModule(lib).InputNames(),
 	}
 	// Build the pool eagerly and pay the plan lowering + arena bind up

@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -56,6 +57,12 @@ var (
 
 // ModelOptions configures one registered endpoint.
 type ModelOptions struct {
+	// Version labels the model revision this endpoint serves. It is carried
+	// on every Result and in /healthz and /statsz, so clients and the fleet
+	// router can attribute a response to the exact revision that produced it.
+	// Registries deploying versioned endpoints set it; direct registrations
+	// may leave it empty.
+	Version string
 	// Pool is the number of GraphModule instances (and worker goroutines);
 	// default 2.
 	Pool int
@@ -119,6 +126,11 @@ func LibDevices(lib *runtime.Lib) []soc.DeviceKind {
 type Result struct {
 	// Outputs are detached copies (no arena aliasing): valid indefinitely.
 	Outputs []*tensor.Tensor
+	// Version is the model revision of the endpoint that served the request
+	// (ModelOptions.Version; empty for unversioned registrations). Because it
+	// is stamped by the executing worker, a response can never mix one
+	// version's outputs with another's label during a hot cutover.
+	Version string
 	// BatchSize is how many requests the micro-batcher coalesced into the
 	// device reservation that served this one (1 = unbatched).
 	BatchSize int
@@ -153,13 +165,19 @@ func (r *request) respond(res *Result, err error) {
 type Server struct {
 	mu        sync.RWMutex
 	endpoints map[string]*endpoint
-	draining  bool
-	drainCh   chan struct{}
-	locks     *pipeline.DeviceLocks
-	timeline  *soc.Timeline
-	start     time.Time
-	metrics   *obs.Registry
-	tracer    *obs.Tracer
+	// aliases route public model names to endpoint names: a versioned
+	// registry registers endpoints as "model@version" and repoints the
+	// public alias atomically, so hot-load cutover and rollback are a single
+	// map write under mu. Submit resolves aliases before endpoints.
+	aliases  map[string]string
+	draining bool
+	drainCh  chan struct{}
+	locks    *pipeline.DeviceLocks
+	timeline *soc.Timeline
+	start    time.Time
+	metrics  *obs.Registry
+	tracer   *obs.Tracer
+	aux      map[string]http.Handler
 
 	showMu   sync.Mutex
 	showcase *showcaseEndpoint
@@ -169,12 +187,14 @@ type Server struct {
 func NewServer() *Server {
 	s := &Server{
 		endpoints: map[string]*endpoint{},
+		aliases:   map[string]string{},
 		drainCh:   make(chan struct{}),
 		locks:     &pipeline.DeviceLocks{},
 		timeline:  soc.NewTimeline(),
 		start:     time.Now(),
 		metrics:   obs.NewRegistry(),
 		tracer:    obs.NewTracer(0),
+		aux:       map[string]http.Handler{},
 	}
 	// Surface per-kernel launch counts and cumulative kernel time on
 	// /metricsz alongside the serving metrics.
@@ -214,28 +234,85 @@ func (s *Server) Register(name string, lib *runtime.Lib, opts ModelOptions) erro
 	if _, dup := s.endpoints[name]; dup {
 		return fmt.Errorf("serve: model %q already registered", name)
 	}
+	if _, dup := s.aliases[name]; dup {
+		return fmt.Errorf("serve: name %q already in use as an alias", name)
+	}
 	s.endpoints[name] = e
 	e.startWorkers()
 	return nil
 }
 
-// Models lists the registered endpoint names, sorted.
+// SetAlias atomically routes the public name to the named endpoint: requests
+// submitted under the alias resolve to the target from this call on, with no
+// window in which the name is unroutable. Repointing an existing alias is the
+// hot-load cutover (and rollback) primitive.
+func (s *Server) SetAlias(public, target string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, clash := s.endpoints[public]; clash {
+		return fmt.Errorf("serve: alias %q collides with a registered endpoint", public)
+	}
+	e, ok := s.endpoints[target]
+	if !ok {
+		return fmt.Errorf("serve: alias target %w: %q", ErrUnknownModel, target)
+	}
+	if e.draining {
+		return fmt.Errorf("serve: alias target %q is draining", target)
+	}
+	s.aliases[public] = target
+	return nil
+}
+
+// RemoveAlias deletes a public alias (the endpoint it pointed to stays up).
+func (s *Server) RemoveAlias(public string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.aliases, public)
+}
+
+// Aliases snapshots the public-name routing table.
+func (s *Server) Aliases() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]string, len(s.aliases))
+	for k, v := range s.aliases {
+		out[k] = v
+	}
+	return out
+}
+
+// resolve maps a request name through the alias table to its endpoint.
+// Callers hold s.mu (read or write).
+func (s *Server) resolve(name string) (*endpoint, bool) {
+	if target, ok := s.aliases[name]; ok {
+		name = target
+	}
+	e, ok := s.endpoints[name]
+	return e, ok
+}
+
+// Models lists every routable name, sorted: registered endpoints plus public
+// aliases. This is what a fleet router treats as the worker's model set.
 func (s *Server) Models() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.endpoints))
+	out := make([]string, 0, len(s.endpoints)+len(s.aliases))
 	for n := range s.endpoints {
+		out = append(out, n)
+	}
+	for n := range s.aliases {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Endpoint returns the registered endpoint's options (introspection).
+// Endpoint returns the endpoint's options (introspection); name may be an
+// alias.
 func (s *Server) Endpoint(name string) (ModelOptions, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	e, ok := s.endpoints[name]
+	e, ok := s.resolve(name)
 	if !ok {
 		return ModelOptions{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
@@ -248,7 +325,7 @@ func (s *Server) Endpoint(name string) (ModelOptions, error) {
 // admitted request is guaranteed a response, including during drain.
 func (s *Server) Submit(ctx context.Context, model string, inputs map[string]*tensor.Tensor) (*Result, error) {
 	s.mu.RLock()
-	e, ok := s.endpoints[model]
+	e, ok := s.resolve(model)
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
@@ -261,12 +338,23 @@ func (s *Server) Submit(ctx context.Context, model string, inputs map[string]*te
 	}
 	req := &request{ctx: ctx, inputs: inputs, ch: make(chan outcome, 1), enqueued: time.Now()}
 
-	// Admission: the read lock pairs with Drain's write lock so a request
-	// can never slip into a queue after the workers have drained it.
+	// Admission: the read lock pairs with Drain's (and DrainEndpoint's)
+	// write lock so a request can never slip into a queue after the workers
+	// have drained it. The alias is re-resolved under the same lock as the
+	// enqueue, so a hot cutover between the input check above and admission
+	// routes the request to the endpoint that is current at admission time.
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
 		return nil, ErrDraining
+	}
+	if e, ok = s.resolve(model); !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	if e.draining {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w (model %q)", ErrDraining, model)
 	}
 	select {
 	case e.queue <- req:
@@ -311,13 +399,46 @@ func (s *Server) Drain() {
 	}
 }
 
+// DrainEndpoint gracefully retires one endpoint while the server keeps
+// serving everything else: admission to it stops (ErrDraining), its workers
+// finish every already-admitted request, and the endpoint is removed once
+// they exit. An endpoint still targeted by an alias cannot be drained —
+// repoint or remove the alias first (the registry's cutover discipline), so
+// a routable name never points at a dying pool.
+func (s *Server) DrainEndpoint(name string) error {
+	s.mu.Lock()
+	e, ok := s.endpoints[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	for public, target := range s.aliases {
+		if target == name {
+			s.mu.Unlock()
+			return fmt.Errorf("serve: endpoint %q still serves alias %q; repoint it before draining", name, public)
+		}
+	}
+	if !e.draining {
+		e.draining = true
+		close(e.drainCh)
+	}
+	s.mu.Unlock()
+	e.wg.Wait()
+	s.mu.Lock()
+	delete(s.endpoints, name)
+	s.mu.Unlock()
+	return nil
+}
+
 // Stats snapshots every endpoint's counters, sorted by model name.
 func (s *Server) Stats() []ModelStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]ModelStats, 0, len(s.endpoints))
 	for _, e := range s.endpoints {
-		out = append(out, e.stats.snapshot(e.name))
+		st := e.stats.snapshot(e.name)
+		st.Version = e.opts.Version
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
 	return out

@@ -13,6 +13,8 @@ import (
 // strictly additive.
 type ModelStats struct {
 	Model string `json:"model"`
+	// Version is the endpoint's model revision (empty when unversioned).
+	Version string `json:"version,omitempty"`
 	// Admitted counts requests accepted into the queue; Rejected counts
 	// ErrOverloaded refusals; Expired counts requests whose deadline passed
 	// before execution; Failed counts execution errors.
