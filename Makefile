@@ -36,12 +36,12 @@ npvet:
 analyze:
 	$(GO) run ./cmd/npc -zoo all -analyze
 
-# bench writes the machine-readable run log to BENCH_PR7.json (test2json
+# bench writes the machine-readable run log to BENCH_PR10.json (test2json
 # event stream, one JSON object per line) while echoing the human-readable
 # benchmark lines to stdout. Override BENCHTIME for a quick smoke run
 # (e.g. make bench BENCHTIME=1x).
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR7.json
+BENCHOUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | \
 		tee $(BENCHOUT) | \
@@ -51,7 +51,7 @@ bench:
 # exits nonzero on a >10% ns/op or allocs/op regression. CI runs it
 # non-blocking (machine noise on shared runners is real); use it locally to
 # spot-check a perf-sensitive change.
-BENCHBASE ?= BENCH_PR7.json
+BENCHBASE ?= BENCH_PR10.json
 bench-compare:
 	$(GO) run ./cmd/npbench -compare $(BENCHBASE) bench-new.json
 
@@ -71,10 +71,16 @@ tune-smoke:
 # router fronting two workers that share an artifact store — routes an
 # inference through every zoo model, hot-loads a second model version,
 # drains one worker, and verifies failover. FLEETOUT receives the final
-# fleet-wide /statsz document (CI uploads it as an artifact).
+# fleet-wide /statsz document, FLEETDASH a /dashboardz snapshot, and
+# FLEETTRACE the stitched Chrome trace of one routed request (CI uploads
+# all three as artifacts).
 FLEETOUT ?= fleet-statsz.json
+FLEETDASH ?= fleet-dashboard.html
+FLEETTRACE ?= fleet-trace.json
 fleet-smoke:
 	FLEET_SMOKE=1 FLEET_SMOKE_OUT=$(abspath $(FLEETOUT)) \
+	FLEET_SMOKE_DASH=$(abspath $(FLEETDASH)) \
+	FLEET_SMOKE_TRACE=$(abspath $(FLEETTRACE)) \
 		$(GO) test ./internal/fleet/ -run TestFleetSmoke -count=1 -v
 
 # trace-demo compiles and runs the lite emotion model with profiling on and

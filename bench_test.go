@@ -18,9 +18,11 @@ import (
 	"repro/internal/models"
 	"repro/internal/neuron"
 	"repro/internal/nir"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/passes"
 	"repro/internal/pipeline"
+	"repro/internal/race"
 	"repro/internal/relay"
 	"repro/internal/runtime"
 	"repro/internal/serve"
@@ -585,6 +587,45 @@ func BenchmarkServeThroughput(b *testing.B) {
 			s.Drain()
 		})
 	}
+}
+
+// BenchmarkFlightRecorderOverhead pins the per-request cost of the flight
+// recorder on the serving hot path. Disabled it must stay zero-allocation
+// (the pin is enforced here, skipped under -race where AllocsPerRun is
+// nondeterministic); enabled it may take the per-slot lock but must not
+// allocate for fast-lane records either — only slow-lane retention (past the
+// latency threshold) is allowed to copy.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	rec := obs.FlightRecord{
+		UnixMicro: 1, TraceID: "4f2a9c1d4f2a9c1d4f2a9c1d4f2a9c1d",
+		Model: "emotion@v1", Worker: "d9000-0", Status: "ok",
+		BatchSize: 4, QueueMs: 0.4, ExecMs: 1.8, TotalMs: 2.2, Devices: "cpu,apu",
+	}
+	run := func(b *testing.B, enabled bool, maxAllocs float64) {
+		f := obs.NewFlightRecorder(256, 16, 250)
+		f.SetEnabled(enabled)
+		if !race.Enabled {
+			if allocs := testing.AllocsPerRun(1000, func() { f.Record(rec) }); allocs > maxAllocs {
+				b.Fatalf("Record allocates %.0f objects/op, pin is %.0f (enabled=%v)",
+					allocs, maxAllocs, enabled)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Record(rec)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false, 0) })
+	b.Run("enabled/fast-lane", func(b *testing.B) { run(b, true, 0) })
+	b.Run("enabled/slow-lane", func(b *testing.B) {
+		f := obs.NewFlightRecorder(256, 16, 0.001) // everything lands in the slow lane
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Record(rec)
+		}
+	})
 }
 
 // BenchmarkAutoPipeline runs the automatic pipeline-scheduling search (the

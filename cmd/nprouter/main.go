@@ -8,6 +8,7 @@
 //
 //	nprouter                          # listen on :8090
 //	nprouter -addr :9090 -health-interval 1s -heartbeat-timeout 5s
+//	nprouter -pprof                   # expose /debug/pprof/
 //
 // A sample fleet session:
 //
@@ -18,12 +19,14 @@
 //	curl -s -X POST localhost:8090/v1/infer -d '{"model":"emotion","seed":7}'
 //	curl -s localhost:8090/statsz             # fleet-wide stats
 //	curl -s localhost:8090/metricsz           # merged exposition, worker labels
+//	curl -s localhost:8090/dashboardz         # SLO-driven fleet health dashboard
+//	curl -s localhost:8090/tracez?id=<trace>  # stitched fleet-wide Chrome trace
+//	curl -s localhost:8090/debugz/requests    # merged flight recorders
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,7 +34,10 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
+
+var log = obs.NewLogger(os.Stderr, "nprouter", obs.LevelInfo)
 
 func main() {
 	var (
@@ -39,8 +45,14 @@ func main() {
 		interval  = flag.Duration("health-interval", 2*time.Second, "worker health-probe period")
 		timeout   = flag.Duration("heartbeat-timeout", 10*time.Second, "mark a worker unhealthy after this long without a heartbeat or probe")
 		reqBudget = flag.Duration("request-timeout", 30*time.Second, "per-attempt budget for proxied worker requests")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
 	)
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	fatal(err)
+	log = obs.NewLogger(os.Stderr, "nprouter", lv)
 
 	rt := fleet.NewRouter(fleet.Options{
 		HealthInterval:   *interval,
@@ -51,23 +63,38 @@ func main() {
 	defer cancel()
 	go rt.HealthCheckLoop(ctx)
 
-	hs := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	handler := rt.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/debug/pprof/", obs.PprofHandler())
+		outer.Handle("/", handler)
+		handler = outer
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("nprouter: tracking on %s (register: POST %s/fleet/register)\n", *addr, *addr)
-	fmt.Printf("nprouter: fleet observability at %s/statsz, %s/metricsz\n", *addr, *addr)
+	log.Info("tracking fleet", "addr", *addr, "register", "POST /fleet/register")
+	log.Info("fleet observability mounted", "stats", "/statsz", "metrics", "/metricsz",
+		"dashboard", "/dashboardz", "trace", "/tracez", "flight", "/debugz/requests")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, "nprouter:", err)
-		os.Exit(1)
+		fatal(err)
 	case s := <-sig:
-		fmt.Printf("\nnprouter: %v: shutting down\n", s)
+		log.Info("shutting down", "signal", s.String())
 		cancel()
 		shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer shCancel()
 		_ = hs.Shutdown(shCtx)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Error(err.Error())
+		os.Exit(1)
 	}
 }

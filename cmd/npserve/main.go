@@ -11,6 +11,8 @@
 //	npserve -addr :9000 -size full
 //	npserve -artifact-cache /var/np/cache    # content-addressed compiled-Lib store
 //	npserve -router http://host:8090 -key d9000-0   # join an nprouter fleet
+//	npserve -slo-threshold-ms 50 -slo-quantile 0.95 # tighter latency objective
+//	npserve -pprof                           # expose /debug/pprof/
 //
 // A sample session:
 //
@@ -20,6 +22,8 @@
 //	curl -s localhost:8080/statsz
 //	curl -s localhost:8080/metricsz          # Prometheus text exposition
 //	curl -s localhost:8080/tracez > t.json   # worker spans, Perfetto-loadable
+//	curl -s localhost:8080/debugz/requests   # flight recorder: recent + slow
+//	curl -s localhost:8080/debugz/cache      # artifact-cache hit counters
 package main
 
 import (
@@ -36,11 +40,14 @@ import (
 	"repro/internal/app"
 	"repro/internal/fleet"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/runtime"
 	"repro/internal/serve"
 	"repro/internal/tune"
 )
+
+var log = obs.NewLogger(os.Stderr, "npserve", obs.LevelInfo)
 
 func main() {
 	var (
@@ -60,8 +67,18 @@ func main() {
 		routerURL = flag.String("router", "", "nprouter base URL to register with (joins the fleet)")
 		workerKey = flag.String("key", "", "device key announced to the router (required with -router)")
 		advertise = flag.String("advertise", "", "base URL the router reaches this worker at (default derived from -addr)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
+		slowMs    = flag.Float64("slow-ms", serve.DefaultSlowThresholdMs, "flight-recorder slow-lane threshold in milliseconds")
+		sloMs     = flag.Float64("slo-threshold-ms", 1000, "per-model SLO latency threshold in milliseconds (0 disables SLO tracking)")
+		sloQ      = flag.Float64("slo-quantile", 0.99, "SLO objective quantile in (0,1)")
+		sloWindow = flag.Duration("slo-window", 5*time.Minute, "SLO estimator window")
 	)
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	fatal(err)
+	log = obs.NewLogger(os.Stderr, "npserve", lv)
 
 	kind, err := runtime.ParseExecutorKind(*executor)
 	fatal(err)
@@ -75,6 +92,10 @@ func main() {
 	}
 
 	srv := serve.NewServer()
+	if *workerKey != "" {
+		srv.SetWorkerKey(*workerKey)
+	}
+	srv.ConfigureFlightRecorder(0, 0, *slowMs)
 	var tuningBytes []byte
 	if *tuneWith != "" {
 		tbl, n, err := tune.LoadAndInstall(*tuneWith)
@@ -82,12 +103,12 @@ func main() {
 		tbl.EnableMetrics(srv.Metrics())
 		tuningBytes, err = os.ReadFile(*tuneWith)
 		fatal(err)
-		fmt.Printf("npserve: loaded %d tuning record(s) from %s (%d kernel config(s))\n",
-			n, *tuneWith, tbl.Len())
+		log.Info("loaded tuning records", "file", *tuneWith, "records", n, "configs", tbl.Len())
 	}
 	cache, err := registry.NewCache(*cacheDir)
 	fatal(err)
 	cache.EnableMetrics(srv.Metrics())
+	srv.Mount("/debugz/cache", cache.Handler())
 	reg := registry.New(srv)
 	opts := serve.ModelOptions{
 		Pool:        *pool,
@@ -96,6 +117,7 @@ func main() {
 		BatchWindow: *window,
 		Executor:    kind,
 	}
+	slo := obs.SLO{ObjectiveQuantile: *sloQ, ThresholdMs: *sloMs, Window: *sloWindow}
 
 	names := splitModels(*modelsArg)
 	withShowcase := false
@@ -132,36 +154,44 @@ func main() {
 	for _, name := range names {
 		spec, err := models.Get(name)
 		fatal(err)
-		fmt.Printf("npserve: loading %s (%s, %s preset)...\n", name, spec.Framework, *sizeArg)
+		log.Info("loading model", "model", name, "framework", spec.Framework, "preset", *sizeArg)
 		lib, key, hit, err := loadModel(name)
 		fatal(err)
 		fatal(reg.Deploy(name, *version, lib, opts, key))
+		endpoint := registry.EndpointName(name, *version)
+		if *sloMs > 0 {
+			srv.SetSLO(endpoint, slo)
+		}
 		how := "compiled"
 		if hit {
 			how = "artifact-cache hit"
 		}
-		fmt.Printf("npserve: deployed %q@%s (%s, key %.12s…): pool=%d queue=%d batch=%d devices=%v\n",
-			name, *version, how, key, *pool, *queue, *batch,
-			must(srv.Endpoint(registry.EndpointName(name, *version))).Devices)
+		log.Info("deployed model", "model", name, "version", *version, "via", how,
+			"key", fmt.Sprintf("%.12s", key), "pool", *pool, "queue", *queue, "batch", *batch,
+			"devices", fmt.Sprint(must(srv.Endpoint(endpoint)).Devices))
 	}
 	srv.Mount("/admin/", reg.AdminHandler(func(model, modelVersion string) (*runtime.Lib, serve.ModelOptions, string, error) {
 		lib, key, _, err := loadModel(model)
 		return lib, opts, key, err
 	}))
 	if withShowcase {
-		fmt.Println("npserve: building the /v1/showcase application (3 models)...")
+		log.Info("building the /v1/showcase application", "models", 3)
 		cfg := app.DefaultConfig()
 		cfg.Size = size
 		cfg.Executor = kind
 		fatal(srv.RegisterShowcase(cfg))
 	}
+	if *pprofOn {
+		srv.Mount("/debug/pprof/", obs.PprofHandler())
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("npserve: serving %v on %s\n", srv.Models(), *addr)
-	fmt.Printf("npserve: observability at %s/statsz, %s/metricsz (Prometheus), %s/tracez (Perfetto)\n",
-		*addr, *addr, *addr)
+	log.Info("serving", "models", fmt.Sprint(srv.Models()), "addr", *addr)
+	log.Info("observability mounted", "stats", "/statsz", "metrics", "/metricsz",
+		"trace", "/tracez", "flight", "/debugz/requests", "cache", "/debugz/cache")
 
 	agentCtx, agentStop := context.WithCancel(context.Background())
 	defer agentStop()
@@ -172,7 +202,7 @@ func main() {
 		}
 		agent = &fleet.Agent{RouterURL: *routerURL, Key: *workerKey, SelfURL: selfURL(*advertise, *addr)}
 		go agent.Run(agentCtx)
-		fmt.Printf("npserve: joining fleet at %s as %q (%s)\n", *routerURL, *workerKey, agent.SelfURL)
+		log.Info("joining fleet", "router", *routerURL, "key", *workerKey, "self", agent.SelfURL)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -181,7 +211,7 @@ func main() {
 	case err := <-errCh:
 		fatal(err)
 	case s := <-sig:
-		fmt.Printf("\nnpserve: %v: draining...\n", s)
+		log.Info("draining", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if agent != nil {
@@ -190,7 +220,7 @@ func main() {
 		}
 		srv.Drain()
 		_ = hs.Shutdown(ctx)
-		fmt.Println("npserve: drained, bye")
+		log.Info("drained, bye")
 	}
 }
 
@@ -226,7 +256,7 @@ func must(o serve.ModelOptions, err error) serve.ModelOptions {
 
 func fatal(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "npserve:", err)
+		log.Error(err.Error())
 		os.Exit(1)
 	}
 }

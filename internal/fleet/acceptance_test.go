@@ -36,6 +36,7 @@ func newFleetWorker(t *testing.T, key, cacheDir string) *fleetWorker {
 		t.Fatal(err)
 	}
 	srv := serve.NewServer()
+	srv.SetWorkerKey(key)
 	c.EnableMetrics(srv.Metrics())
 	w := &fleetWorker{key: key, cache: c, srv: srv, reg: registry.New(srv)}
 	w.ts = httptest.NewServer(srv.Handler())

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// The /dashboardz surface: one server-rendered HTML page assembled from the
+// same sources the machine-readable endpoints expose — the fleet roster,
+// each worker's /statsz and /debugz/cache scrape, the SLO state captured by
+// the health probes, and the merged flight-recorder slow lane. No scripts, no
+// external assets: curl it, open it in a browser, or archive it as a CI
+// artifact and it still renders.
+
+// dashModel is one (worker, model) serving row.
+type dashModel struct {
+	Model     string
+	Version   string
+	Completed uint64
+	Failed    uint64
+	Rejected  uint64
+	Expired   uint64
+	QPS       float64
+	P50Ms     float64
+	P95Ms     float64
+	P99Ms     float64
+}
+
+// dashSLO is one SLO budget bar.
+type dashSLO struct {
+	Model         string
+	BurnRate      float64
+	BudgetPct     float64 // BudgetRemaining * 100, for the bar width
+	Healthy       bool
+	Requests      uint64
+	ThresholdMs   float64
+	QuantileLabel string
+}
+
+// dashCache is one worker's artifact-cache line.
+type dashCache struct {
+	HitRatePct float64
+	Hits       uint64
+	Misses     uint64
+	Builds     uint64
+	MemEntries int
+}
+
+// dashWorker is one worker's dashboard section.
+type dashWorker struct {
+	Info    WorkerInfo
+	Models  []dashModel
+	SLO     []dashSLO
+	Cache   *dashCache
+	ScrapeE string
+}
+
+// dashSlow is one slow-request row linking into the stitched trace view.
+type dashSlow struct {
+	TraceID string
+	Model   string
+	Worker  string
+	Status  string
+	TotalMs float64
+	QueueMs float64
+	ExecMs  float64
+}
+
+// dashData is everything the template renders.
+type dashData struct {
+	Generated  string
+	UptimeMin  float64
+	Registered int
+	Healthy    int
+	Routed     float64
+	Retried    float64
+	Failed     float64
+	Workers    []dashWorker
+	Slow       []dashSlow
+}
+
+// dashboardData assembles the page model from the roster and live scrapes.
+func (rt *Router) dashboardData() dashData {
+	d := dashData{
+		Generated: rt.now().UTC().Format(time.RFC3339),
+		UptimeMin: rt.now().Sub(rt.start).Minutes(),
+		Routed:    rt.sumRouted(),
+		Retried:   rt.retriedC.Value(),
+		Failed:    rt.failedC.Value(),
+	}
+	for _, wi := range rt.Workers() {
+		d.Registered++
+		if wi.Healthy && !wi.Draining {
+			d.Healthy++
+		}
+		dw := dashWorker{Info: wi}
+		if wi.Healthy {
+			rt.fillWorker(&dw)
+		}
+		d.Workers = append(d.Workers, dw)
+	}
+	// Fleet-wide slow lane, worst first, capped for the page.
+	for _, wi := range d.Workers {
+		if !wi.Info.Healthy {
+			continue
+		}
+		var dr serve.DebugRequestsResponse
+		if err := rt.getJSON(wi.Info.URL+"/debugz/requests", &dr); err != nil {
+			rt.scrapeErrC.Inc()
+			continue
+		}
+		for _, rec := range dr.Slow {
+			d.Slow = append(d.Slow, dashSlow{
+				TraceID: rec.TraceID, Model: rec.Model, Worker: wi.Info.Key,
+				Status: rec.Status, TotalMs: rec.TotalMs,
+				QueueMs: rec.QueueMs, ExecMs: rec.ExecMs,
+			})
+		}
+	}
+	sort.Slice(d.Slow, func(i, j int) bool { return d.Slow[i].TotalMs > d.Slow[j].TotalMs })
+	if len(d.Slow) > 10 {
+		d.Slow = d.Slow[:10]
+	}
+	return d
+}
+
+// fillWorker scrapes one healthy worker's stats, SLO state, and cache
+// counters into its dashboard section. Scrape failures degrade to an error
+// note — the dashboard must render even with half the fleet unreachable.
+func (rt *Router) fillWorker(dw *dashWorker) {
+	var st serve.StatsResponse
+	if err := rt.getJSON(dw.Info.URL+"/statsz", &st); err != nil {
+		rt.scrapeErrC.Inc()
+		dw.ScrapeE = err.Error()
+		return
+	}
+	uptimeSec := st.UptimeMs / 1000
+	for _, m := range st.Models {
+		row := dashModel{
+			Model: m.Model, Version: m.Version,
+			Completed: m.Completed, Failed: m.Failed,
+			Rejected: m.Rejected, Expired: m.Expired,
+			P50Ms: m.Latency.P50Ms, P95Ms: m.Latency.P95Ms, P99Ms: m.Latency.P99Ms,
+		}
+		if uptimeSec > 0 {
+			row.QPS = float64(m.Completed) / uptimeSec
+		}
+		dw.Models = append(dw.Models, row)
+	}
+
+	rt.mu.RLock()
+	var slo []obs.SLOStatus
+	if ws, ok := rt.workers[dw.Info.Key]; ok {
+		slo = append(slo, ws.slo...)
+	}
+	rt.mu.RUnlock()
+	for _, s := range slo {
+		dw.SLO = append(dw.SLO, dashSLO{
+			Model:         s.Model,
+			BurnRate:      s.BurnRate,
+			BudgetPct:     s.BudgetRemaining * 100,
+			Healthy:       s.Healthy,
+			Requests:      s.Requests,
+			ThresholdMs:   s.ThresholdMs,
+			QuantileLabel: fmt.Sprintf("p%g", s.ObjectiveQuantile*100),
+		})
+	}
+
+	// /debugz/cache is mounted by npserve; workers without it (tests, bare
+	// serve.Server) just omit the cache line.
+	var cs struct {
+		Hits       uint64  `json:"hits"`
+		Misses     uint64  `json:"misses"`
+		Builds     uint64  `json:"builds"`
+		MemEntries int     `json:"mem_entries"`
+		HitRate    float64 `json:"hit_rate"`
+	}
+	if err := rt.getJSON(dw.Info.URL+"/debugz/cache", &cs); err == nil {
+		dw.Cache = &dashCache{
+			HitRatePct: cs.HitRate * 100,
+			Hits:       cs.Hits, Misses: cs.Misses,
+			Builds: cs.Builds, MemEntries: cs.MemEntries,
+		}
+	}
+}
+
+var dashTemplate = template.Must(template.New("dashboardz").Parse(`<!doctype html>
+<html><head><meta charset="utf-8"><title>npfleet dashboard</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #1a2330; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: .4rem 0 1rem; }
+th, td { border: 1px solid #cfd6e0; padding: .25rem .6rem; text-align: right; }
+th { background: #eef2f7; } td:first-child, th:first-child { text-align: left; }
+.ok { color: #0a7a33; } .bad { color: #b3261e; font-weight: 600; }
+.meta { color: #5b6777; font-size: .85rem; }
+.bar { display: inline-block; width: 160px; height: 10px; background: #f3d6d4; border-radius: 5px; vertical-align: middle; }
+.bar i { display: block; height: 100%; background: #2e9e5b; border-radius: 5px; }
+a { color: #1a56b0; text-decoration: none; } a:hover { text-decoration: underline; }
+</style></head><body>
+<h1>npfleet dashboard</h1>
+<p class="meta">generated {{.Generated}} · router up {{printf "%.1f" .UptimeMin}} min ·
+{{.Healthy}}/{{.Registered}} workers healthy ·
+routed {{printf "%.0f" .Routed}} · retried {{printf "%.0f" .Retried}} · failed {{printf "%.0f" .Failed}}</p>
+
+{{range .Workers}}
+<h2>worker {{.Info.Key}} <span class="meta">{{.Info.URL}}</span>
+{{if not .Info.Healthy}}<span class="bad">DOWN</span>{{else if .Info.Draining}}<span class="bad">draining</span>{{else}}<span class="ok">healthy</span>{{end}}</h2>
+{{if .ScrapeE}}<p class="bad">stats scrape failed: {{.ScrapeE}}</p>{{end}}
+{{if .Models}}
+<table>
+<tr><th>model</th><th>version</th><th>qps</th><th>completed</th><th>failed</th><th>rejected</th><th>expired</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th></tr>
+{{range .Models}}
+<tr><td>{{.Model}}</td><td>{{.Version}}</td><td>{{printf "%.2f" .QPS}}</td><td>{{.Completed}}</td>
+<td{{if .Failed}} class="bad"{{end}}>{{.Failed}}</td><td>{{.Rejected}}</td><td>{{.Expired}}</td>
+<td>{{printf "%.2f" .P50Ms}}</td><td>{{printf "%.2f" .P95Ms}}</td><td>{{printf "%.2f" .P99Ms}}</td></tr>
+{{end}}
+</table>
+{{end}}
+{{if .SLO}}
+<table>
+<tr><th>SLO</th><th>objective</th><th>window reqs</th><th>burn rate</th><th>budget left</th><th></th></tr>
+{{range .SLO}}
+<tr><td>{{.Model}}</td><td>{{.QuantileLabel}} &le; {{printf "%.0f" .ThresholdMs}} ms</td>
+<td>{{.Requests}}</td>
+<td{{if not .Healthy}} class="bad"{{end}}>{{printf "%.2f" .BurnRate}}</td>
+<td>{{printf "%.0f" .BudgetPct}}%</td>
+<td><span class="bar"><i style="width: {{printf "%.0f" .BudgetPct}}%"></i></span></td></tr>
+{{end}}
+</table>
+{{end}}
+{{if .Cache}}<p class="meta">artifact cache: {{printf "%.0f" .Cache.HitRatePct}}% hit rate
+({{.Cache.Hits}} hits / {{.Cache.Misses}} misses, {{.Cache.Builds}} builds, {{.Cache.MemEntries}} resident)</p>{{end}}
+{{end}}
+
+<h2>slowest requests</h2>
+{{if .Slow}}
+<table>
+<tr><th>trace</th><th>model</th><th>worker</th><th>status</th><th>total ms</th><th>queue ms</th><th>exec ms</th></tr>
+{{range .Slow}}
+<tr><td>{{if .TraceID}}<a href="/tracez?id={{.TraceID}}">{{.TraceID}}</a>{{else}}—{{end}}</td>
+<td>{{.Model}}</td><td>{{.Worker}}</td>
+<td{{if ne .Status "ok"}} class="bad"{{end}}>{{.Status}}</td>
+<td>{{printf "%.2f" .TotalMs}}</td><td>{{printf "%.2f" .QueueMs}}</td><td>{{printf "%.2f" .ExecMs}}</td></tr>
+{{end}}
+</table>
+{{else}}<p class="meta">no requests past the slow threshold yet.</p>{{end}}
+</body></html>
+`))
+
+// handleDashboard renders the fleet health dashboard.
+func (rt *Router) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashTemplate.Execute(w, rt.dashboardData()); err != nil {
+		// The header is already out; all we can do is log-by-metric.
+		rt.scrapeErrC.Inc()
+	}
+}

@@ -41,11 +41,18 @@ type WorkerInfo struct {
 	// Probes/Beats count health checks answered and heartbeats received.
 	Probes uint64 `json:"probes"`
 	Beats  uint64 `json:"beats"`
+	// SLOBurning lists the routable model names whose SLO burn rate exceeded
+	// 1.0 on the worker's last probe (endpoint names and the public aliases
+	// pointing at them). Routing demotes the worker for those models.
+	SLOBurning []string `json:"slo_burning,omitempty"`
 }
 
 type workerState struct {
 	info     WorkerInfo
 	lastBeat time.Time
+	// slo is the worker's full per-model objective state from its last probe
+	// (the /healthz slo block); the dashboard renders budget bars from it.
+	slo []obs.SLOStatus
 }
 
 // Options tunes the router; zero values get defaults.
@@ -67,6 +74,8 @@ type Router struct {
 	opts    Options
 	client  *http.Client
 	metrics *obs.Registry
+	tracer  *obs.Tracer
+	track   *obs.Track
 	now     func() time.Time
 	start   time.Time
 
@@ -99,9 +108,11 @@ func NewRouter(opts Options) *Router {
 		opts:    opts,
 		client:  opts.Client,
 		metrics: opts.Metrics,
+		tracer:  obs.NewTracer(0),
 		now:     time.Now,
 		workers: map[string]*workerState{},
 	}
+	rt.track = rt.tracer.NewTrack("router")
 	rt.start = rt.now()
 	rt.registeredG = rt.metrics.Gauge("np_fleet_workers_registered",
 		"Workers currently registered with the router.", obs.L())
@@ -118,6 +129,10 @@ func NewRouter(opts Options) *Router {
 
 // Metrics returns the router's instrument registry.
 func (rt *Router) Metrics() *obs.Registry { return rt.metrics }
+
+// Tracer returns the router's span tracer; routed requests leave a
+// route:<model> span per attempt, stamped with the trace ID and worker key.
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
 
 // ----------------------------------------------------------------- tracking
 
@@ -203,11 +218,35 @@ func (rt *Router) probe(key string) {
 			w.info.Healthy = true
 			w.info.Draining = h.Draining
 			w.info.Models = h.Models
+			w.info.SLOBurning = burningModels(h)
+			w.slo = h.SLO
 			w.info.Probes++
 			w.lastBeat = rt.now()
 		}
 	}
 	rt.mu.Unlock()
+}
+
+// burningModels extracts the routable names whose SLO is unhealthy from a
+// worker's health report. SLOs are tracked per endpoint name ("model@version"
+// for registry deploys), but routing addresses public aliases — so every
+// alias pointing at a burning endpoint is penalized under its public name
+// too.
+func burningModels(h serve.HealthResponse) []string {
+	var out []string
+	for _, st := range h.SLO {
+		if st.Healthy {
+			continue
+		}
+		out = append(out, st.Model)
+		for public, target := range h.Aliases {
+			if target == st.Model {
+				out = append(out, public)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // HealthCheckLoop probes every worker each HealthInterval and expires the
@@ -263,11 +302,13 @@ func (rt *Router) updateGauges() {
 
 // ------------------------------------------------------------------ routing
 
-// candidates ranks the healthy, non-draining workers serving model by
-// rendezvous (highest-random-weight) hash of (model, shard, worker key):
-// the same (model, shard) always prefers the same worker while every worker
-// stays a deterministic fallback — adding or losing one worker only moves
-// the shards that touched it.
+// candidates ranks the healthy, non-draining workers serving model: workers
+// whose SLO for the model is within budget come first (the SLO routing
+// penalty), then by rendezvous (highest-random-weight) hash of (model, shard,
+// worker key) — the same (model, shard) always prefers the same worker while
+// every worker stays a deterministic fallback; adding or losing one worker
+// only moves the shards that touched it. A burning worker is still routable
+// (it sorts last, keeping it as fallback when it is the only candidate).
 func (rt *Router) candidates(model string, shard uint64) []WorkerInfo {
 	rt.mu.RLock()
 	var cands []WorkerInfo
@@ -284,6 +325,10 @@ func (rt *Router) candidates(model string, shard uint64) []WorkerInfo {
 	}
 	rt.mu.RUnlock()
 	sort.Slice(cands, func(i, j int) bool {
+		bi, bj := sloBurns(cands[i], model), sloBurns(cands[j], model)
+		if bi != bj {
+			return !bi
+		}
 		hi, hj := rendezvous(model, shard, cands[i].Key), rendezvous(model, shard, cands[j].Key)
 		if hi != hj {
 			return hi > hj
@@ -291,6 +336,17 @@ func (rt *Router) candidates(model string, shard uint64) []WorkerInfo {
 		return cands[i].Key < cands[j].Key
 	})
 	return cands
+}
+
+// sloBurns reports whether the worker's last probe flagged model as burning
+// its error budget.
+func sloBurns(wi WorkerInfo, model string) bool {
+	for _, m := range wi.SLOBurning {
+		if m == model {
+			return true
+		}
+	}
+	return false
 }
 
 func rendezvous(model string, shard uint64, key string) uint64 {
@@ -331,17 +387,36 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	// The router is the fleet's first edge: adopt the caller's trace context
+	// (minting a child span for this hop) or mint a fresh trace, forward it to
+	// the worker on the proxied request, and stamp every response with it.
+	tc, traced := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader))
+	if traced {
+		tc = tc.Child()
+	} else {
+		tc = obs.MintTrace()
+	}
+	w.Header().Set(obs.TraceHeader, tc.String())
+
 	cands := rt.candidates(req.Model, req.Seed)
 	if len(cands) == 0 {
 		rt.failedC.Inc()
 		writeErr(w, http.StatusServiceUnavailable, fmt.Sprintf("no healthy worker serves model %q", req.Model))
 		return
 	}
+	routeStart := rt.now()
 	for i, cand := range cands {
 		if i > 0 {
 			rt.retriedC.Inc()
 		}
-		resp, err := rt.client.Post(cand.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		preq, err := http.NewRequest(http.MethodPost, cand.URL+"/v1/infer", bytes.NewReader(body))
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		preq.Header.Set("Content-Type", "application/json")
+		preq.Header.Set(obs.TraceHeader, tc.String())
+		resp, err := rt.client.Do(preq)
 		if err != nil {
 			// Transport-dead worker: mark it down so routing skips it until a
 			// probe or heartbeat revives it, and fail over.
@@ -355,6 +430,8 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		rt.routedCounter(cand.Key, req.Model).Inc()
+		rt.track.Emit("route:"+req.Model, "fleet", routeStart, time.Since(routeStart),
+			obs.A(obs.TraceArg, tc.TraceID), obs.A("worker", cand.Key), obs.A("attempt", i+1))
 		w.Header().Set(WorkerHeader, cand.Key)
 		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 		w.WriteHeader(resp.StatusCode)
@@ -364,6 +441,8 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.failedC.Inc()
 	rt.updateGauges()
+	rt.track.Emit("route-failed:"+req.Model, "fleet", routeStart, time.Since(routeStart),
+		obs.A(obs.TraceArg, tc.TraceID), obs.A("candidates", len(cands)))
 	w.Header().Set("Retry-After", strconv.Itoa(serve.DrainRetryAfterSeconds))
 	writeErr(w, http.StatusServiceUnavailable, fmt.Sprintf("all %d workers for model %q failed or refused", len(cands), req.Model))
 }
@@ -473,6 +552,93 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.WriteTo(w)
 }
 
+// handleTracez assembles the fleet-wide distributed trace: the router's own
+// route spans plus every healthy worker's /tracez export, stitched onto one
+// wall-clock timeline with per-worker process rows (obs.StitchChromeTraces).
+// ?id=<32 hex trace id> narrows every part to one request — the usual way in:
+// take the trace ID a response was stamped with and load the result in
+// Perfetto.
+func (rt *Router) handleTracez(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id != "" {
+		if err := obs.ValidTraceID(id); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	spans, names := rt.tracer.Snapshot()
+	if id != "" {
+		spans = obs.FilterByTraceID(spans, id)
+	}
+	var own bytes.Buffer
+	if err := obs.WriteChromeTraceEpoch(&own, spans, names, rt.tracer.Epoch()); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	parts := []obs.TracePart{{Label: "router", JSON: own.Bytes()}}
+	for _, wi := range rt.Workers() {
+		if !wi.Healthy {
+			continue
+		}
+		url := wi.URL + "/tracez"
+		if id != "" {
+			url += "?id=" + id
+		}
+		resp, err := rt.client.Get(url)
+		if err != nil {
+			rt.scrapeErrC.Inc()
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			rt.scrapeErrC.Inc()
+			continue
+		}
+		parts = append(parts, obs.TracePart{Label: "worker " + wi.Key, JSON: body})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.StitchChromeTraces(w, parts); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// FleetDebugRequests is the router's /debugz/requests reply: every healthy
+// worker's flight-recorder lanes merged — Recent ordered by completion time,
+// Slow worst-first — with each record's worker key intact and per-worker
+// dropped counts summed.
+type FleetDebugRequests struct {
+	Workers []string           `json:"workers"`
+	Dropped uint64             `json:"dropped"`
+	Recent  []obs.FlightRecord `json:"recent"`
+	Slow    []obs.FlightRecord `json:"slow"`
+}
+
+func (rt *Router) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	var merged FleetDebugRequests
+	for _, wi := range rt.Workers() {
+		if !wi.Healthy {
+			continue
+		}
+		var dr serve.DebugRequestsResponse
+		if err := rt.getJSON(wi.URL+"/debugz/requests", &dr); err != nil {
+			rt.scrapeErrC.Inc()
+			continue
+		}
+		merged.Workers = append(merged.Workers, wi.Key)
+		merged.Dropped += dr.Dropped
+		merged.Recent = append(merged.Recent, dr.Recent...)
+		merged.Slow = append(merged.Slow, dr.Slow...)
+	}
+	sort.Slice(merged.Recent, func(i, j int) bool {
+		return merged.Recent[i].UnixMicro < merged.Recent[j].UnixMicro
+	})
+	sort.Slice(merged.Slow, func(i, j int) bool {
+		return merged.Slow[i].TotalMs > merged.Slow[j].TotalMs
+	})
+	writeJSONBody(w, merged)
+}
+
 // --------------------------------------------------------------------- HTTP
 
 // Handler returns the router's HTTP surface:
@@ -484,6 +650,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 //	POST /v1/infer                                         → routed inference
 //	GET  /statsz                                           → fleet-wide stats
 //	GET  /metricsz                                         → merged exposition
+//	GET  /tracez[?id=<trace>]                              → stitched fleet trace
+//	GET  /debugz/requests                                  → merged flight records
+//	GET  /dashboardz                                       → SLO health dashboard
 //	GET  /healthz                                          → router liveness
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -523,6 +692,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/infer", rt.handleInfer)
 	mux.HandleFunc("/statsz", rt.handleStats)
 	mux.HandleFunc("/metricsz", rt.handleMetrics)
+	mux.HandleFunc("/tracez", rt.handleTracez)
+	mux.HandleFunc("/debugz/requests", rt.handleDebugRequests)
+	mux.HandleFunc("/dashboardz", rt.handleDashboard)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		ws := rt.Workers()
 		healthy := 0

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/runtime"
 	"repro/internal/serve"
@@ -87,7 +88,9 @@ func TestFleetSmoke(t *testing.T) {
 		return resp, ir, nil
 	}
 
-	// Zoo-wide routed inference.
+	// Zoo-wide routed inference. Keep one trace ID for the stitched-trace
+	// artifact dump at the end.
+	var lastTrace string
 	for _, name := range names {
 		resp, ir, err := infer(name, 1)
 		if err != nil {
@@ -99,6 +102,12 @@ func TestFleetSmoke(t *testing.T) {
 		if len(ir.Outputs) == 0 || ir.Version != "v1" {
 			t.Fatalf("%s: outputs=%d version=%q", name, len(ir.Outputs), ir.Version)
 		}
+		if tc, ok := obs.ParseTraceContext(resp.Header.Get(obs.TraceHeader)); ok {
+			lastTrace = tc.TraceID
+		}
+	}
+	if lastTrace == "" {
+		t.Fatal("routed inferences carried no trace context")
 	}
 
 	// Hot-load a second version of one model fleet-wide; routed responses
@@ -143,9 +152,14 @@ func TestFleetSmoke(t *testing.T) {
 		}
 	}
 
-	// Dump the fleet /statsz document for the CI artifact.
-	if out := os.Getenv("FLEET_SMOKE_OUT"); out != "" {
-		resp, err := http.Get(rts.URL + "/statsz")
+	// Dump CI artifacts: the fleet /statsz document, a /dashboardz snapshot,
+	// and the stitched Chrome trace of one routed request.
+	dump := func(env, path string) {
+		out := os.Getenv(env)
+		if out == "" {
+			return
+		}
+		resp, err := http.Get(rts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +171,10 @@ func TestFleetSmoke(t *testing.T) {
 		if err := os.WriteFile(out, doc, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("fleet statsz dumped to %s (%d bytes)", out, len(doc))
+		t.Logf("fleet %s dumped to %s (%d bytes)", path, out, len(doc))
 	}
+	dump("FLEET_SMOKE_OUT", "/statsz")
+	dump("FLEET_SMOKE_DASH", "/dashboardz")
+	dump("FLEET_SMOKE_TRACE", "/tracez?id="+lastTrace)
 	fmt.Fprintf(os.Stderr, "fleet-smoke: %d models routed, hot-load+rollback ok, drain failover ok\n", len(names))
 }

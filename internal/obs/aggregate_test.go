@@ -92,6 +92,99 @@ func TestMergerCombinesWorkers(t *testing.T) {
 	}
 }
 
+// TestInjectLabelEscapedValues: label values may contain escaped quotes and
+// backslashes; the injection point is right after the metric name, so the
+// label body — however gnarly — must ride through untouched, and injected
+// values must themselves be escaped exposition-style.
+func TestInjectLabelEscapedValues(t *testing.T) {
+	cases := []struct{ in, key, val, want string }{
+		// Existing label value with an escaped quote.
+		{`m{path="say \"hi\""} 1`, "worker", "w1", `m{worker="w1",path="say \"hi\""} 1`},
+		// Existing label value with escaped backslashes (a Windows path).
+		{`m{dir="C:\\tmp\\x"} 2`, "worker", "w1", `m{worker="w1",dir="C:\\tmp\\x"} 2`},
+		// Injected value needing escaping: quotes and backslashes.
+		{`m 3`, "worker", `a"b\c`, `m{worker="a\"b\\c"} 3`},
+		// Injected value with a newline (exposition escapes it as \n).
+		{`m{a="b"} 4`, "worker", "two\nlines", `m{worker="two\nlines",a="b"} 4`},
+		// Escaped quote as the *last* byte of the last label value.
+		{`m{a="trailing\""} 5`, "worker", "w1", `m{worker="w1",a="trailing\""} 5`},
+	}
+	for _, c := range cases {
+		got, err := InjectLabel(c.in, c.key, c.val)
+		if err != nil {
+			t.Errorf("InjectLabel(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("InjectLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestMergerHelpDedupWhenWorkersDisagree: two workers exporting different
+// HELP text for one family must still merge — first declaration wins, one
+// header fleet-wide — because help text is documentation, not schema.
+func TestMergerHelpDedupWhenWorkersDisagree(t *testing.T) {
+	m := NewMerger()
+	if err := m.Add("worker", "w1", []byte("# HELP m old help.\n# TYPE m counter\nm 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("worker", "w2", []byte("# HELP m new help (worker upgraded).\n# TYPE m counter\nm 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := m.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Count(text, "# HELP m ") != 1 {
+		t.Fatalf("HELP emitted %d times, want 1:\n%s", strings.Count(text, "# HELP m "), text)
+	}
+	if !strings.Contains(text, "# HELP m old help.") {
+		t.Errorf("first-seen HELP text lost:\n%s", text)
+	}
+	if strings.Contains(text, "new help") {
+		t.Errorf("conflicting later HELP text leaked into the merge:\n%s", text)
+	}
+	for _, sample := range []string{`m{worker="w1"} 1`, `m{worker="w2"} 2`} {
+		if !strings.Contains(text, sample) {
+			t.Errorf("merged exposition missing %q:\n%s", sample, text)
+		}
+	}
+}
+
+// TestMergerHeaderlessSamples: a foreign exposition with no HELP/TYPE at all
+// (or samples arriving before any header) still merges, each sample keyed
+// under its own metric name — including histogram-suffix names, which
+// without a header cannot be attributed to a parent family.
+func TestMergerHeaderlessSamples(t *testing.T) {
+	m := NewMerger()
+	if err := m.Add("worker", "w1", []byte("plain 1\nlat_bucket{le=\"+Inf\"} 3\n")); err != nil {
+		t.Fatal(err)
+	}
+	// A second worker then declares the family properly; the samples join it.
+	if err := m.Add("worker", "w2", []byte("# TYPE plain counter\nplain 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := m.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, sample := range []string{
+		`plain{worker="w1"} 1`,
+		`plain{worker="w2"} 2`,
+		`lat_bucket{worker="w1",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(text, sample) {
+			t.Errorf("merged exposition missing %q:\n%s", sample, text)
+		}
+	}
+	if strings.Count(text, "# TYPE plain counter") != 1 {
+		t.Errorf("late TYPE header not adopted exactly once:\n%s", text)
+	}
+}
+
 // TestMergerNoRelabel: key == "" merges verbatim.
 func TestMergerNoRelabel(t *testing.T) {
 	m := NewMerger()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // chromeEvent is one trace_event record in the Chrome/Perfetto JSON format:
@@ -35,6 +36,20 @@ var processNames = map[int]string{
 // their numeric thread ID. Output is deterministic: metadata first, then
 // spans sorted by (pid, tid, start, name).
 func WriteChromeTrace(w io.Writer, spans []Span, threadNames map[Thread]string) error {
+	return writeChromeTrace(w, spans, threadNames, 0)
+}
+
+// WriteChromeTraceEpoch is WriteChromeTrace plus an "epochUnixUs" top-level
+// field carrying the tracer's wall-clock epoch (µs since the Unix epoch).
+// Perfetto ignores the extra key; StitchChromeTraces uses it to align
+// wall-clock spans from tracers in different processes — each process's
+// span timestamps are offsets from its own epoch, so cross-process stitching
+// needs the epochs to translate them onto one timeline.
+func WriteChromeTraceEpoch(w io.Writer, spans []Span, threadNames map[Thread]string, epoch time.Time) error {
+	return writeChromeTrace(w, spans, threadNames, epoch.UnixMicro())
+}
+
+func writeChromeTrace(w io.Writer, spans []Span, threadNames map[Thread]string, epochUs int64) error {
 	sorted := append([]Span(nil), spans...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		a, b := sorted[i], sorted[j]
@@ -92,8 +107,12 @@ func WriteChromeTrace(w io.Writer, spans []Span, threadNames map[Thread]string) 
 		events = append(events, ev)
 	}
 
+	doc := map[string]any{"traceEvents": events}
+	if epochUs != 0 {
+		doc["epochUnixUs"] = epochUs
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{"traceEvents": events})
+	return enc.Encode(doc)
 }
 
 func sortedInts(set map[int]bool) []int {

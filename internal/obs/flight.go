@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightRecorder is the per-process answer to "why was this one inference
+// slow?": a fixed-size ring of per-request records (trace ID, model, timing
+// split, batch size, status) that is always on in production, plus a slow
+// lane that retains the worst-N requests past a latency threshold even after
+// the main ring has wrapped many times. /debugz/requests dumps both lanes;
+// each record's trace ID links into /tracez?id= for the full span view.
+//
+// The hot path is non-blocking and allocation-free: writers claim a slot
+// with one atomic increment and take the slot's lock only with TryLock — a
+// writer that loses the (vanishingly rare) race for a slot drops its record
+// and bumps a counter instead of ever waiting. When recording is disabled
+// the path is a single atomic load (pinned by BenchmarkFlightRecorderOverhead
+// and TestFlightRecorderDisabledZeroAlloc).
+
+// FlightRecord is one request's black-box entry. String fields share the
+// caller's backing arrays (no copies), so recording allocates nothing.
+type FlightRecord struct {
+	// Seq is the recorder-assigned admission order (monotonic).
+	Seq uint64 `json:"seq"`
+	// UnixMicro is the completion wall time in microseconds since the epoch.
+	UnixMicro int64 `json:"unix_us"`
+	// TraceID links the record to its distributed trace ("" if untraced).
+	TraceID string `json:"trace_id,omitempty"`
+	// Model is the serving endpoint name (model@version for registry deploys).
+	Model string `json:"model"`
+	// Worker is the fleet device key of the process that served the request
+	// ("" when the worker never joined a fleet).
+	Worker string `json:"worker,omitempty"`
+	// Status is the outcome: "ok", "failed", or "expired".
+	Status string `json:"status"`
+	// BatchSize is the coalesced micro-batch the request rode in.
+	BatchSize int `json:"batch_size"`
+	// QueueMs/ExecMs/TotalMs split the request's wall time: admission queue
+	// (including the batch window), its own Run, and end-to-end.
+	QueueMs float64 `json:"queue_ms"`
+	ExecMs  float64 `json:"exec_ms"`
+	TotalMs float64 `json:"total_ms"`
+	// Devices is the exclusive simulated device set, comma-joined (computed
+	// once per endpoint, shared by every record).
+	Devices string `json:"devices,omitempty"`
+}
+
+type flightSlot struct {
+	mu   sync.Mutex
+	full bool
+	rec  FlightRecord
+}
+
+// FlightRecorder retains the most recent capacity records plus the worst
+// slowN records at or above slowMs end-to-end latency. The zero threshold
+// disables the slow lane. All methods are safe on a nil receiver.
+type FlightRecorder struct {
+	enabled atomic.Bool
+	cursor  atomic.Uint64
+	dropped atomic.Uint64
+	slots   []flightSlot
+
+	slowMs  float64
+	slowMax int
+	slowMu  sync.Mutex
+	slow    []FlightRecord
+}
+
+// NewFlightRecorder builds a recorder holding the latest capacity records
+// (default 256) and the worst slowN (default 16) at or above slowMs.
+// Recording starts enabled.
+func NewFlightRecorder(capacity, slowN int, slowMs float64) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if slowN <= 0 {
+		slowN = 16
+	}
+	f := &FlightRecorder{
+		slots:   make([]flightSlot, capacity),
+		slowMs:  slowMs,
+		slowMax: slowN,
+		slow:    make([]FlightRecord, 0, slowN),
+	}
+	f.enabled.Store(true)
+	return f
+}
+
+// SetEnabled turns recording on or off; off reduces Record to one atomic
+// load (the always-on production default is on — the ring is cheap).
+func (f *FlightRecorder) SetEnabled(on bool) {
+	if f != nil {
+		f.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether records are being retained.
+func (f *FlightRecorder) Enabled() bool { return f != nil && f.enabled.Load() }
+
+// SlowThresholdMs returns the slow-lane latency threshold (0 = lane off).
+func (f *FlightRecorder) SlowThresholdMs() float64 {
+	if f == nil {
+		return 0
+	}
+	return f.slowMs
+}
+
+// Dropped counts records lost to slot contention (a writer lapped the ring
+// into a slot another writer still held).
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped.Load()
+}
+
+// Record retains one request record. Non-blocking and allocation-free; a
+// no-op when disabled or on a nil recorder.
+//
+//np:hotpath
+func (f *FlightRecorder) Record(rec FlightRecord) {
+	if f == nil || !f.enabled.Load() {
+		return
+	}
+	seq := f.cursor.Add(1) - 1
+	rec.Seq = seq
+	s := &f.slots[seq%uint64(len(f.slots))]
+	if s.mu.TryLock() {
+		s.rec = rec
+		s.full = true
+		s.mu.Unlock()
+	} else {
+		f.dropped.Add(1)
+	}
+	if f.slowMs > 0 && rec.TotalMs >= f.slowMs {
+		f.recordSlow(rec)
+	}
+}
+
+// recordSlow keeps the worst slowMax records by TotalMs. Slow requests are
+// rare by definition, so a mutex (and the O(slowMax) scan) is fine here.
+func (f *FlightRecorder) recordSlow(rec FlightRecord) {
+	f.slowMu.Lock()
+	defer f.slowMu.Unlock()
+	if len(f.slow) < f.slowMax {
+		f.slow = append(f.slow, rec) //np:alloc-ok within preallocated slow-lane capacity
+		return
+	}
+	min := 0
+	for i := 1; i < len(f.slow); i++ {
+		if f.slow[i].TotalMs < f.slow[min].TotalMs {
+			min = i
+		}
+	}
+	if rec.TotalMs > f.slow[min].TotalMs {
+		f.slow[min] = rec
+	}
+}
+
+// Snapshot copies the main ring's retained records, oldest first.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightRecord, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		if s.full {
+			out = append(out, s.rec)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Slow copies the slow lane, worst (highest TotalMs) first.
+func (f *FlightRecorder) Slow() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.slowMu.Lock()
+	out := append([]FlightRecord(nil), f.slow...)
+	f.slowMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMs != out[j].TotalMs {
+			return out[i].TotalMs > out[j].TotalMs
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/race"
+)
+
+func TestFlightRecorderRetainsAndWraps(t *testing.T) {
+	f := NewFlightRecorder(4, 2, 0)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightRecord{Model: fmt.Sprintf("m%d", i), TotalMs: float64(i)})
+	}
+	got := f.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot holds %d records, want ring capacity 4", len(got))
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("m%d", 6+i); r.Model != want {
+			t.Errorf("snapshot[%d].Model = %q, want %q (newest 4, oldest first)", i, r.Model, want)
+		}
+		if r.Seq != uint64(6+i) {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, r.Seq, 6+i)
+		}
+	}
+}
+
+func TestFlightRecorderSlowLaneSurvivesWrap(t *testing.T) {
+	// Ring of 2 but a slow lane keeping the worst 2 past 100ms.
+	f := NewFlightRecorder(2, 2, 100)
+	f.Record(FlightRecord{TraceID: "slowest", TotalMs: 500})
+	f.Record(FlightRecord{TraceID: "slow", TotalMs: 200})
+	f.Record(FlightRecord{TraceID: "fast", TotalMs: 1})
+	for i := 0; i < 8; i++ { // wrap the main ring with fast traffic
+		f.Record(FlightRecord{TraceID: "churn", TotalMs: 2})
+	}
+	for _, r := range f.Snapshot() {
+		if r.TraceID == "slowest" || r.TraceID == "slow" {
+			t.Fatalf("main ring still holds %q after wrap", r.TraceID)
+		}
+	}
+	slow := f.Slow()
+	if len(slow) != 2 || slow[0].TraceID != "slowest" || slow[1].TraceID != "slow" {
+		t.Fatalf("slow lane = %+v, want [slowest slow]", slow)
+	}
+
+	// A worse request displaces the least-bad slow entry.
+	f.Record(FlightRecord{TraceID: "worst", TotalMs: 900})
+	slow = f.Slow()
+	if len(slow) != 2 || slow[0].TraceID != "worst" || slow[1].TraceID != "slowest" {
+		t.Fatalf("slow lane after displacement = %+v, want [worst slowest]", slow)
+	}
+	// Sub-threshold requests never enter the lane.
+	f.Record(FlightRecord{TraceID: "meh", TotalMs: 99})
+	for _, r := range f.Slow() {
+		if r.TraceID == "meh" {
+			t.Fatal("sub-threshold record entered the slow lane")
+		}
+	}
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	f := NewFlightRecorder(4, 2, 1)
+	f.SetEnabled(false)
+	f.Record(FlightRecord{TraceID: "x", TotalMs: 50})
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled recorder retained %d records", len(got))
+	}
+	if got := f.Slow(); len(got) != 0 {
+		t.Fatalf("disabled recorder retained %d slow records", len(got))
+	}
+	f.SetEnabled(true)
+	f.Record(FlightRecord{TraceID: "y", TotalMs: 50})
+	if got := f.Snapshot(); len(got) != 1 || got[0].TraceID != "y" {
+		t.Fatalf("re-enabled recorder snapshot = %+v", got)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightRecord{})
+	f.SetEnabled(true)
+	if f.Enabled() || f.Snapshot() != nil || f.Slow() != nil || f.Dropped() != 0 || f.SlowThresholdMs() != 0 {
+		t.Fatal("nil recorder is not inert")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64, 8, 10)
+	var wg sync.WaitGroup
+	const writers, per = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(FlightRecord{Model: "m", TotalMs: float64(i % 20)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers must see consistent snapshots
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, r := range f.Snapshot() {
+				if r.Model != "m" {
+					t.Errorf("torn record: %+v", r)
+					return
+				}
+			}
+			f.Slow()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := len(f.Snapshot()), 64; got != want {
+		t.Fatalf("snapshot holds %d records, want full ring %d", got, want)
+	}
+}
+
+// TestFlightRecorderDisabledZeroAlloc pins the "always-on is free when off"
+// claim: a disabled recorder's Record is one atomic load, zero allocations.
+// Skipped under -race (AllocsPerRun is nondeterministic there by design).
+func TestFlightRecorderDisabledZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation pins are nondeterministic under -race")
+	}
+	f := NewFlightRecorder(16, 4, 1)
+	f.SetEnabled(false)
+	rec := FlightRecord{TraceID: "t", Model: "m", Status: "ok", TotalMs: 5}
+	if n := testing.AllocsPerRun(200, func() { f.Record(rec) }); n != 0 {
+		t.Fatalf("disabled Record allocates %v per op, want 0", n)
+	}
+	// The enabled fast lane (sub-threshold) is allocation-free too.
+	f.SetEnabled(true)
+	fast := FlightRecord{TraceID: "t", Model: "m", Status: "ok", TotalMs: 0.1}
+	if n := testing.AllocsPerRun(200, func() { f.Record(fast) }); n != 0 {
+		t.Fatalf("enabled Record allocates %v per op, want 0", n)
+	}
+}

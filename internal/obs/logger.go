@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is the binaries' structured logger: leveled, key=value, and
+// trace-ID-aware, so every request-scoped line carries the trace ID that
+// links it to /tracez and /debugz/requests. It replaces ad-hoc printf
+// logging in npserve/nprouter; one line looks like
+//
+//	2026-08-09T12:00:01.234Z INFO npserve deployed model model=emotion version=v1
+//	2026-08-09T12:00:02.456Z WARN nprouter retrying trace=4f2a… worker=d9000-1
+//
+// Values are quoted only when they contain spaces, quotes, or '=' so the
+// output stays grep- and cut-friendly.
+
+// Level orders log severities.
+type Level int
+
+// Levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("LEVEL(%d)", int(l))
+}
+
+// ParseLevel maps a -log-level flag value to a Level. The empty string means
+// LevelInfo.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "", "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Logger writes leveled key=value lines. Safe for concurrent use; the zero
+// value and nil are no-ops.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	name  string
+	min   Level
+	kv    []string // pre-rendered "k=v" pairs bound by With
+	clock func() time.Time
+}
+
+// NewLogger returns a logger writing to w, tagging every line with name
+// (the binary), at minimum level min.
+func NewLogger(w io.Writer, name string, min Level) *Logger {
+	return &Logger{w: w, name: name, min: min, clock: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (l *Logger) SetClock(clock func() time.Time) {
+	if l != nil {
+		l.mu.Lock()
+		l.clock = clock
+		l.mu.Unlock()
+	}
+}
+
+// With returns a child logger whose lines always carry the given key=value
+// pairs (alternating key, value, like obs.L).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	child := &Logger{w: l.w, name: l.name, min: l.min, clock: l.clock}
+	child.kv = append(append([]string(nil), l.kv...), renderPairs(kv)...)
+	return child
+}
+
+// WithTrace returns a child logger stamped with ctx's trace ID (the logger
+// itself when ctx is untraced) — the request-scoped logging entry point.
+func (l *Logger) WithTrace(ctx context.Context) *Logger {
+	tc, ok := TraceFrom(ctx)
+	if !ok {
+		return l
+	}
+	return l.With(TraceArg, tc.TraceID)
+}
+
+// Debug/Info/Warn/Error log one line at their level; kv are alternating
+// key, value pairs appended after the message.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if l == nil || l.w == nil || lv < l.min {
+		return
+	}
+	var b strings.Builder
+	l.mu.Lock()
+	b.WriteString(l.clock().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(lv.String())
+	b.WriteByte(' ')
+	b.WriteString(l.name)
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for _, p := range l.kv {
+		b.WriteByte(' ')
+		b.WriteString(p)
+	}
+	for _, p := range renderPairs(kv) {
+		b.WriteByte(' ')
+		b.WriteString(p)
+	}
+	b.WriteByte('\n')
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// renderPairs turns alternating key, value arguments into "k=v" strings; a
+// trailing odd value is rendered under the key "!MISSING".
+func renderPairs(kv []any) []string {
+	if len(kv) == 0 {
+		return nil
+	}
+	out := make([]string, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		val := "!MISSING"
+		if i+1 < len(kv) {
+			val = logValue(kv[i+1])
+		}
+		out = append(out, key+"="+val)
+	}
+	return out
+}
+
+// logValue renders one value, quoting only when needed.
+func logValue(v any) string {
+	s := fmt.Sprint(v)
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testLogger(min Level) (*Logger, *bytes.Buffer) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "npserve", min)
+	l.SetClock(func() time.Time { return time.Date(2026, 8, 9, 12, 0, 1, 234e6, time.UTC) })
+	return l, &buf
+}
+
+func TestLoggerLineFormat(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	l.Info("deployed model", "model", "emotion", "version", "v1", "pool", 2)
+	got := buf.String()
+	want := "2026-08-09T12:00:01.234Z INFO npserve deployed model model=emotion version=v1 pool=2\n"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	l, buf := testLogger(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], " WARN ") || !strings.Contains(lines[1], " ERROR ") {
+		t.Fatalf("min-level filter emitted %q", buf.String())
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	l.Info("msg", "clean", "bare", "spacey", "two words", "eq", "a=b", "empty", "")
+	got := buf.String()
+	for _, want := range []string{"clean=bare", `spacey="two words"`, `eq="a=b"`, `empty=""`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+}
+
+func TestLoggerWithAndTrace(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	child := l.With("worker", "d9000-0")
+	tc := MintTrace()
+	ctx := WithTrace(context.Background(), tc)
+	child.WithTrace(ctx).Info("routing")
+	got := buf.String()
+	if !strings.Contains(got, "worker=d9000-0") || !strings.Contains(got, "trace="+tc.TraceID) {
+		t.Fatalf("line %q missing bound worker or trace id", got)
+	}
+	// Untraced contexts add nothing.
+	buf.Reset()
+	child.WithTrace(context.Background()).Info("routing")
+	if strings.Contains(buf.String(), "trace=") {
+		t.Fatalf("untraced line %q carries a trace key", buf.String())
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	l.Info("msg", "key") // trailing key without value
+	if !strings.Contains(buf.String(), "key=!MISSING") {
+		t.Fatalf("odd kv rendered as %q", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v")
+	l.With("a", "b").Error("still void")
+	l.WithTrace(context.Background()).Warn("void")
+	l.SetClock(time.Now)
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Info("tick", "j", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "2026-08-09T12:00:01.234Z INFO npserve tick j=") {
+			t.Fatalf("interleaved/torn line %q", line)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Service-level objectives over a rolling window. An SLO states "at least
+// ObjectiveQuantile of requests complete under ThresholdMs and without
+// error, measured over Window". The tracker counts every request into
+// coarse time buckets (lock-free on the observe path) and derives the
+// Google-SRE burn-rate vocabulary from them:
+//
+//	bad fraction    = (breaching requests) / (window requests)
+//	error budget    = 1 - ObjectiveQuantile        (allowed bad fraction)
+//	burn rate       = bad fraction / error budget  (1.0 = spending exactly
+//	                                                the budget; >1 = burning)
+//	budget remaining= max(0, 1 - burn rate)        (fraction of the window's
+//	                                                budget still unspent)
+//
+// The router consumes per-worker, per-model SLO health from /healthz as a
+// routing penalty, and /metricsz exports the same numbers as np_slo_*.
+
+// SLO is one model's latency/error objective.
+type SLO struct {
+	// ObjectiveQuantile is the fraction of requests that must meet the
+	// threshold (e.g. 0.99); the error budget is 1 - ObjectiveQuantile.
+	ObjectiveQuantile float64
+	// ThresholdMs is the end-to-end latency bound a request must meet; a
+	// failed request breaches regardless of latency.
+	ThresholdMs float64
+	// Window is the rolling measurement window (default 5m).
+	Window time.Duration
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.ObjectiveQuantile <= 0 || s.ObjectiveQuantile >= 1 {
+		s.ObjectiveQuantile = 0.99
+	}
+	if s.ThresholdMs <= 0 {
+		s.ThresholdMs = 1000
+	}
+	if s.Window <= 0 {
+		s.Window = 5 * time.Minute
+	}
+	return s
+}
+
+// SLOStatus is one model's point-in-time SLO evaluation (the /healthz "slo"
+// rows and the np_slo_* metric values).
+type SLOStatus struct {
+	Model             string  `json:"model"`
+	ObjectiveQuantile float64 `json:"objective_quantile"`
+	ThresholdMs       float64 `json:"threshold_ms"`
+	WindowSeconds     float64 `json:"window_seconds"`
+	// Requests and Breaches count the rolling window's traffic and its
+	// objective violations (slow or failed).
+	Requests uint64 `json:"window_requests"`
+	Breaches uint64 `json:"window_breaches"`
+	// BurnRate is bad-fraction over error budget; BudgetRemaining is the
+	// unspent fraction of the window's error budget.
+	BurnRate        float64 `json:"burn_rate"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// Healthy means the window's burn rate is at most 1 (the objective is
+	// being met). An empty window is healthy.
+	Healthy bool `json:"healthy"`
+}
+
+// sloBuckets is the windowed estimator's resolution: the window is split
+// into this many rotating buckets, so the effective window wobbles by at
+// most 1/sloBuckets of its width as buckets expire.
+const sloBuckets = 16
+
+type sloBucket struct {
+	// period stamps which absolute window-slice the bucket currently counts;
+	// a bucket whose period has fallen out of the window is re-zeroed by the
+	// first observer of the new period (counts between the CAS and the reset
+	// can be lost — the estimator is deliberately approximate).
+	period atomic.Int64
+	total  atomic.Uint64
+	bad    atomic.Uint64
+}
+
+type sloSeries struct {
+	slo     SLO
+	bucketD time.Duration
+	buckets [sloBuckets]sloBucket
+}
+
+// SLOTracker evaluates per-model SLOs from streaming observations. Observe
+// is lock-free after the map lookup (a read-lock); Set/Remove are rare.
+type SLOTracker struct {
+	mu     sync.RWMutex
+	series map[string]*sloSeries
+	now    func() time.Time
+}
+
+// NewSLOTracker returns an empty tracker.
+func NewSLOTracker() *SLOTracker {
+	return &SLOTracker{series: map[string]*sloSeries{}, now: time.Now}
+}
+
+// SetClock overrides the tracker's clock (tests).
+func (t *SLOTracker) SetClock(now func() time.Time) { t.now = now }
+
+// Set installs (or replaces) the objective for model.
+func (t *SLOTracker) Set(model string, slo SLO) {
+	slo = slo.withDefaults()
+	s := &sloSeries{slo: slo, bucketD: slo.Window / sloBuckets}
+	if s.bucketD <= 0 {
+		s.bucketD = time.Second
+	}
+	t.mu.Lock()
+	t.series[model] = s
+	t.mu.Unlock()
+}
+
+// Remove drops the model's objective (retiring an endpoint).
+func (t *SLOTracker) Remove(model string) {
+	t.mu.Lock()
+	delete(t.series, model)
+	t.mu.Unlock()
+}
+
+// Get returns the configured objective for model.
+func (t *SLOTracker) Get(model string) (SLO, bool) {
+	t.mu.RLock()
+	s, ok := t.series[model]
+	t.mu.RUnlock()
+	if !ok {
+		return SLO{}, false
+	}
+	return s.slo, true
+}
+
+// Observe counts one completed request: its end-to-end latency and whether
+// it failed. Models without an objective are ignored. Safe on nil.
+//
+//np:hotpath
+func (t *SLOTracker) Observe(model string, latencyMs float64, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.RLock()
+	s := t.series[model]
+	now := t.now()
+	t.mu.RUnlock()
+	if s == nil {
+		return
+	}
+	period := now.UnixNano() / int64(s.bucketD)
+	b := &s.buckets[uint64(period)%sloBuckets]
+	if old := b.period.Load(); old != period {
+		if b.period.CompareAndSwap(old, period) {
+			b.total.Store(0)
+			b.bad.Store(0)
+		}
+	}
+	b.total.Add(1)
+	if failed || latencyMs > s.slo.ThresholdMs {
+		b.bad.Add(1)
+	}
+}
+
+// Status evaluates one model's window.
+func (t *SLOTracker) Status(model string) (SLOStatus, bool) {
+	t.mu.RLock()
+	s, ok := t.series[model]
+	now := t.now()
+	t.mu.RUnlock()
+	if !ok {
+		return SLOStatus{}, false
+	}
+	return s.status(model, now), true
+}
+
+// StatusAll evaluates every configured model, sorted by name.
+func (t *SLOTracker) StatusAll() []SLOStatus {
+	t.mu.RLock()
+	names := make([]string, 0, len(t.series))
+	for n := range t.series {
+		names = append(names, n)
+	}
+	sers := make([]*sloSeries, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		sers = append(sers, t.series[n])
+	}
+	now := t.now()
+	t.mu.RUnlock()
+	out := make([]SLOStatus, len(names))
+	for i := range names {
+		out[i] = sers[i].status(names[i], now)
+	}
+	return out
+}
+
+func (s *sloSeries) status(model string, now time.Time) SLOStatus {
+	st := SLOStatus{
+		Model:             model,
+		ObjectiveQuantile: s.slo.ObjectiveQuantile,
+		ThresholdMs:       s.slo.ThresholdMs,
+		WindowSeconds:     s.slo.Window.Seconds(),
+		Healthy:           true,
+	}
+	cur := now.UnixNano() / int64(s.bucketD)
+	oldest := cur - sloBuckets + 1
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		p := b.period.Load()
+		if p < oldest || p > cur {
+			continue // expired (or never used) bucket
+		}
+		st.Requests += b.total.Load()
+		st.Breaches += b.bad.Load()
+	}
+	if st.Requests == 0 {
+		st.BudgetRemaining = 1
+		return st
+	}
+	badFrac := float64(st.Breaches) / float64(st.Requests)
+	budget := 1 - s.slo.ObjectiveQuantile
+	st.BurnRate = badFrac / budget
+	st.BudgetRemaining = 1 - st.BurnRate
+	if st.BudgetRemaining < 0 {
+		st.BudgetRemaining = 0
+	}
+	st.Healthy = st.BurnRate <= 1
+	return st
+}
+
+// ExportMetrics refreshes the np_slo_* gauge families on reg from the
+// tracker's current windows — call at scrape time (serve's /metricsz).
+func (t *SLOTracker) ExportMetrics(reg *Registry) {
+	for _, st := range t.StatusAll() {
+		lm := L("model", st.Model)
+		reg.Gauge("np_slo_burn_rate",
+			"Error-budget burn rate over the SLO window (1.0 = spending exactly the budget).", lm).
+			Set(st.BurnRate)
+		reg.Gauge("np_slo_budget_remaining",
+			"Unspent fraction of the SLO window's error budget.", lm).
+			Set(st.BudgetRemaining)
+		reg.Gauge("np_slo_window_requests",
+			"Requests observed in the rolling SLO window.", lm).
+			Set(float64(st.Requests))
+		reg.Gauge("np_slo_window_breaches",
+			"Requests in the rolling SLO window that breached the objective (slow or failed).", lm).
+			Set(float64(st.Breaches))
+		healthy := 0.0
+		if st.Healthy {
+			healthy = 1
+		}
+		reg.Gauge("np_slo_healthy",
+			"1 while the model's SLO burn rate is at most 1.", lm).
+			Set(healthy)
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock is a settable test clock.
+type fixedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fixedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fixedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newSLOUnderTest(slo SLO) (*SLOTracker, *fixedClock) {
+	clk := &fixedClock{t: time.Unix(1_700_000_000, 0)}
+	tr := NewSLOTracker()
+	tr.SetClock(clk.now)
+	tr.Set("m", slo)
+	return tr, clk
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	// 99% of requests under 100ms over a 160s window (10s buckets).
+	tr, _ := newSLOUnderTest(SLO{ObjectiveQuantile: 0.99, ThresholdMs: 100, Window: 160 * time.Second})
+
+	// 98 good, 2 bad (one slow, one failed): bad fraction 2% against a 1%
+	// budget → burn rate 2, budget exhausted, unhealthy.
+	for i := 0; i < 98; i++ {
+		tr.Observe("m", 10, false)
+	}
+	tr.Observe("m", 500, false)
+	tr.Observe("m", 10, true)
+
+	st, ok := tr.Status("m")
+	if !ok {
+		t.Fatal("no status for configured model")
+	}
+	if st.Requests != 100 || st.Breaches != 2 {
+		t.Fatalf("window = %d requests / %d breaches, want 100/2", st.Requests, st.Breaches)
+	}
+	if math.Abs(st.BurnRate-2.0) > 1e-9 {
+		t.Errorf("burn rate = %v, want 2.0", st.BurnRate)
+	}
+	if st.BudgetRemaining != 0 {
+		t.Errorf("budget remaining = %v, want 0 (overspent clamps)", st.BudgetRemaining)
+	}
+	if st.Healthy {
+		t.Error("burn rate 2.0 reported healthy")
+	}
+}
+
+func TestSLOHealthyWithinBudget(t *testing.T) {
+	tr, _ := newSLOUnderTest(SLO{ObjectiveQuantile: 0.9, ThresholdMs: 100, Window: 160 * time.Second})
+	// 5% bad against a 10% budget: burn rate 0.5, half the budget left.
+	for i := 0; i < 95; i++ {
+		tr.Observe("m", 1, false)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Observe("m", 200, false)
+	}
+	st, _ := tr.Status("m")
+	if math.Abs(st.BurnRate-0.5) > 1e-9 || math.Abs(st.BudgetRemaining-0.5) > 1e-9 {
+		t.Fatalf("burn=%v remaining=%v, want 0.5/0.5", st.BurnRate, st.BudgetRemaining)
+	}
+	if !st.Healthy {
+		t.Error("burn rate 0.5 reported unhealthy")
+	}
+}
+
+func TestSLOEmptyWindowHealthy(t *testing.T) {
+	tr, _ := newSLOUnderTest(SLO{})
+	st, ok := tr.Status("m")
+	if !ok || !st.Healthy || st.BudgetRemaining != 1 || st.BurnRate != 0 {
+		t.Fatalf("empty window status = %+v ok=%v, want healthy with full budget", st, ok)
+	}
+	if _, ok := tr.Status("unknown"); ok {
+		t.Error("unknown model reported a status")
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	// 160s window = 10s buckets. Breaches now must age out of the window.
+	tr, clk := newSLOUnderTest(SLO{ObjectiveQuantile: 0.99, ThresholdMs: 100, Window: 160 * time.Second})
+	for i := 0; i < 10; i++ {
+		tr.Observe("m", 500, false) // all bad
+	}
+	if st, _ := tr.Status("m"); st.Healthy || st.Breaches != 10 {
+		t.Fatalf("fresh breaches not visible: %+v", st)
+	}
+	// Advance past the window: the old buckets' periods fall out of range.
+	clk.advance(170 * time.Second)
+	st, _ := tr.Status("m")
+	if st.Requests != 0 || !st.Healthy {
+		t.Fatalf("window did not expire: %+v", st)
+	}
+	// New traffic lands in re-used buckets without inheriting stale counts.
+	tr.Observe("m", 1, false)
+	st, _ = tr.Status("m")
+	if st.Requests != 1 || st.Breaches != 0 {
+		t.Fatalf("bucket reuse inherited stale counts: %+v", st)
+	}
+}
+
+func TestSLODefaultsAndRemove(t *testing.T) {
+	tr := NewSLOTracker()
+	tr.Set("m", SLO{})
+	slo, ok := tr.Get("m")
+	if !ok || slo.ObjectiveQuantile != 0.99 || slo.ThresholdMs != 1000 || slo.Window != 5*time.Minute {
+		t.Fatalf("defaults = %+v, want q=0.99 thr=1000ms window=5m", slo)
+	}
+	tr.Remove("m")
+	if _, ok := tr.Get("m"); ok {
+		t.Error("removed model still configured")
+	}
+	// Observe on an unconfigured model (and on nil) must be inert.
+	tr.Observe("m", 1, false)
+	var nilTr *SLOTracker
+	nilTr.Observe("m", 1, false)
+}
+
+func TestSLOStatusAllSortedAndMetrics(t *testing.T) {
+	tr := NewSLOTracker()
+	// q=0.75 keeps the burn-rate arithmetic exact in binary floating point
+	// (budget 0.25, one all-bad request → burn 4), so the exposition check
+	// can match the rendered value literally.
+	tr.Set("zebra", SLO{ObjectiveQuantile: 0.75, ThresholdMs: 100})
+	tr.Set("ant", SLO{ObjectiveQuantile: 0.5, ThresholdMs: 100})
+	tr.Observe("zebra", 500, false)
+	all := tr.StatusAll()
+	if len(all) != 2 || all[0].Model != "ant" || all[1].Model != "zebra" {
+		t.Fatalf("StatusAll order = %+v, want [ant zebra]", all)
+	}
+
+	reg := NewRegistry()
+	tr.ExportMetrics(reg)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		`# TYPE np_slo_burn_rate gauge`,
+		`np_slo_burn_rate{model="zebra"} 4`,
+		`np_slo_budget_remaining{model="zebra"} 0`,
+		`np_slo_healthy{model="zebra"} 0`,
+		`np_slo_window_requests{model="ant"} 0`,
+		`np_slo_healthy{model="ant"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSLOObserveConcurrent(t *testing.T) {
+	tr, _ := newSLOUnderTest(SLO{ObjectiveQuantile: 0.99, ThresholdMs: 100, Window: 160 * time.Second})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				tr.Observe("m", float64(i%200), false)
+				if i%50 == 0 {
+					tr.Status("m")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, _ := tr.Status("m")
+	if st.Requests != 2000 {
+		t.Fatalf("window counted %d requests, want 2000 (fixed clock, one bucket)", st.Requests)
+	}
+}

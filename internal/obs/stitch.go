@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Cross-process trace stitching: the router fetches each worker's /tracez
+// ring (already filtered to one trace ID), adds its own spans, and merges
+// the Chrome trace documents into one file where every process of the fleet
+// renders as its own Perfetto process group — one timeline shows a request
+// crossing the router, the workers, and each worker's simulated SoC rows.
+//
+// Two problems make this more than concatenation:
+//
+//   - PID collision: every tracer exports the same clock-domain PIDs (wall,
+//     sim, exec). Each part's PIDs are remapped into a disjoint block and
+//     its process names prefixed with the part label ("worker w1: wall
+//     clock"), so rows stay distinguishable.
+//   - Epoch skew: wall-clock timestamps are offsets from each tracer's own
+//     epoch. Parts exported with WriteChromeTraceEpoch carry that epoch, and
+//     wall-clock events are shifted onto the earliest part's timeline.
+//     Simulated-clock rows (PIDSim) are virtual time and are never shifted.
+
+// TracePart is one process's contribution to a stitched trace.
+type TracePart struct {
+	// Label prefixes the part's process names ("router", "worker w1").
+	Label string
+	// JSON is the part's Chrome trace document ({"traceEvents": [...]},
+	// optionally with "epochUnixUs" for wall-clock alignment).
+	JSON []byte
+}
+
+// pidStride spaces the PID blocks of stitched parts; a single tracer uses
+// PIDs 1..3, so 16 leaves room to grow.
+const pidStride = 16
+
+// stitchDoc is the loosely parsed form of one part.
+type stitchDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	EpochUnixUs int64         `json:"epochUnixUs"`
+}
+
+// StitchChromeTraces merges the parts into one Chrome trace document. Parts
+// that fail to parse abort the stitch (a worker that answered garbage should
+// be visible, not silently dropped).
+func StitchChromeTraces(w io.Writer, parts []TracePart) error {
+	var minEpoch int64
+	docs := make([]stitchDoc, len(parts))
+	for i, p := range parts {
+		if err := json.Unmarshal(p.JSON, &docs[i]); err != nil {
+			return fmt.Errorf("obs: stitch: part %q: %w", p.Label, err)
+		}
+		if e := docs[i].EpochUnixUs; e != 0 && (minEpoch == 0 || e < minEpoch) {
+			minEpoch = e
+		}
+	}
+	var events []chromeEvent
+	for i, doc := range docs {
+		var offset int64
+		if doc.EpochUnixUs != 0 && minEpoch != 0 {
+			offset = doc.EpochUnixUs - minEpoch
+		}
+		for _, ev := range doc.TraceEvents {
+			ev.PID += i * pidStride
+			switch {
+			case ev.Ph == "M" && ev.Name == "process_name":
+				if parts[i].Label != "" {
+					if name, ok := ev.Args["name"].(string); ok {
+						// Copy-on-write: the args map may be shared.
+						args := make(map[string]any, len(ev.Args))
+						for k, v := range ev.Args {
+							args[k] = v
+						}
+						args["name"] = parts[i].Label + ": " + name
+						ev.Args = args
+					}
+				}
+			case ev.Ph == "M":
+				// Other metadata (thread names): PID remap only.
+			case ev.PID != i*pidStride+PIDSim:
+				// Wall-clock span: translate onto the earliest epoch.
+				ev.TS += offset
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

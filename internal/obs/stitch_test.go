@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// stitchedDoc decodes a stitched trace for assertions.
+type stitchedDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		PID  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// exportPart serializes one hand-built wall-clock span whose Start is a µs
+// offset from epoch — exactly what a Tracer in that process would produce.
+func exportPart(t *testing.T, trackName, spanName string, start int64, epoch time.Time) []byte {
+	t.Helper()
+	spans := []Span{{Name: spanName, Cat: "test", PID: PIDWall, TID: 0, Start: start, Dur: 1000}}
+	names := map[Thread]string{{PID: PIDWall, TID: 0}: trackName}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceEpoch(&buf, spans, names, epoch); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteChromeTraceEpochCarriesEpoch(t *testing.T) {
+	epoch := time.UnixMicro(1_700_000_000_000_000)
+	part := exportPart(t, "w", "s", 0, epoch)
+	var doc struct {
+		EpochUnixUs int64 `json:"epochUnixUs"`
+	}
+	if err := json.Unmarshal(part, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.EpochUnixUs != epoch.UnixMicro() {
+		t.Fatalf("epochUnixUs = %d, want %d", doc.EpochUnixUs, epoch.UnixMicro())
+	}
+}
+
+func TestStitchChromeTraces(t *testing.T) {
+	// Router's epoch is 1s before worker's: after stitching, a worker span
+	// starting at its local 0µs must land at +1s on the shared timeline.
+	routerEpoch := time.UnixMicro(1_700_000_000_000_000)
+	workerEpoch := routerEpoch.Add(time.Second)
+	parts := []TracePart{
+		{Label: "router", JSON: exportPart(t, "router", "route:emotion", 0, routerEpoch)},
+		{Label: "worker w1", JSON: exportPart(t, "emotion/worker0", "execute:emotion", 0, workerEpoch)},
+	}
+	var buf bytes.Buffer
+	if err := StitchChromeTraces(&buf, parts); err != nil {
+		t.Fatal(err)
+	}
+	var doc stitchedDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	var routeTS, execTS int64 = -1, -1
+	var routePID, execPID int
+	procNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames[ev.PID] = ev.Args["name"].(string)
+		case ev.Name == "route:emotion":
+			routeTS, routePID = ev.TS, ev.PID
+		case ev.Name == "execute:emotion":
+			execTS, execPID = ev.TS, ev.PID
+		}
+	}
+	if routeTS < 0 || execTS < 0 {
+		t.Fatalf("stitched trace lost spans: %+v", doc.TraceEvents)
+	}
+	// Disjoint PID blocks: part 0 keeps PIDWall, part 1 is shifted.
+	if routePID != PIDWall || execPID != pidStride+PIDWall {
+		t.Errorf("pids = %d/%d, want %d/%d", routePID, execPID, PIDWall, pidStride+PIDWall)
+	}
+	// Epoch alignment: worker span is 1s after the router span.
+	if execTS-routeTS != time.Second.Microseconds() {
+		t.Errorf("worker span at %dµs vs router %dµs: want 1s apart", execTS, routeTS)
+	}
+	// Process names carry the part labels.
+	if got := procNames[PIDWall]; got != "router: wall clock" {
+		t.Errorf("router process name %q", got)
+	}
+	if got := procNames[pidStride+PIDWall]; got != "worker w1: wall clock" {
+		t.Errorf("worker process name %q", got)
+	}
+}
+
+func TestStitchChromeTracesBadPart(t *testing.T) {
+	err := StitchChromeTraces(&bytes.Buffer{}, []TracePart{{Label: "w", JSON: []byte("not json")}})
+	if err == nil {
+		t.Fatal("garbage part did not abort the stitch")
+	}
+}
+
+func TestStitchChromeTracesSimClockUnshifted(t *testing.T) {
+	// A simulated-clock span (PIDSim) is virtual time: stitching must remap
+	// its PID but never shift its timestamps.
+	epoch := time.UnixMicro(1_700_000_000_000_000)
+	spans := []Span{{Name: "apu", PID: PIDSim, TID: 0, Start: 42, Dur: 10}}
+	var part bytes.Buffer
+	if err := WriteChromeTraceEpoch(&part, spans, nil, epoch.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	parts := []TracePart{
+		{Label: "router", JSON: exportPart(t, "r", "route", 0, epoch)},
+		{Label: "worker", JSON: part.Bytes()},
+	}
+	var buf bytes.Buffer
+	if err := StitchChromeTraces(&buf, parts); err != nil {
+		t.Fatal(err)
+	}
+	var doc stitchedDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "apu" {
+			if ev.TS != 42 || ev.PID != pidStride+PIDSim {
+				t.Fatalf("sim span ts=%d pid=%d, want ts=42 pid=%d", ev.TS, ev.PID, pidStride+PIDSim)
+			}
+			return
+		}
+	}
+	t.Fatal("sim span lost in stitch")
+}

@@ -51,9 +51,40 @@ func (e *endpoint) drainQueue(tk *obs.Track) {
 func (e *endpoint) serveOne(first *request, tk *obs.Track) {
 	gatherStart := time.Now()
 	batch := e.gather(first)
-	tk.Emit("coalesce:"+e.name, "serve", gatherStart, time.Since(gatherStart),
-		obs.A("batch", len(batch)))
+	args := append(traceArgs(batch), obs.A("batch", len(batch)))
+	tk.Emit("coalesce:"+e.name, "serve", gatherStart, time.Since(gatherStart), args...)
 	e.runBatch(batch, tk)
+}
+
+// traceArgs stamps a batch-level span with every member request's trace ID
+// (one Arg per distinct traced request), so /tracez?id= finds the coalesce /
+// lock-wait / execute phases of any request that rode in the batch.
+func traceArgs(batch []*request) []obs.Arg {
+	var args []obs.Arg
+	for _, r := range batch {
+		if r.trace.Valid() {
+			args = append(args, obs.A(obs.TraceArg, r.trace.TraceID))
+		}
+	}
+	return args
+}
+
+// record writes one request's flight-record entry and feeds the SLO window.
+// Called once per request on every outcome path (ok / failed / expired).
+func (e *endpoint) record(r *request, status string, batchSize int, queue, exec, total time.Duration) {
+	e.server.flight.Load().Record(obs.FlightRecord{
+		UnixMicro: time.Now().UnixMicro(),
+		TraceID:   r.trace.TraceID,
+		Model:     e.name,
+		Worker:    e.server.WorkerKey(),
+		Status:    status,
+		BatchSize: batchSize,
+		QueueMs:   float64(queue) / float64(time.Millisecond),
+		ExecMs:    float64(exec) / float64(time.Millisecond),
+		TotalMs:   float64(total) / float64(time.Millisecond),
+		Devices:   e.devicesLabel,
+	})
+	e.server.slo.Observe(e.name, float64(total)/float64(time.Millisecond), status != "ok")
 }
 
 // gather coalesces same-model requests behind first: it holds the batch open
@@ -106,8 +137,10 @@ func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
 			e.stats.expired()
+			wait := time.Since(r.enqueued)
+			e.record(r, "expired", len(batch), wait, 0, wait)
 			r.respond(nil, fmt.Errorf("serve: %s: expired after %v in queue: %w",
-				e.name, time.Since(r.enqueued).Round(time.Microsecond), err))
+				e.name, wait.Round(time.Microsecond), err))
 			continue
 		}
 		live = append(live, r)
@@ -124,7 +157,7 @@ func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 	lockStart := time.Now()
 	gm := <-e.pool
 	e.server.locks.Lock(e.opts.Devices)
-	tk.Emit("lock-wait:"+e.name, "serve", lockStart, time.Since(lockStart))
+	tk.Emit("lock-wait:"+e.name, "serve", lockStart, time.Since(lockStart), traceArgs(live)...)
 	defer func() {
 		e.server.locks.Unlock(e.opts.Devices)
 		e.pool <- gm
@@ -136,17 +169,25 @@ func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 		// The batch window may have outlived a tight deadline.
 		if err := r.ctx.Err(); err != nil {
 			e.stats.expired()
+			wait := time.Since(r.enqueued)
+			e.record(r, "expired", len(live), wait, 0, wait)
 			r.respond(nil, fmt.Errorf("serve: %s: expired before execution: %w", e.name, err))
 			continue
 		}
 		queueWait := runStart.Sub(r.enqueued)
-		tk.Emit("queue-wait:"+e.name, "serve", r.enqueued, queueWait)
+		if r.trace.Valid() {
+			tk.Emit("queue-wait:"+e.name, "serve", r.enqueued, queueWait,
+				obs.A(obs.TraceArg, r.trace.TraceID))
+		} else {
+			tk.Emit("queue-wait:"+e.name, "serve", r.enqueued, queueWait)
+		}
 		start := time.Now()
 		for name, t := range r.inputs {
 			gm.SetInput(name, t)
 		}
 		if err := gm.Run(); err != nil {
 			e.stats.failed()
+			e.record(r, "failed", len(live), queueWait, time.Since(start), time.Since(r.enqueued))
 			r.respond(nil, fmt.Errorf("serve: %s: %w", e.name, err))
 			continue
 		}
@@ -159,6 +200,7 @@ func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 		}
 		if copyErr != nil {
 			e.stats.failed()
+			e.record(r, "failed", len(live), queueWait, time.Since(start), time.Since(r.enqueued))
 			r.respond(nil, fmt.Errorf("serve: %s: %w", e.name, copyErr))
 			continue
 		}
@@ -166,6 +208,7 @@ func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 		batchSim += sim
 		execWall := time.Since(start)
 		e.stats.completed(time.Since(r.enqueued), queueWait, execWall, sim)
+		e.record(r, "ok", len(live), queueWait, execWall, time.Since(r.enqueued))
 		r.respond(&Result{
 			Outputs:   outs,
 			Version:   e.opts.Version,
@@ -175,8 +218,8 @@ func (e *endpoint) runBatch(batch []*request, tk *obs.Track) {
 			SimTime:   sim,
 		}, nil)
 	}
-	tk.Emit("execute:"+e.name, "serve", runStart, time.Since(runStart),
-		obs.A("batch", len(live)))
+	execArgs := append(traceArgs(live), obs.A("batch", len(live)))
+	tk.Emit("execute:"+e.name, "serve", runStart, time.Since(runStart), execArgs...)
 	// Account the whole reservation on the shared virtual timeline: the
 	// batch occupied its device set exclusively for its summed simulated
 	// cost (this is what /statsz reports as per-device busy time).

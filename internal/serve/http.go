@@ -49,7 +49,9 @@ type TensorJSON struct {
 	Data  []float64 `json:"data"`
 }
 
-// InferResponse is the /v1/infer reply.
+// InferResponse is the /v1/infer reply. TraceID duplicates the response's
+// X-NP-Trace-Context trace ID in the body so programmatic clients can link
+// straight to GET /tracez?id=<TraceID>.
 type InferResponse struct {
 	Model     string       `json:"model"`
 	Version   string       `json:"version,omitempty"`
@@ -58,6 +60,7 @@ type InferResponse struct {
 	QueueMs   float64      `json:"queue_ms"`
 	WallMs    float64      `json:"wall_ms"`
 	SimMs     float64      `json:"sim_ms"`
+	TraceID   string       `json:"trace_id,omitempty"`
 }
 
 // Mount attaches an auxiliary handler (e.g. a registry's /admin/ surface)
@@ -77,6 +80,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/statsz", s.handleStats)
 	mux.HandleFunc("/metricsz", s.handleMetrics)
 	mux.HandleFunc("/tracez", s.handleTrace)
+	mux.HandleFunc("/debugz/requests", s.handleDebugRequests)
 	s.mu.RLock()
 	for pattern, h := range s.aux {
 		mux.Handle(pattern, h)
@@ -136,6 +140,18 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	// Trace context: adopt the caller's (a router hop forwards its header and
+	// we mint a child span for this edge) or mint a fresh trace when this
+	// worker is the first edge. Every response — success or error — is stamped
+	// with the header so the caller can fetch GET /tracez?id=<trace> later.
+	tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader))
+	if ok {
+		tc = tc.Child()
+	} else {
+		tc = obs.MintTrace()
+	}
+	w.Header().Set(obs.TraceHeader, tc.String())
+
 	var req InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -153,7 +169,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx := r.Context()
+	ctx := obs.WithTrace(r.Context(), tc)
 	if req.TimeoutMs > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
@@ -171,6 +187,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		QueueMs:   float64(res.QueueWait) / float64(time.Millisecond),
 		WallMs:    float64(res.Wall) / float64(time.Millisecond),
 		SimMs:     res.SimTime.Ms(),
+		TraceID:   tc.TraceID,
 	}
 	for _, t := range res.Outputs {
 		resp.Outputs = append(resp.Outputs, tensorToJSON(t))
@@ -406,6 +423,9 @@ type HealthResponse struct {
 	Build     BuildInfo         `json:"build"`
 	Endpoints []EndpointHealth  `json:"endpoints"`
 	Aliases   map[string]string `json:"aliases,omitempty"`
+	// SLO reports each configured objective's rolling-window state. The fleet
+	// router reads it to penalize workers that are burning error budget.
+	SLO []obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // Health assembles the /healthz report: liveness, drain state, every
@@ -425,6 +445,7 @@ func (s *Server) Health() HealthResponse {
 	}
 	resp.Models = s.Models()
 	resp.Aliases = s.Aliases()
+	resp.SLO = s.slo.StatusAll()
 	if len(resp.Aliases) == 0 {
 		resp.Aliases = nil
 	}
@@ -495,6 +516,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"Simulated exclusive busy time per device.", obs.L("device", k.String())).
 			Set(float64(s.timeline.BusyTime(k)))
 	}
+	s.slo.ExportMetrics(s.metrics)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
 }
@@ -502,10 +524,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // handleTrace exports the tracer's span rings as Chrome trace_event JSON —
 // load the response in Perfetto (ui.perfetto.dev) or chrome://tracing to see
 // each worker's coalesce / lock-wait / execute phases on its own row.
+// ?id=<32 hex trace id> narrows the export to the spans of one distributed
+// trace; the export always carries the tracer epoch so a fleet router can
+// stitch multiple workers' exports onto one timeline (obs.StitchChromeTraces).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	spans, names := s.tracer.Snapshot()
+	if id := r.URL.Query().Get("id"); id != "" {
+		if err := obs.ValidTraceID(id); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		spans = obs.FilterByTraceID(spans, id)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := obs.WriteChromeTrace(w, spans, names); err != nil {
+	if err := obs.WriteChromeTraceEpoch(w, spans, names, s.tracer.Epoch()); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 	}
+}
+
+// DebugRequestsResponse is the /debugz/requests reply: the flight recorder's
+// two lanes plus its control state. Recent is oldest-first admission order;
+// Slow is worst-first by total latency.
+type DebugRequestsResponse struct {
+	Enabled         bool               `json:"enabled"`
+	SlowThresholdMs float64            `json:"slow_threshold_ms"`
+	Dropped         uint64             `json:"dropped"`
+	Recent          []obs.FlightRecord `json:"recent"`
+	Slow            []obs.FlightRecord `json:"slow"`
+}
+
+// handleDebugRequests dumps the per-request flight recorder. Each record's
+// trace_id links to GET /tracez?id=<trace_id> for the span-level view.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	f := s.flight.Load()
+	writeJSON(w, DebugRequestsResponse{
+		Enabled:         f.Enabled(),
+		SlowThresholdMs: f.SlowThresholdMs(),
+		Dropped:         f.Dropped(),
+		Recent:          f.Snapshot(),
+		Slow:            f.Slow(),
+	})
 }

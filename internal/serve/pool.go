@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/runtime"
@@ -32,6 +33,11 @@ type endpoint struct {
 	// must require every request to bind the full set (a partial binding
 	// would silently reuse a previous request's tensor).
 	inputNames []string
+
+	// devicesLabel is the exclusive device set comma-joined once at
+	// registration, so per-request flight records share one string instead of
+	// joining on the serving path.
+	devicesLabel string
 }
 
 func newEndpoint(name string, lib *runtime.Lib, opts ModelOptions, s *Server) (*endpoint, error) {
@@ -46,6 +52,11 @@ func newEndpoint(name string, lib *runtime.Lib, opts ModelOptions, s *Server) (*
 		drainCh:    make(chan struct{}),
 		inputNames: runtime.NewGraphModule(lib).InputNames(),
 	}
+	labels := make([]string, len(opts.Devices))
+	for i, d := range opts.Devices {
+		labels[i] = d.String()
+	}
+	e.devicesLabel = strings.Join(labels, ",")
 	// Build the pool eagerly and pay the plan lowering + arena bind up
 	// front: the first request should not eat a cold start. Lowering runs
 	// once per Lib (cached); each instance binds its own arena.

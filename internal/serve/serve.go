@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -153,6 +154,10 @@ type request struct {
 	inputs   map[string]*tensor.Tensor
 	ch       chan outcome
 	enqueued time.Time
+	// trace is the request's distributed trace context (zero when untraced).
+	// Workers stamp it on their spans and flight records so one request can be
+	// followed router → worker → batch afterwards.
+	trace obs.TraceContext
 }
 
 func (r *request) respond(res *Result, err error) {
@@ -177,11 +182,23 @@ type Server struct {
 	start    time.Time
 	metrics  *obs.Registry
 	tracer   *obs.Tracer
-	aux      map[string]http.Handler
+	// flight is an atomic pointer so ConfigureFlightRecorder can swap the
+	// recorder without adding a lock to the per-request Record path.
+	flight atomic.Pointer[obs.FlightRecorder]
+	slo    *obs.SLOTracker
+	aux    map[string]http.Handler
+	// workerKey is this process's fleet device key (SetWorkerKey), stamped on
+	// flight records so fleet-merged /debugz/requests attributes each record.
+	workerKey string
 
 	showMu   sync.Mutex
 	showcase *showcaseEndpoint
 }
+
+// DefaultSlowThresholdMs is the flight recorder's default slow-lane latency
+// threshold: requests at or past it are retained among the worst-N even after
+// the main ring wraps.
+const DefaultSlowThresholdMs = 250
 
 // NewServer returns an empty server; register models before serving.
 func NewServer() *Server {
@@ -194,8 +211,10 @@ func NewServer() *Server {
 		start:     time.Now(),
 		metrics:   obs.NewRegistry(),
 		tracer:    obs.NewTracer(0),
+		slo:       obs.NewSLOTracker(),
 		aux:       map[string]http.Handler{},
 	}
+	s.flight.Store(obs.NewFlightRecorder(0, 0, DefaultSlowThresholdMs))
 	// Surface per-kernel launch counts and cumulative kernel time on
 	// /metricsz alongside the serving metrics.
 	topi.EnableKernelMetrics(s.metrics)
@@ -214,6 +233,41 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 // queue-wait, batch-coalesce, device-lock-wait, and execute spans on its own
 // track, and /tracez exports the ring as Chrome trace JSON.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// FlightRecorder exposes the per-request black box behind /debugz/requests.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight.Load() }
+
+// ConfigureFlightRecorder replaces the flight recorder (ring capacity, slow
+// lane size, slow threshold in ms — zeros take the defaults). Records held by
+// the previous recorder are discarded, so configure before taking traffic.
+func (s *Server) ConfigureFlightRecorder(capacity, slowN int, slowMs float64) {
+	s.flight.Store(obs.NewFlightRecorder(capacity, slowN, slowMs))
+}
+
+// SLOTracker exposes the per-model objective tracker; /healthz reports its
+// statuses and /metricsz exports np_slo_* gauges from it.
+func (s *Server) SLOTracker() *obs.SLOTracker { return s.slo }
+
+// SetSLO installs (or replaces) the latency objective tracked for a serving
+// name. The name must match what requests are observed under — the endpoint
+// name, i.e. "model@version" for registry deploys.
+func (s *Server) SetSLO(model string, slo obs.SLO) { s.slo.Set(model, slo) }
+
+// SetWorkerKey records this process's fleet device key; flight records carry
+// it so fleet-merged debug dumps attribute each record to its worker.
+func (s *Server) SetWorkerKey(key string) {
+	s.mu.Lock()
+	s.workerKey = key
+	s.mu.Unlock()
+}
+
+// WorkerKey returns the fleet device key set by SetWorkerKey ("" outside a
+// fleet).
+func (s *Server) WorkerKey() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.workerKey
+}
 
 // Register creates an endpoint named name over a built library and starts
 // its worker pool.
@@ -337,6 +391,9 @@ func (s *Server) Submit(ctx context.Context, model string, inputs map[string]*te
 		return nil, err
 	}
 	req := &request{ctx: ctx, inputs: inputs, ch: make(chan outcome, 1), enqueued: time.Now()}
+	// Carry the caller's trace context (if any) onto the queued request so
+	// the executing worker can stamp its spans and flight record with it.
+	req.trace, _ = obs.TraceFrom(ctx)
 
 	// Admission: the read lock pairs with Drain's (and DrainEndpoint's)
 	// write lock so a request can never slip into a queue after the workers

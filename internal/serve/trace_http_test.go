@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestInferTraceRoundTrip pins the single-worker trace contract: a request
+// without a trace header gets one minted, the response header and body agree,
+// the flight recorder retains a record under the same trace ID, and
+// /tracez?id= narrows the span export to that request.
+func TestInferTraceRoundTrip(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	s.SetWorkerKey("d9000-0")
+	if err := s.Register("emotion", lib, ModelOptions{Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "emotion", Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+	}
+	tc, ok := obs.ParseTraceContext(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("response %s header %q is not a valid trace context",
+			obs.TraceHeader, resp.Header.Get(obs.TraceHeader))
+	}
+	var ir InferResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.TraceID != tc.TraceID {
+		t.Fatalf("body trace_id %q != header trace id %q", ir.TraceID, tc.TraceID)
+	}
+
+	// The flight recorder holds the request under the same trace ID, with the
+	// worker key and device set stamped.
+	_, dbg := getBody(t, ts.URL+"/debugz/requests")
+	var dr DebugRequestsResponse
+	if err := json.Unmarshal(dbg, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Enabled || dr.SlowThresholdMs != DefaultSlowThresholdMs {
+		t.Errorf("debugz state = enabled %v threshold %v, want enabled with default threshold",
+			dr.Enabled, dr.SlowThresholdMs)
+	}
+	var rec *obs.FlightRecord
+	for i := range dr.Recent {
+		if dr.Recent[i].TraceID == tc.TraceID {
+			rec = &dr.Recent[i]
+		}
+	}
+	if rec == nil {
+		t.Fatalf("no flight record for trace %s in %+v", tc.TraceID, dr.Recent)
+	}
+	if rec.Model != "emotion" || rec.Status != "ok" || rec.Worker != "d9000-0" {
+		t.Errorf("flight record = %+v, want model emotion / ok / worker d9000-0", rec)
+	}
+	if rec.Devices == "" || rec.TotalMs <= 0 {
+		t.Errorf("flight record missing device set or timing: %+v", rec)
+	}
+
+	// /tracez?id= filters to this request's spans only.
+	_, tr := getBody(t, ts.URL+"/tracez?id="+tc.TraceID)
+	var doc struct {
+		EpochUnixUs int64 `json:"epochUnixUs"`
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr, &doc); err != nil {
+		t.Fatalf("filtered trace is not JSON: %v\n%s", err, tr)
+	}
+	if doc.EpochUnixUs == 0 {
+		t.Error("trace export lost the tracer epoch (stitching needs it)")
+	}
+	var sawExec bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Args[obs.TraceArg] != tc.TraceID {
+			t.Errorf("span %q in filtered export lacks the trace arg: %v", ev.Name, ev.Args)
+		}
+		if strings.HasPrefix(ev.Name, "execute:emotion") {
+			sawExec = true
+		}
+	}
+	if !sawExec {
+		t.Error("filtered trace lost the execute span")
+	}
+}
+
+// TestInferAdoptsCallerTrace: a request arriving with a trace header (a
+// router hop) keeps the trace ID and mints a fresh span ID for this edge.
+func TestInferAdoptsCallerTrace(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion", lib, ModelOptions{Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	up := obs.MintTrace()
+	payload, _ := json.Marshal(InferRequest{Model: "emotion", Seed: 1})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, up.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d", resp.StatusCode)
+	}
+	tc, ok := obs.ParseTraceContext(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("bad response trace header %q", resp.Header.Get(obs.TraceHeader))
+	}
+	if tc.TraceID != up.TraceID {
+		t.Errorf("worker replaced the caller's trace id: %s != %s", tc.TraceID, up.TraceID)
+	}
+	if tc.SpanID == up.SpanID {
+		t.Error("worker forwarded the caller's span id instead of minting a child")
+	}
+}
+
+func TestTracezRejectsBadID(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _ := getBody(t, ts.URL+"/tracez?id=nothex")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ?id= got status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHealthzAndMetricszCarrySLO: a configured objective shows up in the
+// /healthz slo block and as np_slo_* gauges on /metricsz.
+func TestHealthzAndMetricszCarrySLO(t *testing.T) {
+	lib := emotionLib(t)
+	s := NewServer()
+	if err := s.Register("emotion", lib, ModelOptions{Pool: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetSLO("emotion", obs.SLO{ObjectiveQuantile: 0.5, ThresholdMs: 60_000})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, body := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "emotion", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+	}
+
+	_, hb := getBody(t, ts.URL+"/healthz")
+	var hr HealthResponse
+	if err := json.Unmarshal(hb, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.SLO) != 1 {
+		t.Fatalf("healthz slo block = %+v, want one entry", hr.SLO)
+	}
+	st := hr.SLO[0]
+	if st.Model != "emotion" || st.Requests != 1 || !st.Healthy {
+		t.Errorf("slo status = %+v, want emotion with 1 healthy request", st)
+	}
+
+	_, mb := getBody(t, ts.URL+"/metricsz")
+	for _, want := range []string{
+		`np_slo_healthy{model="emotion"} 1`,
+		`np_slo_window_requests{model="emotion"} 1`,
+		`np_slo_burn_rate{model="emotion"} 0`,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metricsz missing %q", want)
+		}
+	}
+}
